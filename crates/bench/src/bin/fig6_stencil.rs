@@ -1,0 +1,38 @@
+//! Figure 6: weak scaling for Stencil (PRK 2-D star, radius 2,
+//! 40k² points per node) — Regent with/without CR vs. MPI and
+//! MPI+OpenMP references.
+//!
+//! As in the paper, the reference codes require square inputs and run
+//! only at even powers of two; they are simulated at all counts here
+//! for a denser curve.
+
+use regent_apps::stencil::stencil_spec;
+use regent_bench::{parse_args, print_figure};
+use regent_machine::{MachineConfig, MpiVariant};
+
+fn mpi(machine: &MachineConfig) -> MpiVariant {
+    let mut v = MpiVariant::rank_per_core(machine);
+    // The stencil kernel is memory-bandwidth bound: the references do
+    // not benefit from the core Legion dedicates to the runtime, so
+    // their per-node compute time matches Regent's (Fig. 6's lines
+    // all start at the same ~1.4e9 points/s).
+    v.compute_multiplier = machine.cores_per_node as f64 / machine.regent_compute_cores() as f64;
+    v
+}
+
+fn mpi_openmp(machine: &MachineConfig) -> MpiVariant {
+    let mut v = MpiVariant::rank_per_node();
+    v.compute_multiplier =
+        machine.cores_per_node as f64 / machine.regent_compute_cores() as f64 * 1.05;
+    v
+}
+
+fn main() {
+    let runner = parse_args();
+    let series = runner.run(stencil_spec, &[("MPI", mpi), ("MPI+OpenMP", mpi_openmp)]);
+    print_figure(
+        "Figure 6: Stencil weak scaling (10^6 points/s per node)",
+        &series,
+        runner.max_nodes,
+    );
+}

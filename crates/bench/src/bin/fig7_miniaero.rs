@@ -1,0 +1,44 @@
+//! Figure 7: weak scaling for MiniAero (3-D unstructured compressible
+//! Navier–Stokes, 512k cells per node) — Regent with/without CR vs.
+//! MPI+Kokkos in rank-per-core and rank-per-node configurations.
+//!
+//! §5.2: "Regent-based codes out-perform the reference MPI+Kokkos
+//! implementations of MiniAero on a single node, mostly by leveraging
+//! the improved hybrid data layout features of Legion" — modeled as a
+//! compute-time multiplier on the references. The rank-per-node
+//! configuration starts faster (fewer messages) but its threaded
+//! fork/join amplifies noise until it "drops to the level of the rank
+//! per core configuration".
+
+use regent_apps::miniaero::miniaero_spec;
+use regent_bench::{parse_args, print_figure};
+use regent_machine::{MachineConfig, MpiVariant};
+
+fn kokkos_rank_per_core(machine: &MachineConfig) -> MpiVariant {
+    let mut v = MpiVariant::rank_per_core(machine);
+    v.compute_multiplier = 1.40;
+    v
+}
+
+fn kokkos_rank_per_node(_machine: &MachineConfig) -> MpiVariant {
+    let mut v = MpiVariant::rank_per_node();
+    v.compute_multiplier = 1.20;
+    v.noise_scale = 3.5;
+    v
+}
+
+fn main() {
+    let runner = parse_args();
+    let series = runner.run(
+        miniaero_spec,
+        &[
+            ("MPI+Kokkos (rank/core)", kokkos_rank_per_core),
+            ("MPI+Kokkos (rank/node)", kokkos_rank_per_node),
+        ],
+    );
+    print_figure(
+        "Figure 7: MiniAero weak scaling (10^3 cells/s per node)",
+        &series,
+        runner.max_nodes,
+    );
+}

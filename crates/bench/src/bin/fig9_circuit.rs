@@ -1,0 +1,17 @@
+//! Figure 9: weak scaling for Circuit (sparse unstructured graph,
+//! 100k wires + 25k nodes per node) — Regent with vs. without control
+//! replication (the paper has no reference implementation for this
+//! code).
+
+use regent_apps::circuit::circuit_spec;
+use regent_bench::{parse_args, print_figure};
+
+fn main() {
+    let runner = parse_args();
+    let series = runner.run(circuit_spec, &[]);
+    print_figure(
+        "Figure 9: Circuit weak scaling (10^3 graph nodes/s per node)",
+        &series,
+        runner.max_nodes,
+    );
+}

@@ -1,0 +1,141 @@
+//! # regent-bench
+//!
+//! The benchmark harness reproducing every figure and table of the
+//! paper's evaluation (§5). Each figure has a binary (see `src/bin/`)
+//! that prints the same series the paper plots:
+//!
+//! * `fig6_stencil` — Stencil weak scaling (Fig. 6).
+//! * `fig7_miniaero` — MiniAero weak scaling (Fig. 7).
+//! * `fig8_pennant` — PENNANT weak scaling (Fig. 8).
+//! * `fig9_circuit` — Circuit weak scaling (Fig. 9).
+//! * `table1_intersections` — dynamic region intersection timings
+//!   (Table 1), measured on the real intersection machinery.
+//! * `ablations` — the design-choice ablations listed in DESIGN.md.
+//!
+//! Criterion micro-benchmarks live in `benches/`.
+
+#![warn(missing_docs)]
+
+use regent_machine::{
+    simulate_cr, simulate_implicit, simulate_mpi, MachineConfig, MpiVariant, ScalingSeries,
+    TimestepSpec,
+};
+
+/// Constructor of a reference-code configuration for a given machine.
+pub type VariantFn = fn(&MachineConfig) -> MpiVariant;
+
+/// Builds the standard series comparison of the figures (CR, no-CR,
+/// and the MPI reference variants) for one application.
+pub struct FigureRunner {
+    /// Maximum node count (the paper uses 1024).
+    pub max_nodes: usize,
+    /// Simulated time steps per configuration.
+    pub steps: u64,
+    /// Per-figure machine adjustment (e.g. an application sensitive to
+    /// OS noise raises `noise_fraction`).
+    pub machine_mod: fn(&mut MachineConfig),
+}
+
+impl Default for FigureRunner {
+    fn default() -> Self {
+        FigureRunner {
+            max_nodes: 1024,
+            steps: 5,
+            machine_mod: |_| {},
+        }
+    }
+}
+
+impl FigureRunner {
+    /// Runs the weak-scaling sweep. `spec_of` builds the workload for a
+    /// node count; `mpi_variants` names the reference configurations
+    /// (label, variant constructor).
+    pub fn run(
+        &self,
+        spec_of: impl Fn(usize, &MachineConfig) -> TimestepSpec,
+        mpi_variants: &[(&str, VariantFn)],
+    ) -> Vec<ScalingSeries> {
+        let mut cr = ScalingSeries::new("Regent (with CR)");
+        let mut nocr = ScalingSeries::new("Regent (w/o CR)");
+        let mut mpis: Vec<ScalingSeries> = mpi_variants
+            .iter()
+            .map(|(label, _)| ScalingSeries::new(label))
+            .collect();
+        for nodes in regent_machine::node_counts_to(self.max_nodes) {
+            let mut machine = MachineConfig::piz_daint(nodes);
+            (self.machine_mod)(&mut machine);
+            let spec = spec_of(nodes, &machine);
+            cr.push(nodes, simulate_cr(&machine, &spec, self.steps));
+            nocr.push(nodes, simulate_implicit(&machine, &spec, self.steps));
+            for ((_, mk), series) in mpi_variants.iter().zip(&mut mpis) {
+                series.push(
+                    nodes,
+                    simulate_mpi(&machine, &spec, self.steps, mk(&machine)),
+                );
+            }
+        }
+        let mut out = vec![cr, nocr];
+        out.extend(mpis);
+        out
+    }
+}
+
+/// Prints a figure: the data table plus each series' parallel
+/// efficiency at the top node count (the paper's headline numbers).
+pub fn print_figure(title: &str, series: &[ScalingSeries], max_nodes: usize) {
+    println!("=== {title} ===");
+    println!("{}", regent_machine::format_table(series));
+    for s in series {
+        if let Some(eff) = s.efficiency_at(max_nodes) {
+            println!(
+                "{:>28}: parallel efficiency at {} nodes = {:.1}%",
+                s.label,
+                max_nodes,
+                eff * 100.0
+            );
+        }
+    }
+    println!();
+}
+
+/// Shared CLI handling: `--max-nodes N` and `--steps S`.
+pub fn parse_args() -> FigureRunner {
+    let mut runner = FigureRunner::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-nodes" => {
+                runner.max_nodes = args[i + 1].parse().expect("--max-nodes N");
+                i += 2;
+            }
+            "--steps" => {
+                runner.steps = args[i + 1].parse().expect("--steps S");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    runner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regent_apps::stencil::stencil_spec;
+
+    #[test]
+    fn figure_runner_produces_expected_shapes() {
+        let runner = FigureRunner {
+            max_nodes: 32,
+            steps: 3,
+            ..Default::default()
+        };
+        let series = runner.run(stencil_spec, &[("MPI", MpiVariant::rank_per_core)]);
+        assert_eq!(series.len(), 3);
+        let cr_eff = series[0].efficiency_at(32).unwrap();
+        let nocr_eff = series[1].efficiency_at(32).unwrap();
+        assert!(cr_eff > 0.9, "CR efficiency {cr_eff}");
+        assert!(nocr_eff < cr_eff, "no-CR must trail CR");
+    }
+}

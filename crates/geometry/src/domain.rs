@@ -1,0 +1,536 @@
+//! Domains: possibly-sparse sets of points, represented as disjoint
+//! unions of rectangles.
+//!
+//! A logical region's index space is a domain, and so is every subregion
+//! produced by the partitioning sublanguage (§2.1). Dense structured
+//! subregions are single rectangles; unstructured subsets (e.g. the image
+//! of an arbitrary function `h`, §2.1 line 22) are unions of 1-D runs;
+//! halo regions of structured grids are unions of a few rectangles. The
+//! disjoint-rectangle-union representation covers all of these while
+//! keeping exact set algebra (union / intersection / difference)
+//! tractable, which is what the dynamic half of the copy intersection
+//! optimization (§3.3) computes.
+
+use crate::dynrect::{DynPoint, DynRect};
+use std::fmt;
+
+/// A set of points of uniform dimensionality, stored as a normalized
+/// list of pairwise-disjoint rectangles.
+///
+/// Invariants (maintained by every constructor and operation):
+/// * all rectangles share the domain's dimensionality;
+/// * no rectangle is empty;
+/// * rectangles are pairwise disjoint;
+/// * rectangles are sorted by `lo` (canonical order, so `==` is set
+///   equality for 1-D domains after run coalescing; for multi-D domains
+///   equality is representation equality — use [`Domain::set_eq`] for
+///   semantic comparison).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Domain {
+    dim: u8,
+    rects: Vec<DynRect>,
+}
+
+impl Domain {
+    /// The empty domain of dimension `dim`.
+    pub fn empty(dim: usize) -> Self {
+        assert!((1..=crate::dynrect::MAX_DIM).contains(&dim));
+        Domain {
+            dim: dim as u8,
+            rects: Vec::new(),
+        }
+    }
+
+    /// A domain consisting of a single rectangle.
+    pub fn from_rect(r: DynRect) -> Self {
+        let mut d = Domain::empty(r.dim());
+        if !r.is_empty() {
+            d.rects.push(r);
+        }
+        d
+    }
+
+    /// A 1-D domain over `[0, n)`.
+    pub fn range(n: u64) -> Self {
+        Domain::from_rect(DynRect::range(n))
+    }
+
+    /// Builds a 1-D domain from a set of ids, coalescing consecutive ids
+    /// into runs. Duplicates are allowed and ignored.
+    pub fn from_ids(ids: impl IntoIterator<Item = i64>) -> Self {
+        let mut ids: Vec<i64> = ids.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let mut rects = Vec::new();
+        let mut iter = ids.into_iter();
+        if let Some(first) = iter.next() {
+            let (mut lo, mut hi) = (first, first);
+            for id in iter {
+                if id == hi + 1 {
+                    hi = id;
+                } else {
+                    rects.push(DynRect::span(lo, hi));
+                    lo = id;
+                    hi = id;
+                }
+            }
+            rects.push(DynRect::span(lo, hi));
+        }
+        Domain { dim: 1, rects }
+    }
+
+    /// Builds a domain from arbitrary points (deduplicated). All points
+    /// must share a dimensionality. For 1-D points, runs are coalesced.
+    pub fn from_points(points: impl IntoIterator<Item = DynPoint>) -> Self {
+        let mut pts: Vec<DynPoint> = points.into_iter().collect();
+        if pts.is_empty() {
+            return Domain::empty(1);
+        }
+        let dim = pts[0].dim();
+        assert!(pts.iter().all(|p| p.dim() == dim), "mixed dimensionality");
+        if dim == 1 {
+            return Domain::from_ids(pts.into_iter().map(|p| p.coord(0)));
+        }
+        pts.sort_unstable();
+        pts.dedup();
+        // Coalesce runs along the last (fastest-varying) dimension.
+        let mut rects: Vec<DynRect> = Vec::new();
+        for p in pts {
+            let r = DynRect::new(p, p);
+            if let Some(last) = rects.last_mut() {
+                // Extend if p continues the run in the final dimension.
+                let d = dim - 1;
+                let continues = (0..d).all(|k| last.lo().coord(k) == p.coord(k))
+                    && last.hi().coord(d) + 1 == p.coord(d)
+                    && (0..d).all(|k| last.hi().coord(k) == p.coord(k));
+                if continues {
+                    let mut hi = last.hi();
+                    let mut coords: Vec<i64> = hi.coords().to_vec();
+                    coords[d] += 1;
+                    hi = DynPoint::new(&coords);
+                    *last = DynRect::new(last.lo(), hi);
+                    continue;
+                }
+            }
+            rects.push(r);
+        }
+        let mut out = Domain::empty(dim);
+        for r in rects {
+            out = out.union(&Domain::from_rect(r));
+        }
+        out
+    }
+
+    /// Builds a domain from a list of (possibly overlapping) rectangles.
+    pub fn from_rects(rects: impl IntoIterator<Item = DynRect>) -> Self {
+        let mut it = rects.into_iter();
+        let first = loop {
+            match it.next() {
+                None => return Domain::empty(1),
+                Some(r) if r.is_empty() => continue,
+                Some(r) => break r,
+            }
+        };
+        let mut d = Domain::from_rect(first);
+        for r in it {
+            d = d.union(&Domain::from_rect(r));
+        }
+        d
+    }
+
+    /// The dimensionality of the domain.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim as usize
+    }
+
+    /// The normalized disjoint rectangles making up the domain.
+    #[inline]
+    pub fn rects(&self) -> &[DynRect] {
+        &self.rects
+    }
+
+    /// True when the domain has no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Total number of points.
+    pub fn volume(&self) -> u64 {
+        self.rects.iter().map(DynRect::volume).sum()
+    }
+
+    /// True when `p` belongs to the domain.
+    pub fn contains(&self, p: DynPoint) -> bool {
+        self.rects.iter().any(|r| r.contains(p))
+    }
+
+    /// The bounding box of the domain (empty rect when empty).
+    pub fn bounds(&self) -> DynRect {
+        self.rects
+            .iter()
+            .fold(DynRect::empty(self.dim()), |acc, r| acc.union_bbox(r))
+    }
+
+    /// Iterates all points in canonical (per-rect row-major) order.
+    pub fn iter(&self) -> impl Iterator<Item = DynPoint> + '_ {
+        self.rects.iter().flat_map(|r| r.iter())
+    }
+
+    /// Set intersection. Linear-time two-pointer sweep for 1-D domains
+    /// (whose runs are sorted and disjoint); pairwise for multi-D.
+    pub fn intersect(&self, other: &Domain) -> Domain {
+        debug_assert_eq!(self.dim(), other.dim());
+        if self.dim() == 1 {
+            return self.intersect_1d(other);
+        }
+        let mut rects = Vec::new();
+        for a in &self.rects {
+            for b in &other.rects {
+                let i = a.intersection(b);
+                if !i.is_empty() {
+                    rects.push(i);
+                }
+            }
+        }
+        // Inputs are internally disjoint, so outputs are disjoint too.
+        rects.sort_unstable_by_key(|r| r.lo());
+        let mut d = Domain {
+            dim: self.dim,
+            rects,
+        };
+        d.coalesce();
+        d
+    }
+
+    fn intersect_1d(&self, other: &Domain) -> Domain {
+        let (a, b) = (&self.rects, &other.rects);
+        let mut rects = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            let (alo, ahi) = (a[i].lo().coord(0), a[i].hi().coord(0));
+            let (blo, bhi) = (b[j].lo().coord(0), b[j].hi().coord(0));
+            let lo = alo.max(blo);
+            let hi = ahi.min(bhi);
+            if lo <= hi {
+                rects.push(DynRect::span(lo, hi));
+            }
+            // Advance whichever run ends first.
+            if ahi < bhi {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        Domain { dim: 1, rects }
+    }
+
+    /// True when the domains share at least one point (cheaper than
+    /// materializing the intersection); linear sweep for 1-D, pairwise
+    /// for multi-D.
+    pub fn overlaps(&self, other: &Domain) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        if self.dim() == 1 {
+            let (a, b) = (&self.rects, &other.rects);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < a.len() && j < b.len() {
+                let (alo, ahi) = (a[i].lo().coord(0), a[i].hi().coord(0));
+                let (blo, bhi) = (b[j].lo().coord(0), b[j].hi().coord(0));
+                if alo.max(blo) <= ahi.min(bhi) {
+                    return true;
+                }
+                if ahi < bhi {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+            return false;
+        }
+        self.rects
+            .iter()
+            .any(|a| other.rects.iter().any(|b| a.overlaps(b)))
+    }
+
+    /// Set difference `self \ other`. Linear-time sweep for 1-D.
+    pub fn subtract(&self, other: &Domain) -> Domain {
+        debug_assert_eq!(self.dim(), other.dim());
+        if self.dim() == 1 {
+            return self.subtract_1d(other);
+        }
+        let mut rects = self.rects.clone();
+        for b in &other.rects {
+            let mut next = Vec::with_capacity(rects.len());
+            for a in rects {
+                next.extend(a.subtract(b));
+            }
+            rects = next;
+        }
+        rects.sort_unstable_by_key(|r| r.lo());
+        let mut d = Domain {
+            dim: self.dim,
+            rects,
+        };
+        d.coalesce();
+        d
+    }
+
+    fn subtract_1d(&self, other: &Domain) -> Domain {
+        let b = &other.rects;
+        let mut rects = Vec::new();
+        let mut j = 0usize;
+        for a in &self.rects {
+            let mut lo = a.lo().coord(0);
+            let ahi = a.hi().coord(0);
+            // Skip subtrahend runs entirely before this run.
+            while j < b.len() && b[j].hi().coord(0) < lo {
+                j += 1;
+            }
+            let mut k = j;
+            while lo <= ahi {
+                if k >= b.len() || b[k].lo().coord(0) > ahi {
+                    rects.push(DynRect::span(lo, ahi));
+                    break;
+                }
+                let (blo, bhi) = (b[k].lo().coord(0), b[k].hi().coord(0));
+                if blo > lo {
+                    rects.push(DynRect::span(lo, blo - 1));
+                }
+                lo = lo.max(bhi + 1);
+                if bhi <= ahi {
+                    k += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        Domain { dim: 1, rects }
+    }
+
+    /// Set union. Linear-time merge for 1-D.
+    pub fn union(&self, other: &Domain) -> Domain {
+        debug_assert_eq!(self.dim(), other.dim());
+        if self.dim() == 1 {
+            return self.union_1d(other);
+        }
+        // Keep self intact; add only the parts of other not already here.
+        let extra = other.subtract(self);
+        let mut rects = self.rects.clone();
+        rects.extend(extra.rects);
+        rects.sort_unstable_by_key(|r| r.lo());
+        let mut d = Domain {
+            dim: self.dim,
+            rects,
+        };
+        d.coalesce();
+        d
+    }
+
+    fn union_1d(&self, other: &Domain) -> Domain {
+        let (a, b) = (&self.rects, &other.rects);
+        let mut rects: Vec<DynRect> = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        let push = |rects: &mut Vec<DynRect>, lo: i64, hi: i64| {
+            if let Some(last) = rects.last_mut() {
+                if last.hi().coord(0) + 1 >= lo {
+                    let nlo = last.lo().coord(0);
+                    let nhi = last.hi().coord(0).max(hi);
+                    *last = DynRect::span(nlo, nhi);
+                    return;
+                }
+            }
+            rects.push(DynRect::span(lo, hi));
+        };
+        while i < a.len() || j < b.len() {
+            let take_a = j >= b.len() || (i < a.len() && a[i].lo().coord(0) <= b[j].lo().coord(0));
+            let r = if take_a {
+                let r = a[i];
+                i += 1;
+                r
+            } else {
+                let r = b[j];
+                j += 1;
+                r
+            };
+            push(&mut rects, r.lo().coord(0), r.hi().coord(0));
+        }
+        Domain { dim: 1, rects }
+    }
+
+    /// Semantic set equality (independent of rectangle decomposition).
+    pub fn set_eq(&self, other: &Domain) -> bool {
+        self.dim == other.dim && self.volume() == other.volume() && self.subtract(other).is_empty()
+    }
+
+    /// True when every point of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &Domain) -> bool {
+        self.subtract(other).is_empty()
+    }
+
+    /// Merge adjacent rectangles where cheaply possible (exact for 1-D
+    /// runs; best-effort pairwise merging for multi-D).
+    fn coalesce(&mut self) {
+        if self.rects.len() < 2 {
+            return;
+        }
+        let dim = self.dim();
+        let mut out: Vec<DynRect> = Vec::with_capacity(self.rects.len());
+        for &r in &self.rects {
+            if let Some(last) = out.last_mut() {
+                if let Some(merged) = try_merge(last, &r, dim) {
+                    *last = merged;
+                    continue;
+                }
+            }
+            out.push(r);
+        }
+        self.rects = out;
+    }
+}
+
+/// Merges two rectangles when their union is exactly a rectangle
+/// (identical in all dimensions but one, adjacent or overlapping in that
+/// one).
+fn try_merge(a: &DynRect, b: &DynRect, dim: usize) -> Option<DynRect> {
+    let mut diff_dim = None;
+    for d in 0..dim {
+        let same = a.lo().coord(d) == b.lo().coord(d) && a.hi().coord(d) == b.hi().coord(d);
+        if !same {
+            if diff_dim.is_some() {
+                return None;
+            }
+            diff_dim = Some(d);
+        }
+    }
+    let d = match diff_dim {
+        None => return Some(*a), // identical
+        Some(d) => d,
+    };
+    // Adjacent or overlapping along d?
+    let (alo, ahi) = (a.lo().coord(d), a.hi().coord(d));
+    let (blo, bhi) = (b.lo().coord(d), b.hi().coord(d));
+    if ahi + 1 >= blo && bhi + 1 >= alo {
+        let mut lo: Vec<i64> = a.lo().coords().to_vec();
+        let mut hi: Vec<i64> = a.hi().coords().to_vec();
+        lo[d] = alo.min(blo);
+        hi[d] = ahi.max(bhi);
+        Some(DynRect::new(DynPoint::new(&lo), DynPoint::new(&hi)))
+    } else {
+        None
+    }
+}
+
+impl fmt::Debug for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, r) in self.rects.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∪ ")?;
+            }
+            write!(f, "{r:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl From<DynRect> for Domain {
+    fn from(r: DynRect) -> Self {
+        Domain::from_rect(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_ids_coalesces_runs() {
+        let d = Domain::from_ids([5, 1, 2, 3, 9, 10, 2]);
+        assert_eq!(
+            d.rects(),
+            &[
+                DynRect::span(1, 3),
+                DynRect::span(5, 5),
+                DynRect::span(9, 10)
+            ]
+        );
+        assert_eq!(d.volume(), 6);
+        assert!(d.contains(2.into()));
+        assert!(!d.contains(4.into()));
+    }
+
+    #[test]
+    fn set_algebra_1d() {
+        let a = Domain::from_ids(0..10);
+        let b = Domain::from_ids(5..15);
+        let i = a.intersect(&b);
+        assert_eq!(i.rects(), &[DynRect::span(5, 9)]);
+        let u = a.union(&b);
+        assert_eq!(u.rects(), &[DynRect::span(0, 14)]);
+        let s = a.subtract(&b);
+        assert_eq!(s.rects(), &[DynRect::span(0, 4)]);
+        assert!(a.overlaps(&b));
+        assert!(!s.overlaps(&b));
+    }
+
+    #[test]
+    fn union_idempotent_and_commutative() {
+        let a = Domain::from_ids([1, 2, 3, 7]);
+        let b = Domain::from_ids([3, 4, 5]);
+        assert!(a.union(&b).set_eq(&b.union(&a)));
+        assert!(a.union(&a).set_eq(&a));
+    }
+
+    #[test]
+    fn multidim_difference_volume() {
+        let big = Domain::from_rect(DynRect::new(DynPoint::new(&[0, 0]), DynPoint::new(&[9, 9])));
+        let hole = Domain::from_rect(DynRect::new(DynPoint::new(&[2, 2]), DynPoint::new(&[7, 7])));
+        let ring = big.subtract(&hole);
+        assert_eq!(ring.volume(), 100 - 36);
+        assert!(!ring.overlaps(&hole));
+        assert!(ring.union(&hole).set_eq(&big));
+        assert!(hole.is_subset_of(&big));
+        assert!(!big.is_subset_of(&hole));
+    }
+
+    #[test]
+    fn from_points_multidim() {
+        let pts = [
+            DynPoint::new(&[0, 0]),
+            DynPoint::new(&[0, 1]),
+            DynPoint::new(&[0, 2]),
+            DynPoint::new(&[2, 2]),
+        ];
+        let d = Domain::from_points(pts);
+        assert_eq!(d.volume(), 4);
+        for p in pts {
+            assert!(d.contains(p));
+        }
+        assert!(!d.contains(DynPoint::new(&[1, 1])));
+    }
+
+    #[test]
+    fn iter_visits_every_point_once() {
+        let d = Domain::from_ids([1, 2, 3, 10, 11]);
+        let pts: Vec<i64> = d.iter().map(|p| p.coord(0)).collect();
+        assert_eq!(pts, vec![1, 2, 3, 10, 11]);
+    }
+
+    #[test]
+    fn bounds() {
+        let d = Domain::from_ids([3, 20]);
+        assert_eq!(d.bounds(), DynRect::span(3, 20));
+        assert!(Domain::empty(2).bounds().is_empty());
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let e = Domain::empty(1);
+        let a = Domain::from_ids(0..5);
+        assert!(e.intersect(&a).is_empty());
+        assert!(a.union(&e).set_eq(&a));
+        assert!(a.subtract(&e).set_eq(&a));
+        assert!(e.is_subset_of(&a));
+    }
+}

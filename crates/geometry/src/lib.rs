@@ -1,0 +1,31 @@
+//! # regent-geometry
+//!
+//! Geometric substrate for the control-replication stack: integer points,
+//! axis-aligned rectangles with inclusive bounds, and *domains* —
+//! possibly-sparse point sets represented as disjoint unions of
+//! rectangles.
+//!
+//! Logical regions (see the `regent-region` crate) are collections of
+//! elements indexed by a domain; the partitioning sublanguage of the
+//! source programming model (§2.1 of *Control Replication*, SC'17) slices
+//! domains into subdomains, and the dynamic half of the copy intersection
+//! optimization (§3.3) computes exact intersections between them. All of
+//! that set algebra lives here.
+//!
+//! Two parallel type families are provided:
+//! * const-generic [`Point<D>`]/[`Rect<D>`] for dimension-static
+//!   application kernels, and
+//! * dimension-erased [`DynPoint`]/[`DynRect`]/[`Domain`] for the
+//!   compiler and runtime layers which handle mixed dimensionality.
+
+#![warn(missing_docs)]
+
+pub mod domain;
+pub mod dynrect;
+pub mod point;
+pub mod rect;
+
+pub use domain::Domain;
+pub use dynrect::{DynPoint, DynRect, MAX_DIM};
+pub use point::{Point, Point1, Point2, Point3};
+pub use rect::{Rect, Rect1, Rect2, Rect3};

@@ -1,0 +1,225 @@
+//! N-dimensional integer points.
+//!
+//! Points are the coordinates of elements inside index spaces (§2.1 of the
+//! paper). Regent supports structured (multi-dimensional) and unstructured
+//! (1-D) index spaces; we model both with a single `Point<D>` type carrying
+//! the dimensionality as a const generic.
+
+#![allow(clippy::needless_range_loop)] // lockstep indexing of coordinate arrays
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// An integer point in `D`-dimensional space.
+///
+/// Coordinates are `i64`; negative coordinates are permitted (useful for
+/// ghost cells surrounding a zero-based grid).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Point<const D: usize>(pub [i64; D]);
+
+/// Unstructured (1-D) point, the element type of unstructured index spaces.
+pub type Point1 = Point<1>;
+/// 2-D structured point.
+pub type Point2 = Point<2>;
+/// 3-D structured point.
+pub type Point3 = Point<3>;
+
+impl<const D: usize> Point<D> {
+    /// The number of dimensions of this point type.
+    pub const DIM: usize = D;
+
+    /// Creates a point from raw coordinates.
+    #[inline]
+    pub const fn new(coords: [i64; D]) -> Self {
+        Point(coords)
+    }
+
+    /// The origin (all coordinates zero).
+    #[inline]
+    pub const fn zero() -> Self {
+        Point([0; D])
+    }
+
+    /// A point with every coordinate equal to `v`.
+    #[inline]
+    pub const fn splat(v: i64) -> Self {
+        Point([v; D])
+    }
+
+    /// Coordinate-wise minimum.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        let mut out = self.0;
+        for d in 0..D {
+            out[d] = out[d].min(other.0[d]);
+        }
+        Point(out)
+    }
+
+    /// Coordinate-wise maximum.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        let mut out = self.0;
+        for d in 0..D {
+            out[d] = out[d].max(other.0[d]);
+        }
+        Point(out)
+    }
+
+    /// True when every coordinate of `self` is `<=` the matching coordinate
+    /// of `other` (the partial order used for rectangle containment).
+    #[inline]
+    pub fn dominates_le(self, other: Self) -> bool {
+        (0..D).all(|d| self.0[d] <= other.0[d])
+    }
+
+    /// Raw coordinate access.
+    #[inline]
+    pub fn coords(&self) -> &[i64; D] {
+        &self.0
+    }
+}
+
+impl Point<1> {
+    /// Convenience accessor for the single coordinate of a 1-D point.
+    #[inline]
+    pub fn idx(self) -> i64 {
+        self.0[0]
+    }
+}
+
+impl<const D: usize> fmt::Debug for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<const D: usize> fmt::Display for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl<const D: usize> Index<usize> for Point<D> {
+    type Output = i64;
+    #[inline]
+    fn index(&self, d: usize) -> &i64 {
+        &self.0[d]
+    }
+}
+
+impl<const D: usize> IndexMut<usize> for Point<D> {
+    #[inline]
+    fn index_mut(&mut self, d: usize) -> &mut i64 {
+        &mut self.0[d]
+    }
+}
+
+impl<const D: usize> Add for Point<D> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for d in 0..D {
+            out[d] += rhs.0[d];
+        }
+        Point(out)
+    }
+}
+
+impl<const D: usize> Sub for Point<D> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for d in 0..D {
+            out[d] -= rhs.0[d];
+        }
+        Point(out)
+    }
+}
+
+impl<const D: usize> Mul<i64> for Point<D> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: i64) -> Self {
+        let mut out = self.0;
+        for c in &mut out {
+            *c *= rhs;
+        }
+        Point(out)
+    }
+}
+
+impl From<i64> for Point<1> {
+    #[inline]
+    fn from(v: i64) -> Self {
+        Point([v])
+    }
+}
+
+impl From<(i64, i64)> for Point<2> {
+    #[inline]
+    fn from(v: (i64, i64)) -> Self {
+        Point([v.0, v.1])
+    }
+}
+
+impl From<(i64, i64, i64)> for Point<3> {
+    #[inline]
+    fn from(v: (i64, i64, i64)) -> Self {
+        Point([v.0, v.1, v.2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Point::new([1, 2]);
+        let b = Point::new([3, -1]);
+        assert_eq!(a + b, Point::new([4, 1]));
+        assert_eq!(a - b, Point::new([-2, 3]));
+        assert_eq!(a * 3, Point::new([3, 6]));
+    }
+
+    #[test]
+    fn min_max_dominance() {
+        let a = Point::new([1, 5]);
+        let b = Point::new([3, 2]);
+        assert_eq!(a.min(b), Point::new([1, 2]));
+        assert_eq!(a.max(b), Point::new([3, 5]));
+        assert!(!a.dominates_le(b));
+        assert!(a.min(b).dominates_le(a));
+        assert!(a.dominates_le(a));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Point::from(7i64).idx(), 7);
+        assert_eq!(Point::from((1, 2)), Point::new([1, 2]));
+        assert_eq!(Point::from((1, 2, 3)), Point::new([1, 2, 3]));
+    }
+
+    #[test]
+    fn indexing() {
+        let mut p = Point::new([4, 9, 16]);
+        assert_eq!(p[2], 16);
+        p[0] = -1;
+        assert_eq!(p, Point::new([-1, 9, 16]));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Point::new([1, -2])), "(1,-2)");
+    }
+}

@@ -1,0 +1,373 @@
+//! Axis-aligned rectangles with inclusive bounds.
+//!
+//! Rectangles are the dense building block of index spaces: a structured
+//! region's index space is a rectangle, and block partitions slice
+//! rectangles into sub-rectangles. Bounds are *inclusive* on both ends
+//! (matching Legion's `Rect`), so the empty rectangle is represented by any
+//! `lo` that fails to dominate `hi`.
+
+use crate::point::Point;
+use std::fmt;
+
+/// An axis-aligned `D`-dimensional rectangle with inclusive bounds
+/// `[lo, hi]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect<const D: usize> {
+    /// Inclusive lower bound.
+    pub lo: Point<D>,
+    /// Inclusive upper bound.
+    pub hi: Point<D>,
+}
+
+/// 1-D rectangle (an integer interval).
+pub type Rect1 = Rect<1>;
+/// 2-D rectangle.
+pub type Rect2 = Rect<2>;
+/// 3-D rectangle.
+pub type Rect3 = Rect<3>;
+
+impl<const D: usize> Rect<D> {
+    /// Creates the rectangle `[lo, hi]` (inclusive both ends).
+    #[inline]
+    pub const fn new(lo: Point<D>, hi: Point<D>) -> Self {
+        Rect { lo, hi }
+    }
+
+    /// The canonical empty rectangle (`lo > hi` in every dimension).
+    #[inline]
+    pub const fn empty() -> Self {
+        Rect {
+            lo: Point::splat(0),
+            hi: Point::splat(-1),
+        }
+    }
+
+    /// True when this rectangle contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        !self.lo.dominates_le(self.hi)
+    }
+
+    /// The number of points in the rectangle.
+    #[inline]
+    pub fn volume(&self) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let mut v: u64 = 1;
+        for d in 0..D {
+            v *= (self.hi[d] - self.lo[d] + 1) as u64;
+        }
+        v
+    }
+
+    /// True when `p` lies within the rectangle.
+    #[inline]
+    pub fn contains(&self, p: Point<D>) -> bool {
+        self.lo.dominates_le(p) && p.dominates_le(self.hi)
+    }
+
+    /// True when `other` is entirely within `self`. Empty rectangles are
+    /// contained in everything.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect<D>) -> bool {
+        other.is_empty() || (self.lo.dominates_le(other.lo) && other.hi.dominates_le(self.hi))
+    }
+
+    /// The intersection of two rectangles (possibly empty).
+    #[inline]
+    pub fn intersection(&self, other: &Rect<D>) -> Rect<D> {
+        Rect {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// True when the two rectangles share at least one point.
+    #[inline]
+    pub fn overlaps(&self, other: &Rect<D>) -> bool {
+        !self.intersection(other).is_empty()
+    }
+
+    /// The smallest rectangle containing both inputs. Empty inputs are
+    /// identity elements.
+    #[inline]
+    pub fn union_bbox(&self, other: &Rect<D>) -> Rect<D> {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Rect {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Iterates every point of the rectangle in lexicographic
+    /// (row-major, last dimension fastest) order.
+    pub fn iter(&self) -> RectIter<D> {
+        RectIter {
+            rect: *self,
+            next: if self.is_empty() { None } else { Some(self.lo) },
+        }
+    }
+
+    /// Row-major linearization of `p` relative to `self.lo`.
+    ///
+    /// Returns `None` when `p` is outside the rectangle. The mapping is a
+    /// bijection between the rectangle's points and `0..volume()`, used to
+    /// address physical instance storage.
+    #[inline]
+    pub fn linearize(&self, p: Point<D>) -> Option<u64> {
+        if !self.contains(p) {
+            return None;
+        }
+        let mut idx: u64 = 0;
+        for d in 0..D {
+            let extent = (self.hi[d] - self.lo[d] + 1) as u64;
+            idx = idx * extent + (p[d] - self.lo[d]) as u64;
+        }
+        Some(idx)
+    }
+
+    /// Inverse of [`Rect::linearize`].
+    #[inline]
+    pub fn delinearize(&self, mut idx: u64) -> Option<Point<D>> {
+        if idx >= self.volume() {
+            return None;
+        }
+        let mut p = self.lo;
+        for d in (0..D).rev() {
+            let extent = (self.hi[d] - self.lo[d] + 1) as u64;
+            p[d] = self.lo[d] + (idx % extent) as i64;
+            idx /= extent;
+        }
+        Some(p)
+    }
+
+    /// Splits the rectangle into `parts` contiguous blocks along dimension
+    /// `dim`, distributing the remainder one element at a time to the
+    /// leading blocks (the classic block-distribution rule used by
+    /// Regent's `block` partition operator).
+    ///
+    /// Always returns exactly `parts` rectangles; trailing ones are empty
+    /// when there are fewer elements than parts.
+    pub fn block_split(&self, parts: usize, dim: usize) -> Vec<Rect<D>> {
+        assert!(dim < D, "split dimension {dim} out of range for Rect<{D}>");
+        assert!(parts > 0, "cannot split into zero parts");
+        let mut out = Vec::with_capacity(parts);
+        if self.is_empty() {
+            out.resize(parts, Rect::empty());
+            return out;
+        }
+        let extent = (self.hi[dim] - self.lo[dim] + 1) as u64;
+        let base = extent / parts as u64;
+        let rem = extent % parts as u64;
+        let mut lo = self.lo[dim];
+        for i in 0..parts {
+            let len = base + u64::from((i as u64) < rem);
+            if len == 0 {
+                out.push(Rect::empty());
+                continue;
+            }
+            let mut r = *self;
+            r.lo[dim] = lo;
+            r.hi[dim] = lo + len as i64 - 1;
+            lo += len as i64;
+            out.push(r);
+        }
+        out
+    }
+
+    /// Grows the rectangle by `radius` in every direction (the halo
+    /// expansion used by stencil ghost regions).
+    #[inline]
+    pub fn grow(&self, radius: i64) -> Rect<D> {
+        if self.is_empty() {
+            return *self;
+        }
+        Rect {
+            lo: self.lo - Point::splat(radius),
+            hi: self.hi + Point::splat(radius),
+        }
+    }
+}
+
+impl Rect<1> {
+    /// The 1-D interval `[lo, hi]` inclusive.
+    #[inline]
+    pub fn span(lo: i64, hi: i64) -> Rect<1> {
+        Rect::new(Point([lo]), Point([hi]))
+    }
+
+    /// The half-open interval `[0, n)` as an inclusive rectangle.
+    #[inline]
+    pub fn range(n: u64) -> Rect<1> {
+        Rect::new(Point([0]), Point([n as i64 - 1]))
+    }
+}
+
+impl<const D: usize> fmt::Debug for Rect<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "[empty]")
+        } else {
+            write!(f, "[{:?}..{:?}]", self.lo, self.hi)
+        }
+    }
+}
+
+/// Iterator over all points of a rectangle, produced by [`Rect::iter`].
+pub struct RectIter<const D: usize> {
+    rect: Rect<D>,
+    next: Option<Point<D>>,
+}
+
+impl<const D: usize> Iterator for RectIter<D> {
+    type Item = Point<D>;
+
+    fn next(&mut self) -> Option<Point<D>> {
+        let cur = self.next?;
+        // Advance with carry, last dimension fastest (matches linearize).
+        let mut nxt = cur;
+        let mut d = D;
+        loop {
+            if d == 0 {
+                self.next = None;
+                break;
+            }
+            d -= 1;
+            if nxt[d] < self.rect.hi[d] {
+                nxt[d] += 1;
+                self.next = Some(nxt);
+                break;
+            }
+            nxt[d] = self.rect.lo[d];
+        }
+        Some(cur)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self.next {
+            None => (0, Some(0)),
+            Some(p) => {
+                // Remaining = volume - linearized position of p.
+                let done = self.rect.linearize(p).unwrap_or(0);
+                let rem = (self.rect.volume() - done) as usize;
+                (rem, Some(rem))
+            }
+        }
+    }
+}
+
+impl<const D: usize> ExactSizeIterator for RectIter<D> {}
+
+impl<const D: usize> IntoIterator for Rect<D> {
+    type Item = Point<D>;
+    type IntoIter = RectIter<D>;
+    fn into_iter(self) -> RectIter<D> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_empty() {
+        let r = Rect::new(Point([0, 0]), Point([3, 1]));
+        assert_eq!(r.volume(), 8);
+        assert!(!r.is_empty());
+        assert!(Rect::<2>::empty().is_empty());
+        assert_eq!(Rect::<2>::empty().volume(), 0);
+        // Inverted bounds are empty too.
+        let inv = Rect::new(Point([5]), Point([2]));
+        assert!(inv.is_empty());
+    }
+
+    #[test]
+    fn contains_and_overlap() {
+        let a = Rect::span(0, 9);
+        let b = Rect::span(5, 14);
+        assert!(a.overlaps(&b));
+        assert_eq!(a.intersection(&b), Rect::span(5, 9));
+        assert!(a.contains(Point([9])));
+        assert!(!a.contains(Point([10])));
+        let c = Rect::span(20, 30);
+        assert!(!a.overlaps(&c));
+        assert!(a.intersection(&c).is_empty());
+    }
+
+    #[test]
+    fn union_bbox_identity() {
+        let a = Rect::span(0, 3);
+        assert_eq!(a.union_bbox(&Rect::empty()), a);
+        assert_eq!(Rect::empty().union_bbox(&a), a);
+        assert_eq!(a.union_bbox(&Rect::span(10, 12)), Rect::span(0, 12));
+    }
+
+    #[test]
+    fn iter_matches_linearize() {
+        let r = Rect::new(Point([1, 2]), Point([3, 4]));
+        let pts: Vec<_> = r.iter().collect();
+        assert_eq!(pts.len() as u64, r.volume());
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(r.linearize(*p), Some(i as u64));
+            assert_eq!(r.delinearize(i as u64), Some(*p));
+        }
+        // First point is lo, last is hi.
+        assert_eq!(pts[0], r.lo);
+        assert_eq!(*pts.last().unwrap(), r.hi);
+    }
+
+    #[test]
+    fn iter_empty() {
+        assert_eq!(Rect::<3>::empty().iter().count(), 0);
+    }
+
+    #[test]
+    fn exact_size() {
+        let r = Rect::new(Point([0, 0]), Point([4, 4]));
+        let mut it = r.iter();
+        assert_eq!(it.len(), 25);
+        it.next();
+        assert_eq!(it.len(), 24);
+    }
+
+    #[test]
+    fn block_split_even_and_remainder() {
+        let r = Rect::span(0, 9);
+        let parts = r.block_split(3, 0);
+        assert_eq!(
+            parts,
+            vec![Rect::span(0, 3), Rect::span(4, 6), Rect::span(7, 9)]
+        );
+        // Splitting into more parts than elements yields empties.
+        let tiny = Rect::span(0, 1).block_split(4, 0);
+        assert_eq!(tiny.iter().filter(|r| !r.is_empty()).count(), 2);
+        assert_eq!(tiny.len(), 4);
+        // Blocks tile the original exactly.
+        let total: u64 = parts.iter().map(Rect::volume).sum();
+        assert_eq!(total, r.volume());
+    }
+
+    #[test]
+    fn block_split_2d() {
+        let r = Rect::new(Point([0, 0]), Point([9, 9]));
+        let rows = r.block_split(2, 0);
+        assert_eq!(rows[0], Rect::new(Point([0, 0]), Point([4, 9])));
+        assert_eq!(rows[1], Rect::new(Point([5, 0]), Point([9, 9])));
+        let cols = r.block_split(2, 1);
+        assert_eq!(cols[0], Rect::new(Point([0, 0]), Point([9, 4])));
+    }
+
+    #[test]
+    fn grow_halo() {
+        let r = Rect::new(Point([2, 2]), Point([5, 5]));
+        assert_eq!(r.grow(2), Rect::new(Point([0, 0]), Point([7, 7])));
+        assert!(Rect::<2>::empty().grow(3).is_empty());
+    }
+}

@@ -1,0 +1,351 @@
+//! A discrete-event simulation engine.
+//!
+//! The engine executes a DAG of *sim-tasks* over a set of *resources*
+//! (FIFO multi-server queues: node core pools, the control thread of
+//! the implicit runtime, per-node NICs). Time is virtual; the engine is
+//! deterministic. This is the substitute substrate for the paper's
+//! 1024-node Piz Daint runs (see DESIGN.md): the quantities being
+//! studied — control-thread serialization, halo transfer time,
+//! collective latency — are modeled explicitly, while task compute
+//! costs are supplied by the workload builders.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifier of a sim-task.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SimTaskId(pub u32);
+
+/// Identifier of a resource (multi-server FIFO queue).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ResourceId(pub u32);
+
+/// A unit of simulated work.
+#[derive(Clone, Debug)]
+pub struct SimTask {
+    /// Service time on the resource, in seconds.
+    pub duration: f64,
+    /// The resource that must serve this task.
+    pub resource: ResourceId,
+    /// Extra delay between service completion and dependents being
+    /// released (e.g. network latency after NIC serialization).
+    pub completion_delay: f64,
+    /// Tasks that cannot start before this one completes.
+    pub dependents: Vec<SimTaskId>,
+    /// Number of unsatisfied dependencies.
+    pub num_deps: u32,
+}
+
+/// A resource: `servers` parallel servers with a shared FIFO queue.
+#[derive(Clone, Debug)]
+pub struct Resource {
+    /// Number of parallel servers (e.g. cores on a node).
+    pub servers: u32,
+}
+
+/// The simulation: build tasks and resources, then [`Sim::run`].
+pub struct Sim {
+    tasks: Vec<SimTask>,
+    resources: Vec<Resource>,
+}
+
+/// Results of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Completion time of the last task (the makespan), seconds.
+    pub makespan: f64,
+    /// Completion time of every task, seconds.
+    pub finish_times: Vec<f64>,
+    /// Total busy time per resource, seconds (for utilization studies).
+    pub busy_time: Vec<f64>,
+}
+
+#[derive(PartialEq)]
+struct Event {
+    time: f64,
+    kind: EventKind,
+    /// Tie-break for determinism.
+    seq: u64,
+}
+
+#[derive(PartialEq)]
+enum EventKind {
+    /// A task's dependencies are satisfied; it joins its resource queue.
+    Ready(SimTaskId),
+    /// A server finishes serving a task.
+    ServerDone(ResourceId, SimTaskId),
+    /// A task's completion delay has elapsed; release dependents.
+    Complete(SimTaskId),
+}
+
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .partial_cmp(&other.time)
+            .unwrap()
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Creates an empty simulation.
+    pub fn new() -> Self {
+        Sim {
+            tasks: Vec::new(),
+            resources: Vec::new(),
+        }
+    }
+
+    /// Adds a resource with `servers` parallel servers.
+    pub fn add_resource(&mut self, servers: u32) -> ResourceId {
+        assert!(servers > 0);
+        let id = ResourceId(self.resources.len() as u32);
+        self.resources.push(Resource { servers });
+        id
+    }
+
+    /// Adds a task; dependencies are added afterwards with
+    /// [`Sim::add_dep`].
+    pub fn add_task(&mut self, resource: ResourceId, duration: f64) -> SimTaskId {
+        self.add_task_delayed(resource, duration, 0.0)
+    }
+
+    /// Adds a task with a post-service completion delay.
+    pub fn add_task_delayed(
+        &mut self,
+        resource: ResourceId,
+        duration: f64,
+        completion_delay: f64,
+    ) -> SimTaskId {
+        assert!(duration >= 0.0 && completion_delay >= 0.0);
+        let id = SimTaskId(self.tasks.len() as u32);
+        self.tasks.push(SimTask {
+            duration,
+            resource,
+            completion_delay,
+            dependents: Vec::new(),
+            num_deps: 0,
+        });
+        id
+    }
+
+    /// Declares that `after` cannot start before `before` completes.
+    pub fn add_dep(&mut self, before: SimTaskId, after: SimTaskId) {
+        self.tasks[before.0 as usize].dependents.push(after);
+        self.tasks[after.0 as usize].num_deps += 1;
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Panics
+    /// If the dependence graph is cyclic (some task never becomes
+    /// ready).
+    pub fn run(mut self) -> SimResult {
+        let n = self.tasks.len();
+        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, time, kind| {
+            *seq += 1;
+            heap.push(Reverse(Event {
+                time,
+                kind,
+                seq: *seq,
+            }));
+        };
+
+        // Per-resource state: free servers + FIFO queue.
+        let mut free: Vec<u32> = self.resources.iter().map(|r| r.servers).collect();
+        let mut queues: Vec<std::collections::VecDeque<SimTaskId>> =
+            self.resources.iter().map(|_| Default::default()).collect();
+        let mut busy_time: Vec<f64> = vec![0.0; self.resources.len()];
+
+        let mut remaining: Vec<u32> = self.tasks.iter().map(|t| t.num_deps).collect();
+        let mut finish: Vec<f64> = vec![f64::NAN; n];
+        let mut completed = 0usize;
+
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.num_deps == 0 {
+                push(
+                    &mut heap,
+                    &mut seq,
+                    0.0,
+                    EventKind::Ready(SimTaskId(i as u32)),
+                );
+            }
+        }
+
+        let mut makespan = 0.0f64;
+        while let Some(Reverse(ev)) = heap.pop() {
+            let now = ev.time;
+            match ev.kind {
+                EventKind::Ready(tid) => {
+                    let r = self.tasks[tid.0 as usize].resource;
+                    if free[r.0 as usize] > 0 {
+                        free[r.0 as usize] -= 1;
+                        let d = self.tasks[tid.0 as usize].duration;
+                        busy_time[r.0 as usize] += d;
+                        push(&mut heap, &mut seq, now + d, EventKind::ServerDone(r, tid));
+                    } else {
+                        queues[r.0 as usize].push_back(tid);
+                    }
+                }
+                EventKind::ServerDone(r, tid) => {
+                    // Free the server (possibly starting the next queued
+                    // task), then schedule completion after the delay.
+                    if let Some(next) = queues[r.0 as usize].pop_front() {
+                        let d = self.tasks[next.0 as usize].duration;
+                        busy_time[r.0 as usize] += d;
+                        push(&mut heap, &mut seq, now + d, EventKind::ServerDone(r, next));
+                    } else {
+                        free[r.0 as usize] += 1;
+                    }
+                    let delay = self.tasks[tid.0 as usize].completion_delay;
+                    if delay == 0.0 {
+                        push(&mut heap, &mut seq, now, EventKind::Complete(tid));
+                    } else {
+                        push(&mut heap, &mut seq, now + delay, EventKind::Complete(tid));
+                    }
+                }
+                EventKind::Complete(tid) => {
+                    finish[tid.0 as usize] = now;
+                    makespan = makespan.max(now);
+                    completed += 1;
+                    let deps = std::mem::take(&mut self.tasks[tid.0 as usize].dependents);
+                    for d in deps {
+                        remaining[d.0 as usize] -= 1;
+                        if remaining[d.0 as usize] == 0 {
+                            push(&mut heap, &mut seq, now, EventKind::Ready(d));
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            completed, n,
+            "simulation deadlocked: dependence graph is cyclic"
+        );
+        SimResult {
+            makespan,
+            finish_times: finish,
+            busy_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_chain() {
+        let mut sim = Sim::new();
+        let r = sim.add_resource(1);
+        let a = sim.add_task(r, 1.0);
+        let b = sim.add_task(r, 2.0);
+        let c = sim.add_task(r, 3.0);
+        sim.add_dep(a, b);
+        sim.add_dep(b, c);
+        let res = sim.run();
+        assert_eq!(res.makespan, 6.0);
+        assert_eq!(res.finish_times, vec![1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn parallel_servers() {
+        let mut sim = Sim::new();
+        let r = sim.add_resource(2);
+        for _ in 0..4 {
+            sim.add_task(r, 1.0);
+        }
+        let res = sim.run();
+        // 4 unit tasks on 2 servers: 2 waves.
+        assert_eq!(res.makespan, 2.0);
+        assert_eq!(res.busy_time[0], 4.0);
+    }
+
+    #[test]
+    fn queueing_is_fifo() {
+        let mut sim = Sim::new();
+        let r = sim.add_resource(1);
+        let a = sim.add_task(r, 5.0);
+        let b = sim.add_task(r, 1.0);
+        let c = sim.add_task(r, 1.0);
+        let res = sim.run();
+        // Ready order a, b, c → finishes 5, 6, 7.
+        assert_eq!(res.finish_times[a.0 as usize], 5.0);
+        assert_eq!(res.finish_times[b.0 as usize], 6.0);
+        assert_eq!(res.finish_times[c.0 as usize], 7.0);
+    }
+
+    #[test]
+    fn completion_delay_releases_late() {
+        let mut sim = Sim::new();
+        let nic = sim.add_resource(1);
+        let core = sim.add_resource(1);
+        // A message: 1s serialization on the NIC + 2s flight.
+        let msg = sim.add_task_delayed(nic, 1.0, 2.0);
+        let work = sim.add_task(core, 1.0);
+        sim.add_dep(msg, work);
+        let res = sim.run();
+        assert_eq!(res.finish_times[msg.0 as usize], 3.0);
+        assert_eq!(res.makespan, 4.0);
+        // The NIC was only busy for the serialization part.
+        assert_eq!(res.busy_time[nic.0 as usize], 1.0);
+    }
+
+    #[test]
+    fn diamond_dag() {
+        let mut sim = Sim::new();
+        let r = sim.add_resource(4);
+        let a = sim.add_task(r, 1.0);
+        let b = sim.add_task(r, 2.0);
+        let c = sim.add_task(r, 3.0);
+        let d = sim.add_task(r, 1.0);
+        sim.add_dep(a, b);
+        sim.add_dep(a, c);
+        sim.add_dep(b, d);
+        sim.add_dep(c, d);
+        let res = sim.run();
+        assert_eq!(res.makespan, 5.0); // 1 + max(2,3) + 1
+    }
+
+    #[test]
+    #[should_panic(expected = "cyclic")]
+    fn cycle_detected() {
+        let mut sim = Sim::new();
+        let r = sim.add_resource(1);
+        let a = sim.add_task(r, 1.0);
+        let b = sim.add_task(r, 1.0);
+        sim.add_dep(a, b);
+        sim.add_dep(b, a);
+        sim.run();
+    }
+
+    #[test]
+    fn zero_duration_tasks() {
+        let mut sim = Sim::new();
+        let r = sim.add_resource(1);
+        let a = sim.add_task(r, 0.0);
+        let b = sim.add_task(r, 0.0);
+        sim.add_dep(a, b);
+        let res = sim.run();
+        assert_eq!(res.makespan, 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # regent-machine
+//!
+//! A discrete-event simulator of a distributed-memory machine — the
+//! substitute for the paper's 1024-node Piz Daint runs (see the
+//! substitution table in DESIGN.md).
+//!
+//! * [`des`] — the event-driven engine (task DAGs over multi-server
+//!   resources).
+//! * [`model`] — machine description (nodes, cores, network, runtime
+//!   cost parameters) and workload time-step specifications.
+//! * [`scenario`] — the three execution models of the evaluation:
+//!   Regent with CR, Regent without CR (single control thread), and
+//!   hand-written MPI(+X) references.
+//! * [`metrics`] — weak-scaling series/efficiency reporting.
+
+#![warn(missing_docs)]
+
+pub mod des;
+pub mod metrics;
+pub mod model;
+pub mod scenario;
+
+pub use des::{Resource, ResourceId, Sim, SimResult, SimTask, SimTaskId};
+pub use metrics::{format_table, node_counts_to, ScalePoint, ScalingSeries};
+pub use model::{CopyEdge, MachineConfig, PhaseSpec, TimestepSpec};
+pub use scenario::{simulate_cr, simulate_implicit, simulate_mpi, MpiVariant, ScenarioResult};

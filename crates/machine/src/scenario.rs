@@ -1,0 +1,546 @@
+//! Execution-model scenarios: build a discrete-event task graph for a
+//! workload under each of the paper's execution models and measure the
+//! simulated throughput.
+//!
+//! * [`simulate_cr`] — Regent **with control replication**: every node
+//!   runs a long-lived shard that launches its own tasks (cheap,
+//!   §3.5), exchanges halos point-to-point (§3.4), and participates in
+//!   dynamic collectives (§4.4).
+//! * [`simulate_implicit`] — Regent **without control replication**: a
+//!   single control thread on node 0 pays the dynamic-analysis cost
+//!   for *every* task in the machine (§1's O(N) control overhead), with
+//!   deferred execution pipelining the launches.
+//! * [`simulate_mpi`] — hand-written SPMD references (MPI,
+//!   MPI+OpenMP, MPI+Kokkos): no runtime overhead, all cores compute,
+//!   bulk-synchronous neighbor exchanges.
+
+use crate::des::{ResourceId, Sim, SimTaskId};
+use crate::model::{noise_multiplier, MachineConfig, TimestepSpec};
+
+/// Result of simulating one configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioResult {
+    /// Simulated wall time for all steps, seconds.
+    pub makespan: f64,
+    /// Application elements processed per second per node.
+    pub throughput_per_node: f64,
+    /// Sim-tasks in the generated graph (diagnostics).
+    pub graph_size: usize,
+}
+
+fn finish(sim: Sim, spec: &TimestepSpec, steps: u64) -> ScenarioResult {
+    let graph_size = sim.num_tasks();
+    let res = sim.run();
+    let throughput = spec.elements_per_node as f64 * steps as f64 / res.makespan;
+    ScenarioResult {
+        makespan: res.makespan,
+        throughput_per_node: throughput,
+        graph_size,
+    }
+}
+
+/// Simulates Regent **with** control replication.
+pub fn simulate_cr(machine: &MachineConfig, spec: &TimestepSpec, steps: u64) -> ScenarioResult {
+    let n = spec.num_nodes;
+    let mut sim = Sim::new();
+    let compute: Vec<ResourceId> = (0..n)
+        .map(|_| sim.add_resource(machine.regent_compute_cores()))
+        .collect();
+    let control: Vec<ResourceId> = (0..n).map(|_| sim.add_resource(1)).collect();
+    let nic: Vec<ResourceId> = (0..n).map(|_| sim.add_resource(1)).collect();
+
+    // Per node: the tail of the shard's serial launch chain.
+    let mut last_launch: Vec<Option<SimTaskId>> = vec![None; n];
+    // Tasks of the previous phase per node, and copies inbound per node.
+    let mut prev_tasks: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
+    let mut inbound: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
+    // A collective that gates the next phase everywhere (if any).
+    let mut pending_collective: Option<SimTaskId> = None;
+
+    let mut noise_key = 0u64;
+    for _ in 0..steps {
+        for phase in &spec.phases {
+            let mut cur_tasks: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
+            for node in 0..n {
+                for _ in 0..phase.tasks_per_node {
+                    // The shard's launch op (serial per shard, cheap).
+                    // Deferred execution: collectives never block the
+                    // shard's control flow (§3.4).
+                    let op = sim.add_task(control[node], machine.shard_launch_time);
+                    if let Some(prev) = last_launch[node] {
+                        sim.add_dep(prev, op);
+                    }
+                    last_launch[node] = Some(op);
+                    // The point task (OS noise stretches the duration).
+                    noise_key += 1;
+                    let dur =
+                        phase.task_compute_s * noise_multiplier(machine.noise_fraction, noise_key);
+                    let t = sim.add_task(compute[node], dur);
+                    sim.add_dep(op, t);
+                    for &p in &prev_tasks[node] {
+                        sim.add_dep(p, t);
+                    }
+                    for &c in &inbound[node] {
+                        sim.add_dep(c, t);
+                    }
+                    // Only the phase that actually reads the reduced
+                    // scalar waits for the collective — every other
+                    // phase overlaps its latency.
+                    if phase.consumes_collective {
+                        if let Some(c) = pending_collective {
+                            sim.add_dep(c, t);
+                        }
+                    }
+                    cur_tasks[node].push(t);
+                }
+            }
+            // Point-to-point exchanges (§3.4): producers send after
+            // their phase tasks; only the destination node waits.
+            let mut new_inbound: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
+            for e in &phase.copies {
+                let c = sim.add_task_delayed(
+                    nic[e.src as usize],
+                    machine.message_overhead + e.bytes / machine.network_bandwidth,
+                    machine.network_latency,
+                );
+                for &t in &cur_tasks[e.src as usize] {
+                    sim.add_dep(t, c);
+                }
+                new_inbound[e.dst as usize].push(c);
+            }
+            // Dynamic collective (§4.4): the result stays pending until
+            // a consuming phase picks it up.
+            if phase.collective {
+                let j = sim.add_task_delayed(control[0], 0.0, machine.collective_latency(n));
+                for tasks in &cur_tasks {
+                    for &t in tasks {
+                        sim.add_dep(t, j);
+                    }
+                }
+                pending_collective = Some(j);
+            }
+            prev_tasks = cur_tasks;
+            inbound = new_inbound;
+        }
+    }
+    finish(sim, spec, steps)
+}
+
+/// Simulates Regent **without** control replication: one control
+/// thread launches every task in the machine.
+pub fn simulate_implicit(
+    machine: &MachineConfig,
+    spec: &TimestepSpec,
+    steps: u64,
+) -> ScenarioResult {
+    let n = spec.num_nodes;
+    let mut sim = Sim::new();
+    let compute: Vec<ResourceId> = (0..n)
+        .map(|_| sim.add_resource(machine.regent_compute_cores()))
+        .collect();
+    let control = sim.add_resource(1); // the single control thread
+    let nic: Vec<ResourceId> = (0..n).map(|_| sim.add_resource(1)).collect();
+
+    let mut last_launch: Option<SimTaskId> = None;
+    let mut prev_tasks: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
+    let mut inbound: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
+    let mut pending_collective: Option<SimTaskId> = None;
+
+    let mut noise_key = 0u64;
+    for _ in 0..steps {
+        for phase in &spec.phases {
+            let mut cur_tasks: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
+            for node in 0..n {
+                for _ in 0..phase.tasks_per_node {
+                    // O(N) per-step work on the control thread: every
+                    // point task pays the dynamic-analysis cost there,
+                    // then ships to its node (deferred execution — the
+                    // control thread does not wait for the task). The
+                    // cost grows with the in-flight window (one step's
+                    // tasks across the whole machine).
+                    let in_flight = n as f64 * phase.tasks_per_node as f64;
+                    let analysis =
+                        machine.task_analysis_time + machine.task_analysis_window_cost * in_flight;
+                    let op = sim.add_task_delayed(control, analysis, machine.network_latency);
+                    if let Some(prev) = last_launch {
+                        sim.add_dep(prev, op);
+                    }
+                    if let Some(c) = pending_collective {
+                        sim.add_dep(c, op);
+                    }
+                    last_launch = Some(op);
+                    noise_key += 1;
+                    let dur =
+                        phase.task_compute_s * noise_multiplier(machine.noise_fraction, noise_key);
+                    let t = sim.add_task(compute[node], dur);
+                    sim.add_dep(op, t);
+                    for &p in &prev_tasks[node] {
+                        sim.add_dep(p, t);
+                    }
+                    for &c in &inbound[node] {
+                        sim.add_dep(c, t);
+                    }
+                    cur_tasks[node].push(t);
+                }
+            }
+            let mut new_inbound: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
+            for e in &phase.copies {
+                let c = sim.add_task_delayed(
+                    nic[e.src as usize],
+                    machine.message_overhead + e.bytes / machine.network_bandwidth,
+                    machine.network_latency,
+                );
+                for &t in &cur_tasks[e.src as usize] {
+                    sim.add_dep(t, c);
+                }
+                new_inbound[e.dst as usize].push(c);
+            }
+            pending_collective = if phase.collective {
+                // The control thread blocks on the reduced scalar.
+                let j = sim.add_task_delayed(control, 0.0, machine.collective_latency(n));
+                for tasks in &cur_tasks {
+                    for &t in tasks {
+                        sim.add_dep(t, j);
+                    }
+                }
+                Some(j)
+            } else {
+                None
+            };
+            prev_tasks = cur_tasks;
+            inbound = new_inbound;
+        }
+    }
+    finish(sim, spec, steps)
+}
+
+/// Configuration of a hand-written SPMD reference.
+#[derive(Clone, Copy, Debug)]
+pub struct MpiVariant {
+    /// MPI ranks per node (1 = MPI+OpenMP / MPI+Kokkos rank-per-node;
+    /// `cores_per_node` = flat MPI rank-per-core).
+    pub ranks_per_node: u32,
+    /// Compute-time multiplier relative to the Regent kernel (models
+    /// e.g. OpenMP overheads or data-layout advantages).
+    pub compute_multiplier: f64,
+    /// Multiplier on the machine's noise fraction (threaded runtimes
+    /// amplify noise through their intra-node fork/join barriers).
+    pub noise_scale: f64,
+    /// Fixed per-phase serial cost per node (thread fork/join, OpenMP
+    /// barrier).
+    pub sync_cost: f64,
+}
+
+impl MpiVariant {
+    /// Flat MPI, one rank per core.
+    pub fn rank_per_core(machine: &MachineConfig) -> Self {
+        MpiVariant {
+            ranks_per_node: machine.cores_per_node,
+            compute_multiplier: 1.0,
+            noise_scale: 1.0,
+            sync_cost: 0.0,
+        }
+    }
+
+    /// One rank per node with threaded compute (OpenMP/Kokkos):
+    /// fork/join per phase and stronger noise amplification.
+    pub fn rank_per_node() -> Self {
+        MpiVariant {
+            ranks_per_node: 1,
+            compute_multiplier: 1.0,
+            noise_scale: 2.5,
+            sync_cost: 15.0e-6,
+        }
+    }
+}
+
+/// Simulates a hand-written bulk-synchronous SPMD reference.
+pub fn simulate_mpi(
+    machine: &MachineConfig,
+    spec: &TimestepSpec,
+    steps: u64,
+    variant: MpiVariant,
+) -> ScenarioResult {
+    let n = spec.num_nodes;
+    let mut sim = Sim::new();
+    let compute: Vec<ResourceId> = (0..n)
+        .map(|_| sim.add_resource(machine.cores_per_node))
+        .collect();
+    let nic: Vec<ResourceId> = (0..n).map(|_| sim.add_resource(1)).collect();
+
+    let mut prev_barrier: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
+    let mut pending_collective: Option<SimTaskId> = None;
+
+    let mut noise_key = 0u64;
+    for _ in 0..steps {
+        for phase in &spec.phases {
+            // Per node: total phase work split evenly over the cores.
+            let total =
+                phase.tasks_per_node as f64 * phase.task_compute_s * variant.compute_multiplier;
+            let chunks = machine.cores_per_node;
+            let chunk_t = total / chunks as f64 + variant.sync_cost;
+            let mut cur_tasks: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
+            for node in 0..n {
+                for _ in 0..chunks {
+                    noise_key += 1;
+                    let dur = chunk_t
+                        * noise_multiplier(machine.noise_fraction * variant.noise_scale, noise_key);
+                    let t = sim.add_task(compute[node], dur);
+                    for &p in &prev_barrier[node] {
+                        sim.add_dep(p, t);
+                    }
+                    if let Some(c) = pending_collective {
+                        sim.add_dep(c, t);
+                    }
+                    cur_tasks[node].push(t);
+                }
+            }
+            // Bulk-synchronous exchange: with R ranks per node, each
+            // logical neighbor volume is split into R messages (each
+            // rank exchanges its own slice), multiplying the
+            // per-message overhead term.
+            let r = variant.ranks_per_node.max(1);
+            let mut barrier_next: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
+            for e in &phase.copies {
+                for _ in 0..r {
+                    let c = sim.add_task_delayed(
+                        nic[e.src as usize],
+                        machine.message_overhead + e.bytes / r as f64 / machine.network_bandwidth,
+                        machine.network_latency,
+                    );
+                    for &t in &cur_tasks[e.src as usize] {
+                        sim.add_dep(t, c);
+                    }
+                    // Blocking exchange: both ends wait.
+                    barrier_next[e.dst as usize].push(c);
+                    barrier_next[e.src as usize].push(c);
+                }
+            }
+            pending_collective = if phase.collective {
+                let j =
+                    sim.add_task_delayed(nic[0], 0.0, machine.collective_latency(n * r as usize));
+                for tasks in &cur_tasks {
+                    for &t in tasks {
+                        sim.add_dep(t, j);
+                    }
+                }
+                Some(j)
+            } else {
+                None
+            };
+            for node in 0..n {
+                barrier_next[node].extend(cur_tasks[node].iter().copied());
+            }
+            prev_barrier = barrier_next;
+        }
+    }
+    finish(sim, spec, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CopyEdge, PhaseSpec};
+
+    /// A stencil-like spec: ring exchange of 1 MB, one ~3 ms task per
+    /// Regent compute core (11 on a 12-core node — tiling to the
+    /// available cores avoids wave quantization, which is how real
+    /// mappers configure these codes).
+    fn ring_spec(n: usize) -> TimestepSpec {
+        let copies: Vec<CopyEdge> = (0..n as u32)
+            .flat_map(|i| {
+                let left = (i + n as u32 - 1) % n as u32;
+                let right = (i + 1) % n as u32;
+                [
+                    CopyEdge {
+                        src: i,
+                        dst: left,
+                        bytes: 1.0e6,
+                    },
+                    CopyEdge {
+                        src: i,
+                        dst: right,
+                        bytes: 1.0e6,
+                    },
+                ]
+            })
+            .collect();
+        TimestepSpec {
+            num_nodes: n,
+            elements_per_node: 1_000_000,
+            phases: vec![PhaseSpec {
+                name: "step".into(),
+                tasks_per_node: 11,
+                task_compute_s: 3.0e-3,
+                copies,
+                collective: false,
+                consumes_collective: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn cr_scales_implicit_does_not() {
+        let machine1 = MachineConfig::piz_daint(1);
+        let machine64 = MachineConfig::piz_daint(64);
+        let s1 = ring_spec(1);
+        let s64 = ring_spec(64);
+        let steps = 5;
+
+        let cr1 = simulate_cr(&machine1, &s1, steps);
+        let cr64 = simulate_cr(&machine64, &s64, steps);
+        let eff_cr = cr64.throughput_per_node / cr1.throughput_per_node;
+        assert!(eff_cr > 0.9, "CR efficiency at 64 nodes: {eff_cr}");
+
+        let im1 = simulate_implicit(&machine1, &s1, steps);
+        let im64 = simulate_implicit(&machine64, &s64, steps);
+        let eff_im = im64.throughput_per_node / im1.throughput_per_node;
+        assert!(
+            eff_im < 0.5,
+            "implicit should collapse at 64 nodes: {eff_im}"
+        );
+        // At one node the two are comparable.
+        let ratio = im1.throughput_per_node / cr1.throughput_per_node;
+        assert!(ratio > 0.7 && ratio < 1.3, "single node ratio {ratio}");
+    }
+
+    #[test]
+    fn mpi_comparable_to_cr() {
+        let machine = MachineConfig::piz_daint(64);
+        let spec = ring_spec(64);
+        let cr = simulate_cr(&machine, &spec, 5);
+        let mpi = simulate_mpi(&machine, &spec, 5, MpiVariant::rank_per_core(&machine));
+        // MPI uses all 12 cores (no dedicated runtime core): somewhat
+        // faster per node, same order of magnitude.
+        let ratio = mpi.throughput_per_node / cr.throughput_per_node;
+        assert!(ratio > 0.9 && ratio < 1.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn collective_costs_grow_with_scale() {
+        let mut spec_small = ring_spec(2);
+        spec_small.phases[0].collective = true;
+        let mut spec_big = ring_spec(256);
+        spec_big.phases[0].collective = true;
+        let m2 = MachineConfig::piz_daint(2);
+        let m256 = MachineConfig::piz_daint(256);
+        let a = simulate_cr(&m2, &spec_small, 3);
+        let b = simulate_cr(&m256, &spec_big, 3);
+        // Efficiency stays high but strictly below 1 due to collective
+        // latency.
+        let eff = b.throughput_per_node / a.throughput_per_node;
+        assert!(eff > 0.8 && eff <= 1.0, "eff {eff}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let machine = MachineConfig::piz_daint(16);
+        let spec = ring_spec(16);
+        let a = simulate_cr(&machine, &spec, 3);
+        let b = simulate_cr(&machine, &spec, 3);
+        assert_eq!(a.makespan, b.makespan);
+    }
+}
+
+#[cfg(test)]
+mod collective_tests {
+    use super::*;
+    use crate::model::{CopyEdge, MachineConfig, PhaseSpec, TimestepSpec};
+
+    /// Two-phase step with an expensive collective: when no phase
+    /// consumes the result, CR overlaps its latency entirely; when the
+    /// first phase of the next step consumes it, the latency lands on
+    /// the critical path (§5.3's latency-hiding effect).
+    fn spec(n: usize, consumed: bool) -> TimestepSpec {
+        TimestepSpec {
+            num_nodes: n,
+            elements_per_node: 1000,
+            phases: vec![
+                PhaseSpec {
+                    name: "work".into(),
+                    tasks_per_node: 11,
+                    task_compute_s: 1e-3,
+                    copies: vec![],
+                    collective: false,
+                    consumes_collective: consumed,
+                },
+                PhaseSpec {
+                    name: "dt".into(),
+                    tasks_per_node: 11,
+                    task_compute_s: 1e-4,
+                    copies: vec![],
+                    collective: true,
+                    consumes_collective: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn unconsumed_collective_latency_is_hidden() {
+        let mut machine = MachineConfig::piz_daint(64);
+        machine.noise_fraction = 0.0;
+        // Make the collective grotesquely slow so the difference is
+        // unambiguous.
+        machine.network_latency = 2e-4;
+        let free = simulate_cr(&machine, &spec(64, false), 5);
+        let gated = simulate_cr(&machine, &spec(64, true), 5);
+        assert!(
+            free.makespan < gated.makespan,
+            "overlap should beat gating: {} vs {}",
+            free.makespan,
+            gated.makespan
+        );
+        // The gated version pays ~one collective latency per step.
+        let delta = gated.makespan - free.makespan;
+        let one_collective = machine.collective_latency(64);
+        assert!(delta > 2.0 * one_collective, "delta {delta}");
+    }
+
+    #[test]
+    fn noise_hurts_bsp_more_than_cr() {
+        // The noise-amplification mechanism behind Fig. 8's reference
+        // efficiencies: with identical noise, bulk-synchronous MPI
+        // loses more throughput than point-to-point CR.
+        let mk_spec = |n: usize| {
+            let copies = (0..n as u32)
+                .flat_map(|i| {
+                    let l = (i + n as u32 - 1) % n as u32;
+                    [CopyEdge {
+                        src: i,
+                        dst: l,
+                        bytes: 1e4,
+                    }]
+                })
+                .collect::<Vec<_>>();
+            TimestepSpec {
+                num_nodes: n,
+                elements_per_node: 1000,
+                phases: vec![PhaseSpec {
+                    name: "w".into(),
+                    tasks_per_node: 11,
+                    task_compute_s: 1e-3,
+                    copies,
+                    collective: true, // global sync each step
+                    consumes_collective: false,
+                }],
+            }
+        };
+        let mut machine = MachineConfig::piz_daint(128);
+        machine.noise_fraction = 0.05;
+        let spec = mk_spec(128);
+        let cr = simulate_cr(&machine, &spec, 5);
+        let mpi = simulate_mpi(&machine, &spec, 5, MpiVariant::rank_per_core(&machine));
+        // Compare slowdowns against the noise-free baselines.
+        let mut quiet = machine.clone();
+        quiet.noise_fraction = 0.0;
+        let cr0 = simulate_cr(&quiet, &spec, 5);
+        let mpi0 = simulate_mpi(&quiet, &spec, 5, MpiVariant::rank_per_core(&quiet));
+        let cr_loss = cr.makespan / cr0.makespan;
+        let mpi_loss = mpi.makespan / mpi0.makespan;
+        assert!(
+            mpi_loss > cr_loss,
+            "BSP should amplify noise more: cr {cr_loss:.3} vs mpi {mpi_loss:.3}"
+        );
+    }
+}

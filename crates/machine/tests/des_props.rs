@@ -1,0 +1,139 @@
+//! Property tests for the discrete-event engine: on random DAGs over
+//! random resources, the schedule must respect dependencies, resource
+//! capacity bounds, and the standard makespan lower bounds.
+
+use proptest::prelude::*;
+use regent_machine::{Sim, SimTaskId};
+
+#[derive(Debug, Clone)]
+struct RandomDag {
+    /// Resource capacities.
+    resources: Vec<u32>,
+    /// (resource index, duration, completion delay).
+    tasks: Vec<(usize, f64, f64)>,
+    /// Edges (i, j) with i < j (acyclic by construction).
+    edges: Vec<(usize, usize)>,
+}
+
+fn arb_dag() -> impl Strategy<Value = RandomDag> {
+    (
+        prop::collection::vec(1u32..4, 1..4),
+        prop::collection::vec((0usize..100, 0.0f64..5.0, 0.0f64..1.0), 1..40),
+    )
+        .prop_flat_map(|(resources, mut tasks)| {
+            let nr = resources.len();
+            for t in &mut tasks {
+                t.0 %= nr;
+            }
+            let nt = tasks.len();
+            let edges = prop::collection::vec((0usize..nt.max(1), 0usize..nt.max(1)), 0..60)
+                .prop_map(move |mut es| {
+                    es.retain(|(a, b)| a != b);
+                    let es: Vec<(usize, usize)> = es
+                        .into_iter()
+                        .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+                        .collect();
+                    es
+                });
+            (Just(resources), Just(tasks), edges)
+        })
+        .prop_map(|(resources, tasks, edges)| RandomDag {
+            resources,
+            tasks,
+            edges,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn schedule_is_feasible(dag in arb_dag()) {
+        let mut sim = Sim::new();
+        let rids: Vec<_> = dag.resources.iter().map(|&s| sim.add_resource(s)).collect();
+        let tids: Vec<SimTaskId> = dag
+            .tasks
+            .iter()
+            .map(|&(r, d, cd)| sim.add_task_delayed(rids[r], d, cd))
+            .collect();
+        let mut dedup = std::collections::HashSet::new();
+        for &(a, b) in &dag.edges {
+            if dedup.insert((a, b)) {
+                sim.add_dep(tids[a], tids[b]);
+            }
+        }
+        let result = sim.run();
+
+        // 1. Dependencies respected: succ finish ≥ pred finish + succ's
+        //    duration.
+        for &(a, b) in &dag.edges {
+            let fa = result.finish_times[a];
+            let fb = result.finish_times[b];
+            let (_, db, cb) = dag.tasks[b];
+            prop_assert!(
+                fb + 1e-9 >= fa + db + cb,
+                "edge ({a},{b}): {fa} -> {fb}, dur {db}"
+            );
+        }
+
+        // 2. Makespan ≥ every task's own span.
+        for (i, &(_, d, cd)) in dag.tasks.iter().enumerate() {
+            prop_assert!(result.finish_times[i] + 1e-9 >= d + cd);
+            prop_assert!(result.makespan + 1e-9 >= result.finish_times[i]);
+        }
+
+        // 3. Resource capacity: busy time ≤ makespan × servers, and
+        //    busy time == Σ durations on that resource.
+        for (ri, &servers) in dag.resources.iter().enumerate() {
+            let total: f64 = dag
+                .tasks
+                .iter()
+                .filter(|&&(r, _, _)| r == ri)
+                .map(|&(_, d, _)| d)
+                .sum();
+            prop_assert!((result.busy_time[ri] - total).abs() < 1e-6);
+            if total > 0.0 {
+                prop_assert!(
+                    result.busy_time[ri] <= result.makespan * servers as f64 + 1e-6,
+                    "resource {ri} over capacity"
+                );
+            }
+        }
+
+        // 4. Makespan ≥ work bound: max over resources of
+        //    total/(servers).
+        for (ri, &servers) in dag.resources.iter().enumerate() {
+            let total: f64 = dag
+                .tasks
+                .iter()
+                .filter(|&&(r, _, _)| r == ri)
+                .map(|&(_, d, _)| d)
+                .sum();
+            prop_assert!(result.makespan + 1e-6 >= total / servers as f64);
+        }
+    }
+
+    #[test]
+    fn deterministic_replay(dag in arb_dag()) {
+        let build = || {
+            let mut sim = Sim::new();
+            let rids: Vec<_> = dag.resources.iter().map(|&s| sim.add_resource(s)).collect();
+            let tids: Vec<SimTaskId> = dag
+                .tasks
+                .iter()
+                .map(|&(r, d, cd)| sim.add_task_delayed(rids[r], d, cd))
+                .collect();
+            let mut dedup = std::collections::HashSet::new();
+            for &(a, b) in &dag.edges {
+                if dedup.insert((a, b)) {
+                    sim.add_dep(tids[a], tids[b]);
+                }
+            }
+            sim.run()
+        };
+        let r1 = build();
+        let r2 = build();
+        prop_assert_eq!(r1.makespan, r2.makespan);
+        prop_assert_eq!(r1.finish_times, r2.finish_times);
+    }
+}

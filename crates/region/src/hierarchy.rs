@@ -1,0 +1,195 @@
+//! Hierarchical region trees (§4.5): the private/ghost idiom.
+//!
+//! "The programmer constructs a top-level partition of a region into
+//! two subsets of elements: those which are guaranteed to never be
+//! involved in communication, and those which may need to be
+//! communicated." Given a disjoint *owned* partition and an aliased
+//! *halo* partition of the same region, [`private_ghost_split`] builds
+//! exactly the Fig. 5 structure:
+//!
+//! ```text
+//!              R
+//!        (private_v_ghost, disjoint)
+//!        /                \
+//!   all_private        all_ghost
+//!    PB = owned∩priv    SB = owned∩ghost, QB = halo∩ghost
+//! ```
+//!
+//! Because the top-level partition is disjoint, the region tree proves
+//! `PB ⊥ SB` and `PB ⊥ QB`: the compiler skips all copies and all
+//! dynamic intersection tests involving the private data, which is
+//! usually the overwhelming majority of the elements.
+
+use crate::forest::{Color, Disjointness, PartitionId, RegionForest, RegionId};
+use crate::ops;
+use regent_geometry::{Domain, DynPoint};
+
+/// The §4.5 structure produced by [`private_ghost_split`].
+#[derive(Clone, Copy, Debug)]
+pub struct PrivateGhost {
+    /// The top-level disjoint partition `{private, ghost}` of the
+    /// region.
+    pub top: PartitionId,
+    /// Subregion of elements never involved in communication.
+    pub all_private: RegionId,
+    /// Subregion of elements that may be communicated.
+    pub all_ghost: RegionId,
+    /// Owned partition restricted to the private subregion
+    /// (`PB` in Fig. 5) — provably disjoint from everything under
+    /// `all_ghost`.
+    pub private_owned: PartitionId,
+    /// Owned partition restricted to the ghost subregion (`SB`).
+    pub shared_owned: PartitionId,
+    /// Halo partition restricted to the ghost subregion (`QB`).
+    pub ghost_halo: PartitionId,
+}
+
+/// Splits a region into the hierarchical private/ghost structure of
+/// §4.5 from an `owned` (disjoint) partition and a `halo` (possibly
+/// aliased) partition of the same region.
+///
+/// An element is *ghost* when it appears in some halo subregion other
+/// than its owner's — i.e. it may be communicated. Everything else is
+/// private.
+///
+/// # Panics
+/// If the two partitions do not partition the same region, or `owned`
+/// is not disjoint.
+pub fn private_ghost_split(
+    forest: &mut RegionForest,
+    owned: PartitionId,
+    halo: PartitionId,
+) -> PrivateGhost {
+    let region = forest.partition(owned).parent;
+    assert_eq!(
+        forest.partition(halo).parent,
+        region,
+        "owned and halo must partition the same region"
+    );
+    assert_eq!(
+        forest.partition(owned).disjointness,
+        Disjointness::Disjoint,
+        "owned partition must be disjoint"
+    );
+    // Ghost elements: ∪ over colors c of halo[c] \ owned[c].
+    let dim = forest.domain(region).dim();
+    let mut ghost = Domain::empty(dim);
+    let children: Vec<(Color, RegionId)> = forest.partition(halo).iter().collect();
+    for (c, h) in children {
+        let own_dom = forest
+            .partition(owned)
+            .child(c)
+            .map(|r| forest.domain(r).clone())
+            .unwrap_or_else(|| Domain::empty(dim));
+        ghost = ghost.union(&forest.domain(h).subtract(&own_dom));
+    }
+    let private = forest.domain(region).subtract(&ghost);
+    let top = forest.create_partition(
+        region,
+        Disjointness::Disjoint,
+        vec![(DynPoint::from(0), private), (DynPoint::from(1), ghost)],
+    );
+    let all_private = forest.subregion_i(top, 0);
+    let all_ghost = forest.subregion_i(top, 1);
+    let private_owned = ops::restrict(forest, all_private, owned);
+    let shared_owned = ops::restrict(forest, all_ghost, owned);
+    let ghost_halo = ops::restrict(forest, all_ghost, halo);
+    PrivateGhost {
+        top,
+        all_private,
+        all_ghost,
+        private_owned,
+        shared_owned,
+        ghost_halo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::FieldSpace;
+
+    /// 1-D halo setup: blocks with ±1 neighbour halos.
+    fn setup(n: u64, parts: usize) -> (RegionForest, RegionId, PartitionId, PartitionId) {
+        let mut f = RegionForest::new();
+        let r = f.create_region(Domain::range(n), FieldSpace::new());
+        let owned = ops::block(&mut f, r, parts);
+        let halo = ops::image(&mut f, r, owned, |p, sink| {
+            sink.push(DynPoint::from(p.coord(0) - 1));
+            sink.push(DynPoint::from(p.coord(0)));
+            sink.push(DynPoint::from(p.coord(0) + 1));
+        });
+        (f, r, owned, halo)
+    }
+
+    #[test]
+    fn split_covers_region_disjointly() {
+        let (mut f, r, owned, halo) = setup(64, 8);
+        let pg = private_ghost_split(&mut f, owned, halo);
+        let priv_dom = f.domain(pg.all_private).clone();
+        let ghost_dom = f.domain(pg.all_ghost).clone();
+        assert!(!priv_dom.overlaps(&ghost_dom));
+        assert!(priv_dom.union(&ghost_dom).set_eq(f.domain(r)));
+        // Ghost elements are exactly the block boundaries ±1.
+        assert_eq!(ghost_dom.volume(), 7 * 2); // 7 internal boundaries × 2
+    }
+
+    #[test]
+    fn tree_proves_private_disjoint_from_ghost_partitions() {
+        let (mut f, _, owned, halo) = setup(64, 8);
+        let pg = private_ghost_split(&mut f, owned, halo);
+        // The paper's §4.5 payoff: PB provably disjoint from SB and QB.
+        for (_, pb_child) in f.partition(pg.private_owned).iter().collect::<Vec<_>>() {
+            for (_, other) in f
+                .partition(pg.shared_owned)
+                .iter()
+                .chain(f.partition(pg.ghost_halo).iter())
+                .collect::<Vec<_>>()
+            {
+                assert!(f.provably_disjoint(pb_child, other));
+            }
+        }
+    }
+
+    #[test]
+    fn owned_reconstructed_from_split() {
+        let (mut f, _, owned, halo) = setup(48, 6);
+        let pg = private_ghost_split(&mut f, owned, halo);
+        // private_owned[c] ∪ shared_owned[c] == owned[c] for every c.
+        for (c, own_child) in f.partition(owned).iter().collect::<Vec<_>>() {
+            let p = f.domain(f.subregion(pg.private_owned, c)).clone();
+            let s = f.domain(f.subregion(pg.shared_owned, c)).clone();
+            assert!(!p.overlaps(&s));
+            assert!(p.union(&s).set_eq(f.domain(own_child)));
+        }
+    }
+
+    #[test]
+    fn halo_covered_by_ghost_and_private_own() {
+        let (mut f, _, owned, halo) = setup(48, 6);
+        let pg = private_ghost_split(&mut f, owned, halo);
+        // halo[c] ⊆ ghost_halo[c] ∪ owned[c] (elements of the halo that
+        // are not ghost are the task's own private elements).
+        for (c, h) in f.partition(halo).iter().collect::<Vec<_>>() {
+            let gh = f.domain(f.subregion(pg.ghost_halo, c)).clone();
+            let own = f.domain(f.subregion(owned, c)).clone();
+            assert!(f.domain(h).is_subset_of(&gh.union(&own)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be disjoint")]
+    fn rejects_aliased_owned() {
+        let (mut f, _, owned, halo) = setup(16, 2);
+        // Swap roles: the aliased halo cannot act as the owned partition.
+        private_ghost_split(&mut f, halo, owned);
+    }
+
+    #[test]
+    fn single_piece_has_no_ghost() {
+        let (mut f, _, owned, halo) = setup(16, 1);
+        let pg = private_ghost_split(&mut f, owned, halo);
+        assert_eq!(f.domain(pg.all_ghost).volume(), 0);
+        assert_eq!(f.domain(pg.all_private).volume(), 16);
+    }
+}

@@ -1,0 +1,480 @@
+//! Physical instances: concrete storage for a region's elements.
+//!
+//! §3 frames control replication as converting a *shared-memory*
+//! implementation of region semantics (subregions alias their parent's
+//! storage) into a *distributed-memory* one (every region has its own
+//! storage and the compiler inserts explicit copies). Both
+//! implementations use this type: the sequential interpreter allocates
+//! one instance per region-tree root, while the SPMD runtime allocates
+//! one instance per subregion per shard and moves data with
+//! [`copy_fields`] / [`reduce_fields`].
+
+use crate::field::{FieldId, FieldSpace, FieldType};
+use regent_geometry::{Domain, DynPoint, DynRect};
+
+/// Maps points of a (possibly sparse) domain to dense storage offsets.
+///
+/// Rectangles are stored in the domain's canonical order; each gets a
+/// contiguous block of offsets. Lookup binary-searches the rectangle
+/// list (sorted by `lo`), then linearizes within the rectangle.
+#[derive(Clone, Debug)]
+pub struct DomainIndexer {
+    rects: Vec<(DynRect, u64)>,
+    total: u64,
+}
+
+impl DomainIndexer {
+    /// Builds an indexer for `domain`.
+    pub fn new(domain: &Domain) -> Self {
+        let mut rects = Vec::with_capacity(domain.rects().len());
+        let mut off = 0u64;
+        for &r in domain.rects() {
+            rects.push((r, off));
+            off += r.volume();
+        }
+        DomainIndexer { rects, total: off }
+    }
+
+    /// Number of indexed elements.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True when the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The dense offset of `p`, or `None` when `p` is outside the domain.
+    #[inline]
+    pub fn offset_of(&self, p: DynPoint) -> Option<u64> {
+        // Rects are disjoint and sorted by lo; binary search for the last
+        // rect whose lo <= p, then check a small neighborhood (rects
+        // sorted by lo do not totally order containment in >1-D, so fall
+        // back to scanning backwards).
+        let idx = self.rects.partition_point(|(r, _)| r.lo() <= p);
+        for i in (0..idx).rev() {
+            let (r, off) = self.rects[i];
+            if let Some(k) = r.linearize(p) {
+                return Some(off + k);
+            }
+            // In 1-D, once r.hi < p for the closest rect we can stop.
+            if r.dim() == 1 {
+                break;
+            }
+        }
+        None
+    }
+
+    /// Iterates `(point, offset)` pairs in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (DynPoint, u64)> + '_ {
+        self.rects.iter().flat_map(|&(r, off)| {
+            (0..r.volume()).map(move |k| (r.delinearize(k).unwrap(), off + k))
+        })
+    }
+}
+
+/// One field's column of data.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ColumnData {
+    /// 64-bit float column.
+    F64(Vec<f64>),
+    /// 64-bit integer column.
+    I64(Vec<i64>),
+}
+
+impl ColumnData {
+    fn zeros(ty: FieldType, len: usize) -> Self {
+        match ty {
+            FieldType::F64 => ColumnData::F64(vec![0.0; len]),
+            FieldType::I64 => ColumnData::I64(vec![0; len]),
+        }
+    }
+}
+
+/// Reduction operators usable with reduce privileges (§4.3) and scalar
+/// reductions (§4.4). All are associative and commutative.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReductionOp {
+    /// Sum.
+    Add,
+    /// Product.
+    Mul,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl ReductionOp {
+    /// The identity element of the operator.
+    pub fn identity(self) -> f64 {
+        match self {
+            ReductionOp::Add => 0.0,
+            ReductionOp::Mul => 1.0,
+            ReductionOp::Min => f64::INFINITY,
+            ReductionOp::Max => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds `rhs` into `lhs`.
+    #[inline]
+    pub fn fold(self, lhs: f64, rhs: f64) -> f64 {
+        match self {
+            ReductionOp::Add => lhs + rhs,
+            ReductionOp::Mul => lhs * rhs,
+            ReductionOp::Min => lhs.min(rhs),
+            ReductionOp::Max => lhs.max(rhs),
+        }
+    }
+
+    /// Integer fold (for I64 reduction fields).
+    #[inline]
+    pub fn fold_i64(self, lhs: i64, rhs: i64) -> i64 {
+        match self {
+            ReductionOp::Add => lhs + rhs,
+            ReductionOp::Mul => lhs * rhs,
+            ReductionOp::Min => lhs.min(rhs),
+            ReductionOp::Max => lhs.max(rhs),
+        }
+    }
+
+    /// Integer identity.
+    pub fn identity_i64(self) -> i64 {
+        match self {
+            ReductionOp::Add => 0,
+            ReductionOp::Mul => 1,
+            ReductionOp::Min => i64::MAX,
+            ReductionOp::Max => i64::MIN,
+        }
+    }
+}
+
+/// Concrete storage for one domain × one field space.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    domain: Domain,
+    indexer: DomainIndexer,
+    columns: Vec<ColumnData>,
+}
+
+impl Instance {
+    /// Allocates a zero-initialized instance covering `domain`.
+    pub fn new(domain: Domain, fields: &FieldSpace) -> Self {
+        let indexer = DomainIndexer::new(&domain);
+        let len = indexer.len() as usize;
+        let columns = fields
+            .iter()
+            .map(|(_, def)| ColumnData::zeros(def.ty, len))
+            .collect();
+        Instance {
+            domain,
+            indexer,
+            columns,
+        }
+    }
+
+    /// Allocates an instance with every F64 column set to `op`'s
+    /// identity — the temporary reduction instances of §4.3.
+    pub fn new_reduction(domain: Domain, fields: &FieldSpace, op: ReductionOp) -> Self {
+        let mut inst = Instance::new(domain, fields);
+        for col in &mut inst.columns {
+            match col {
+                ColumnData::F64(v) => v.fill(op.identity()),
+                ColumnData::I64(v) => v.fill(op.identity_i64()),
+            }
+        }
+        inst
+    }
+
+    /// The covered domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The point→offset indexer.
+    pub fn indexer(&self) -> &DomainIndexer {
+        &self.indexer
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.indexer.len()
+    }
+
+    /// True when the instance covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.indexer.is_empty()
+    }
+
+    /// Raw column access (type-erased).
+    pub fn column(&self, field: FieldId) -> &ColumnData {
+        &self.columns[field.0 as usize]
+    }
+
+    /// Immutable f64 column for `field`.
+    ///
+    /// # Panics
+    /// If the field is not F64-typed.
+    pub fn f64_col(&self, field: FieldId) -> &[f64] {
+        match &self.columns[field.0 as usize] {
+            ColumnData::F64(v) => v,
+            _ => panic!("field {field:?} is not F64"),
+        }
+    }
+
+    /// Mutable f64 column for `field`.
+    pub fn f64_col_mut(&mut self, field: FieldId) -> &mut [f64] {
+        match &mut self.columns[field.0 as usize] {
+            ColumnData::F64(v) => v,
+            _ => panic!("field {field:?} is not F64"),
+        }
+    }
+
+    /// Immutable i64 column for `field`.
+    pub fn i64_col(&self, field: FieldId) -> &[i64] {
+        match &self.columns[field.0 as usize] {
+            ColumnData::I64(v) => v,
+            _ => panic!("field {field:?} is not I64"),
+        }
+    }
+
+    /// Mutable i64 column for `field`.
+    pub fn i64_col_mut(&mut self, field: FieldId) -> &mut [i64] {
+        match &mut self.columns[field.0 as usize] {
+            ColumnData::I64(v) => v,
+            _ => panic!("field {field:?} is not I64"),
+        }
+    }
+
+    /// Point-wise f64 read.
+    #[inline]
+    pub fn read_f64(&self, field: FieldId, p: DynPoint) -> f64 {
+        let off = self
+            .indexer
+            .offset_of(p)
+            .unwrap_or_else(|| panic!("point {p:?} outside instance domain"));
+        self.f64_col(field)[off as usize]
+    }
+
+    /// Point-wise f64 write.
+    #[inline]
+    pub fn write_f64(&mut self, field: FieldId, p: DynPoint, v: f64) {
+        let off = self
+            .indexer
+            .offset_of(p)
+            .unwrap_or_else(|| panic!("point {p:?} outside instance domain"));
+        self.f64_col_mut(field)[off as usize] = v;
+    }
+
+    /// Point-wise i64 read.
+    #[inline]
+    pub fn read_i64(&self, field: FieldId, p: DynPoint) -> i64 {
+        let off = self
+            .indexer
+            .offset_of(p)
+            .unwrap_or_else(|| panic!("point {p:?} outside instance domain"));
+        self.i64_col(field)[off as usize]
+    }
+
+    /// Point-wise i64 write.
+    #[inline]
+    pub fn write_i64(&mut self, field: FieldId, p: DynPoint, v: i64) {
+        let off = self
+            .indexer
+            .offset_of(p)
+            .unwrap_or_else(|| panic!("point {p:?} outside instance domain"));
+        self.i64_col_mut(field)[off as usize] = v;
+    }
+
+    /// Fills one field's entire column with a constant (used to reset
+    /// reduction temporaries to the operator identity, §4.3).
+    pub fn fill_field(&mut self, field: FieldId, op: ReductionOp) {
+        match &mut self.columns[field.0 as usize] {
+            ColumnData::F64(v) => v.fill(op.identity()),
+            ColumnData::I64(v) => v.fill(op.identity_i64()),
+        }
+    }
+
+    /// Point-wise reduction fold into an f64 field.
+    #[inline]
+    pub fn reduce_f64(&mut self, field: FieldId, p: DynPoint, op: ReductionOp, v: f64) {
+        let off = self
+            .indexer
+            .offset_of(p)
+            .unwrap_or_else(|| panic!("point {p:?} outside instance domain"));
+        let cell = &mut self.f64_col_mut(field)[off as usize];
+        *cell = op.fold(*cell, v);
+    }
+}
+
+/// Copies the values of `fields` for every element of `elements` from
+/// `src` to `dst` (the region assignment `dst ← src` of §3.1, restricted
+/// to a precomputed intersection per §3.3).
+///
+/// `elements` must be a subset of both instance domains.
+pub fn copy_fields(src: &Instance, dst: &mut Instance, fields: &[FieldId], elements: &Domain) {
+    for p in elements.iter() {
+        let so = src
+            .indexer
+            .offset_of(p)
+            .unwrap_or_else(|| panic!("copy source missing {p:?}")) as usize;
+        let do_ = dst
+            .indexer
+            .offset_of(p)
+            .unwrap_or_else(|| panic!("copy destination missing {p:?}")) as usize;
+        for &f in fields {
+            match (&src.columns[f.0 as usize], &mut dst.columns[f.0 as usize]) {
+                (ColumnData::F64(s), ColumnData::F64(d)) => d[do_] = s[so],
+                (ColumnData::I64(s), ColumnData::I64(d)) => d[do_] = s[so],
+                _ => panic!("field {f:?} type mismatch between instances"),
+            }
+        }
+    }
+}
+
+/// Reduction copy (§4.3): folds the values of `fields` from `src` into
+/// `dst` with `op` over `elements`.
+pub fn reduce_fields(
+    src: &Instance,
+    dst: &mut Instance,
+    fields: &[FieldId],
+    elements: &Domain,
+    op: ReductionOp,
+) {
+    for p in elements.iter() {
+        let so = src
+            .indexer
+            .offset_of(p)
+            .unwrap_or_else(|| panic!("reduce source missing {p:?}")) as usize;
+        let do_ =
+            dst.indexer
+                .offset_of(p)
+                .unwrap_or_else(|| panic!("reduce destination missing {p:?}")) as usize;
+        for &f in fields {
+            match (&src.columns[f.0 as usize], &mut dst.columns[f.0 as usize]) {
+                (ColumnData::F64(s), ColumnData::F64(d)) => d[do_] = op.fold(d[do_], s[so]),
+                (ColumnData::I64(s), ColumnData::I64(d)) => d[do_] = op.fold_i64(d[do_], s[so]),
+                _ => panic!("field {f:?} type mismatch between instances"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::FieldSpace;
+
+    fn fs() -> FieldSpace {
+        FieldSpace::of(&[("x", FieldType::F64), ("ptr", FieldType::I64)])
+    }
+
+    #[test]
+    fn indexer_dense() {
+        let d = Domain::range(10);
+        let ix = DomainIndexer::new(&d);
+        assert_eq!(ix.len(), 10);
+        assert_eq!(ix.offset_of(DynPoint::from(7)), Some(7));
+        assert_eq!(ix.offset_of(DynPoint::from(10)), None);
+        assert_eq!(ix.iter().count(), 10);
+    }
+
+    #[test]
+    fn indexer_sparse() {
+        let d = Domain::from_ids([2, 3, 4, 10, 20, 21]);
+        let ix = DomainIndexer::new(&d);
+        assert_eq!(ix.len(), 6);
+        assert_eq!(ix.offset_of(DynPoint::from(2)), Some(0));
+        assert_eq!(ix.offset_of(DynPoint::from(4)), Some(2));
+        assert_eq!(ix.offset_of(DynPoint::from(10)), Some(3));
+        assert_eq!(ix.offset_of(DynPoint::from(21)), Some(5));
+        assert_eq!(ix.offset_of(DynPoint::from(5)), None);
+        // Iter order matches offsets.
+        for (p, off) in ix.iter() {
+            assert_eq!(ix.offset_of(p), Some(off));
+        }
+    }
+
+    #[test]
+    fn indexer_2d_multirect() {
+        use regent_geometry::DynRect;
+        let a = DynRect::new(DynPoint::new(&[0, 0]), DynPoint::new(&[1, 1]));
+        let b = DynRect::new(DynPoint::new(&[5, 5]), DynPoint::new(&[6, 6]));
+        let d = Domain::from_rects([a, b]);
+        let ix = DomainIndexer::new(&d);
+        assert_eq!(ix.len(), 8);
+        assert_eq!(ix.offset_of(DynPoint::new(&[3, 3])), None);
+        for (p, off) in ix.iter() {
+            assert_eq!(ix.offset_of(p), Some(off));
+        }
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let fields = fs();
+        let x = fields.lookup("x").unwrap();
+        let ptr = fields.lookup("ptr").unwrap();
+        let mut inst = Instance::new(Domain::range(5), &fields);
+        inst.write_f64(x, DynPoint::from(3), 2.5);
+        inst.write_i64(ptr, DynPoint::from(3), -7);
+        assert_eq!(inst.read_f64(x, DynPoint::from(3)), 2.5);
+        assert_eq!(inst.read_i64(ptr, DynPoint::from(3)), -7);
+        assert_eq!(inst.read_f64(x, DynPoint::from(0)), 0.0);
+    }
+
+    #[test]
+    fn copy_over_intersection() {
+        let fields = fs();
+        let x = fields.lookup("x").unwrap();
+        let src_dom = Domain::from_ids(0..6);
+        let dst_dom = Domain::from_ids(4..10);
+        let mut src = Instance::new(src_dom.clone(), &fields);
+        let mut dst = Instance::new(dst_dom.clone(), &fields);
+        for p in src_dom.iter() {
+            src.write_f64(x, p, p.coord(0) as f64 * 10.0);
+        }
+        let inter = src_dom.intersect(&dst_dom);
+        copy_fields(&src, &mut dst, &[x], &inter);
+        assert_eq!(dst.read_f64(x, DynPoint::from(4)), 40.0);
+        assert_eq!(dst.read_f64(x, DynPoint::from(5)), 50.0);
+        assert_eq!(dst.read_f64(x, DynPoint::from(9)), 0.0, "outside untouched");
+    }
+
+    #[test]
+    fn reduction_instance_and_fold() {
+        let fields = FieldSpace::of(&[("q", FieldType::F64)]);
+        let q = fields.lookup("q").unwrap();
+        let dom = Domain::range(4);
+        let mut tmp = Instance::new_reduction(dom.clone(), &fields, ReductionOp::Add);
+        assert_eq!(tmp.read_f64(q, DynPoint::from(0)), 0.0);
+        tmp.reduce_f64(q, DynPoint::from(1), ReductionOp::Add, 5.0);
+        tmp.reduce_f64(q, DynPoint::from(1), ReductionOp::Add, 2.0);
+        let mut main = Instance::new(dom.clone(), &fields);
+        main.write_f64(q, DynPoint::from(1), 1.0);
+        reduce_fields(&tmp, &mut main, &[q], &dom, ReductionOp::Add);
+        assert_eq!(main.read_f64(q, DynPoint::from(1)), 8.0);
+        assert_eq!(main.read_f64(q, DynPoint::from(0)), 0.0);
+    }
+
+    #[test]
+    fn min_max_identities() {
+        assert_eq!(ReductionOp::Min.fold(ReductionOp::Min.identity(), 3.0), 3.0);
+        assert_eq!(
+            ReductionOp::Max.fold(ReductionOp::Max.identity(), -3.0),
+            -3.0
+        );
+        assert_eq!(ReductionOp::Mul.fold(ReductionOp::Mul.identity(), 4.0), 4.0);
+        assert_eq!(ReductionOp::Add.identity_i64(), 0);
+        assert_eq!(ReductionOp::Min.identity_i64(), i64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside instance domain")]
+    fn out_of_domain_write_panics() {
+        let fields = fs();
+        let x = fields.lookup("x").unwrap();
+        let mut inst = Instance::new(Domain::range(3), &fields);
+        inst.write_f64(x, DynPoint::from(3), 1.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Synchronization primitives for shard execution.
+//!
+//! * [`DynamicCollective`] — the scalar all-reduce of §4.4: "scalars are
+//!   accumulated into local values that are then reduced across the
+//!   machine with a Legion dynamic collective... The result is then
+//!   broadcast to all shards." Fold order is shard-index order, which —
+//!   combined with block ownership — reproduces the sequential fold
+//!   order bit-for-bit.
+//! * [`ShardBarrier`] — a reusable sense-reversing barrier for the
+//!   naive synchronization mode (Fig. 4c).
+
+use parking_lot::{Condvar, Mutex};
+use regent_region::ReductionOp;
+
+struct CollectiveState {
+    generation: u64,
+    arrived: usize,
+    /// Per-shard contributions for the current generation (folded in
+    /// shard order when complete, for determinism).
+    contributions: Vec<Option<f64>>,
+    result: f64,
+}
+
+/// A reusable all-reduce over `n` participants.
+pub struct DynamicCollective {
+    n: usize,
+    state: Mutex<CollectiveState>,
+    cv: Condvar,
+}
+
+impl DynamicCollective {
+    /// Creates a collective for `n` participants.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        DynamicCollective {
+            n,
+            state: Mutex::new(CollectiveState {
+                generation: 0,
+                arrived: 0,
+                contributions: vec![None; n],
+                result: 0.0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Contributes `value` for `shard` and blocks until every
+    /// participant of this generation has contributed; returns the fold
+    /// of all contributions in shard order.
+    pub fn reduce(&self, shard: usize, value: f64, op: ReductionOp) -> f64 {
+        let mut st = self.state.lock();
+        let my_gen = st.generation;
+        debug_assert!(st.contributions[shard].is_none(), "double contribution");
+        st.contributions[shard] = Some(value);
+        st.arrived += 1;
+        if st.arrived == self.n {
+            // Last arriver folds in deterministic shard order and
+            // advances the generation.
+            let mut acc = st.contributions[0].take().unwrap();
+            for s in 1..self.n {
+                acc = op.fold(acc, st.contributions[s].take().unwrap());
+            }
+            st.result = acc;
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            return acc;
+        }
+        while st.generation == my_gen {
+            self.cv.wait(&mut st);
+        }
+        st.result
+    }
+}
+
+struct BarrierState {
+    generation: u64,
+    arrived: usize,
+}
+
+/// A reusable barrier over `n` participants.
+pub struct ShardBarrier {
+    n: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+impl ShardBarrier {
+    /// Creates a barrier for `n` participants.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        ShardBarrier {
+            n,
+            state: Mutex::new(BarrierState {
+                generation: 0,
+                arrived: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until all `n` participants have arrived.
+    pub fn wait(&self) {
+        let mut st = self.state.lock();
+        let my_gen = st.generation;
+        st.arrived += 1;
+        if st.arrived == self.n {
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            return;
+        }
+        while st.generation == my_gen {
+            self.cv.wait(&mut st);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn allreduce_sums_deterministically() {
+        let n = 8;
+        let c = Arc::new(DynamicCollective::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|s| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || c.reduce(s, (s + 1) as f64, ReductionOp::Add))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 36.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_reusable_generations() {
+        let n = 4;
+        let c = Arc::new(DynamicCollective::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|s| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    let mut results = Vec::new();
+                    for round in 0..10 {
+                        let v = (s * 10 + round) as f64;
+                        results.push(c.reduce(s, v, ReductionOp::Max));
+                    }
+                    results
+                })
+            })
+            .collect();
+        for h in handles {
+            let results = h.join().unwrap();
+            for (round, r) in results.into_iter().enumerate() {
+                assert_eq!(r, (30 + round) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_min_single() {
+        let c = DynamicCollective::new(1);
+        assert_eq!(c.reduce(0, 5.0, ReductionOp::Min), 5.0);
+        assert_eq!(c.reduce(0, -2.0, ReductionOp::Min), -2.0);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = 6;
+        let b = Arc::new(ShardBarrier::new(n));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for round in 1..=20 {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        b.wait();
+                        // After the barrier, all n increments of this
+                        // round must be visible.
+                        assert!(counter.load(Ordering::SeqCst) >= n * round);
+                        b.wait();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), n * 20);
+    }
+}

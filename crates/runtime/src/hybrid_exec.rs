@@ -1,0 +1,53 @@
+//! Executor for hybrid programs (§2.2's range-local application of
+//! control replication): sequential segments run through the reference
+//! interpreter, replicated segments through the SPMD executor, with the
+//! root store and the scalar environment threading through all of them.
+//!
+//! Every replicated segment re-initializes its shard instances from the
+//! store and flushes written partitions back at its end — exactly the
+//! initialization/finalization copies of §3.1 placed at the range
+//! boundaries.
+
+use crate::spmd_exec::{execute_spmd_with_env, ShardStats};
+use regent_cr::hybrid::{HybridProgram, Segment};
+use regent_ir::{interp, Store};
+
+/// Result of a hybrid execution.
+pub struct HybridRunResult {
+    /// Final scalar environment.
+    pub env: Vec<f64>,
+    /// Aggregated SPMD statistics across all replicated segments.
+    pub spmd_stats: ShardStats,
+    /// Point tasks executed sequentially (outside replicated ranges).
+    pub sequential_tasks: u64,
+    /// Number of replicated segments executed.
+    pub replicated_segments: usize,
+}
+
+/// Executes a hybrid program end to end.
+pub fn execute_hybrid(hybrid: &HybridProgram, store: &mut Store) -> HybridRunResult {
+    let mut env: Vec<f64> = hybrid.base.scalars.iter().map(|s| s.init).collect();
+    let mut spmd_stats = ShardStats::default();
+    let mut sequential_tasks = 0;
+    let mut replicated_segments = 0;
+    for segment in &hybrid.segments {
+        match segment {
+            Segment::Sequential(stmts) => {
+                let stats = interp::run_stmts_in(&hybrid.base, store, stmts, &mut env);
+                sequential_tasks += stats.tasks_executed;
+            }
+            Segment::Replicated(spmd) => {
+                let r = execute_spmd_with_env(spmd, store, env.clone());
+                env = r.env;
+                spmd_stats.merge_from(&r.stats);
+                replicated_segments += 1;
+            }
+        }
+    }
+    HybridRunResult {
+        env,
+        spmd_stats,
+        sequential_tasks,
+        replicated_segments,
+    }
+}

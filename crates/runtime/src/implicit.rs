@@ -1,0 +1,481 @@
+//! The implicitly parallel executor — the non-control-replicated
+//! baseline ("Regent w/o CR" in Figures 6–9).
+//!
+//! A single control thread walks the program in issue order, performs
+//! dynamic dependence analysis for every point task against the window
+//! of in-flight tasks (the Legion model of §4.1: "Legion discovers
+//! parallelism between tasks by computing a dynamic dependence graph
+//! over the tasks in an executing program"), and hands ready tasks to a
+//! worker pool. Two tasks conflict when they touch possibly-overlapping
+//! regions with incompatible privileges; the analysis first consults
+//! the region tree (cheap, static) and falls back to exact domain
+//! overlap.
+//!
+//! This is precisely the architecture whose *per-task control overhead*
+//! grows with the machine: the control thread does O(N) analysis work
+//! per time step. The executor counts that work
+//! ([`ImplicitStats::dependence_checks`]) so the machine model in
+//! `regent-machine` can charge it when projecting to large node counts.
+//!
+//! Reduction privileges are serialized against each other here (rather
+//! than staged through temporaries), which keeps fold order identical
+//! to program order — executions are bit-identical to the sequential
+//! interpreter, which the test suite exploits.
+
+use crate::mapper::{DefaultMapper, Mapper};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use regent_geometry::{Domain, DynPoint};
+use regent_ir::{interp::resolve_arg, ArgSlot, Privilege, Program, Stmt, Store, TaskCtx, TaskId};
+use regent_region::{Instance, RegionId};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Options for the implicit executor.
+#[derive(Clone)]
+pub struct ImplicitOptions {
+    /// Worker threads executing ready tasks.
+    pub num_workers: usize,
+    /// The mapping policy assigning point tasks to workers (§4.2).
+    pub mapper: Arc<dyn Mapper>,
+}
+
+impl ImplicitOptions {
+    /// `num_workers` workers with the default round-robin mapper.
+    pub fn with_workers(num_workers: usize) -> Self {
+        ImplicitOptions {
+            num_workers,
+            mapper: Arc::new(DefaultMapper),
+        }
+    }
+}
+
+impl Default for ImplicitOptions {
+    fn default() -> Self {
+        ImplicitOptions::with_workers(4)
+    }
+}
+
+/// Statistics from an implicit execution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ImplicitStats {
+    /// Point tasks launched.
+    pub tasks_launched: u64,
+    /// Pairwise dependence checks performed by the control thread —
+    /// the dynamic-analysis work that makes single-control-thread
+    /// execution stop scaling (§1).
+    pub dependence_checks: u64,
+    /// Dependence edges recorded.
+    pub dependence_edges: u64,
+    /// Peak size of the in-flight task window.
+    pub max_window: usize,
+}
+
+/// Raw instance pointer made sendable; exclusivity is guaranteed by the
+/// dependence analysis (conflicting tasks are ordered by edges).
+struct InstPtr(*mut Instance);
+unsafe impl Send for InstPtr {}
+unsafe impl Sync for InstPtr {}
+
+struct JobArg {
+    domain: Domain,
+    privilege: Privilege,
+    fields: Vec<regent_region::FieldId>,
+    inst: InstPtr,
+}
+
+struct Job {
+    task: TaskId,
+    args: Vec<JobArg>,
+    scalars: Vec<f64>,
+    point: DynPoint,
+    /// Worker chosen by the mapper (§4.2).
+    worker: usize,
+    ret: Mutex<Option<f64>>,
+    /// Dependencies not yet satisfied; the job is ready at zero.
+    remaining: AtomicUsize,
+    /// Jobs to notify on completion. Guarded together with `done`.
+    dependents: Mutex<Vec<Arc<Job>>>,
+    done: AtomicBool,
+}
+
+struct Pool {
+    /// One ready queue per worker; the mapper picks the queue.
+    ready_tx: Vec<Sender<Option<Arc<Job>>>>,
+    outstanding: Mutex<usize>,
+    drained: Condvar,
+}
+
+impl Pool {
+    fn submit(&self, job: Arc<Job>) {
+        let w = job.worker;
+        self.ready_tx[w].send(Some(job)).unwrap();
+    }
+}
+
+impl Pool {
+    fn complete_one(&self) {
+        let mut n = self.outstanding.lock();
+        *n -= 1;
+        if *n == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    fn register(&self) {
+        *self.outstanding.lock() += 1;
+    }
+
+    fn wait_drained(&self) {
+        let mut n = self.outstanding.lock();
+        while *n > 0 {
+            self.drained.wait(&mut n);
+        }
+    }
+}
+
+fn run_job(job: &Job, tasks: &[regent_ir::TaskDecl], pool: &Pool) {
+    let decl = &tasks[job.task.0 as usize];
+    let mut slots: Vec<ArgSlot> = job
+        .args
+        .iter()
+        .map(|a| {
+            // SAFETY: the dependence graph orders all conflicting
+            // accesses; compatible concurrent accesses are read-read
+            // (or serialized reductions), so constructing aliasing
+            // slots here is race-free.
+            unsafe { ArgSlot::new(a.domain.clone(), a.privilege, a.fields.clone(), a.inst.0) }
+        })
+        .collect();
+    let mut ctx = TaskCtx::new(&mut slots, &job.scalars, job.point);
+    (decl.kernel)(&mut ctx);
+    *job.ret.lock() = ctx.return_value;
+    // Mark done and release dependents under the lock so late
+    // edge-additions observe a consistent state.
+    let deps = {
+        let mut d = job.dependents.lock();
+        job.done.store(true, Ordering::SeqCst);
+        std::mem::take(&mut *d)
+    };
+    for dep in deps {
+        if dep.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            pool.submit(dep);
+        }
+    }
+    pool.complete_one();
+}
+
+/// A window record: a task's region accesses and its job handle.
+type WindowRecord = (Vec<(RegionId, Privilege)>, Arc<Job>);
+
+/// Control-thread state: the window of issued, possibly-incomplete
+/// tasks.
+struct Window {
+    records: Vec<WindowRecord>,
+}
+
+impl Window {
+    fn prune(&mut self) {
+        self.records.retain(|(_, j)| !j.done.load(Ordering::SeqCst));
+    }
+}
+
+/// Do two privileges require an ordering edge when their regions
+/// overlap? Reductions are serialized (see module docs).
+fn needs_edge(a: Privilege, b: Privilege) -> bool {
+    !matches!((a, b), (Privilege::Read, Privilege::Read))
+}
+
+/// Executes a program with implicit parallelism, returning the final
+/// scalar environment and statistics. Results are bit-identical to
+/// [`regent_ir::interp::run`].
+pub fn execute_implicit(
+    program: &Program,
+    store: &mut Store,
+    opts: ImplicitOptions,
+) -> (Vec<f64>, ImplicitStats) {
+    assert!(opts.num_workers > 0);
+    let mut env: Vec<f64> = program.scalars.iter().map(|s| s.init).collect();
+    let mut stats = ImplicitStats::default();
+
+    // Cache raw pointers to every root instance (the map is not
+    // mutated while workers run).
+    let roots = program.root_regions();
+    let mut inst_ptrs: std::collections::HashMap<RegionId, InstPtr> =
+        std::collections::HashMap::new();
+    for r in roots {
+        inst_ptrs.insert(r, InstPtr(store.instance_mut(program, r) as *mut Instance));
+    }
+
+    let mut senders = Vec::with_capacity(opts.num_workers);
+    let mut receivers = Vec::with_capacity(opts.num_workers);
+    for _ in 0..opts.num_workers {
+        let (tx, rx) = unbounded::<Option<Arc<Job>>>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let pool = Pool {
+        ready_tx: senders,
+        outstanding: Mutex::new(0),
+        drained: Condvar::new(),
+    };
+
+    std::thread::scope(|scope| {
+        for rx in receivers {
+            let pool = &pool;
+            let tasks = &program.tasks;
+            scope.spawn(move || {
+                while let Ok(Some(job)) = rx.recv() {
+                    run_job(&job, tasks, pool);
+                }
+            });
+        }
+
+        let mut window = Window {
+            records: Vec::new(),
+        };
+        let route = Route {
+            mapper: Arc::clone(&opts.mapper),
+            num_workers: opts.num_workers,
+        };
+        exec_stmts(
+            program,
+            &program.body,
+            &mut env,
+            &inst_ptrs,
+            &pool,
+            &route,
+            &mut window,
+            &mut stats,
+        );
+        pool.wait_drained();
+        // Poison pills: one per worker so every thread exits recv().
+        for tx in &pool.ready_tx {
+            tx.send(None).unwrap();
+        }
+    });
+
+    (env, stats)
+}
+
+/// The routing policy: which worker a point task lands on.
+struct Route {
+    mapper: Arc<dyn Mapper>,
+    num_workers: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_stmts(
+    program: &Program,
+    stmts: &[Stmt],
+    env: &mut Vec<f64>,
+    inst_ptrs: &std::collections::HashMap<RegionId, InstPtr>,
+    pool: &Pool,
+    route: &Route,
+    window: &mut Window,
+    stats: &mut ImplicitStats,
+) {
+    for s in stmts {
+        match s {
+            Stmt::IndexLaunch(il) => {
+                let decl = program.task(il.task);
+                let scalar_args: Vec<f64> = il.scalar_args.iter().map(|e| e.eval(env)).collect();
+                let mut launch_jobs: Vec<Arc<Job>> = Vec::new();
+                for &i in &il.launch_domain {
+                    let regions: Vec<RegionId> =
+                        il.args.iter().map(|a| resolve_arg(program, a, i)).collect();
+                    let job = issue_task(
+                        program,
+                        il.task,
+                        &regions,
+                        scalar_args.clone(),
+                        i,
+                        inst_ptrs,
+                        pool,
+                        route,
+                        window,
+                        stats,
+                    );
+                    launch_jobs.push(job);
+                }
+                if let Some((var, op)) = il.reduce_result {
+                    // Scalar reduction: wait for the launch, fold returns
+                    // in launch order (§4.4).
+                    pool.wait_drained();
+                    let mut acc: Option<f64> = None;
+                    for j in &launch_jobs {
+                        let v = j
+                            .ret
+                            .lock()
+                            .unwrap_or_else(|| panic!("task {} returned no value", decl.name));
+                        acc = Some(match acc {
+                            None => v,
+                            Some(a) => op.fold(a, v),
+                        });
+                    }
+                    env[var.0 as usize] = acc.unwrap_or_else(|| op.identity());
+                    window.records.clear();
+                }
+            }
+            Stmt::SingleLaunch(sl) => {
+                let scalar_args: Vec<f64> = sl.scalar_args.iter().map(|e| e.eval(env)).collect();
+                let job = issue_task(
+                    program,
+                    sl.task,
+                    &sl.args,
+                    scalar_args,
+                    DynPoint::from(0),
+                    inst_ptrs,
+                    pool,
+                    route,
+                    window,
+                    stats,
+                );
+                if let Some(var) = sl.result {
+                    pool.wait_drained();
+                    env[var.0 as usize] = job.ret.lock().unwrap_or_else(|| {
+                        panic!("task {} returned no value", program.task(sl.task).name)
+                    });
+                    window.records.clear();
+                }
+            }
+            Stmt::For { count, body } => {
+                let n = count.eval(env).max(0.0) as u64;
+                for _ in 0..n {
+                    exec_stmts(program, body, env, inst_ptrs, pool, route, window, stats);
+                }
+            }
+            Stmt::While { cond, body } => {
+                while cond.eval(env) != 0.0 {
+                    exec_stmts(program, body, env, inst_ptrs, pool, route, window, stats);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if cond.eval(env) != 0.0 {
+                    exec_stmts(
+                        program, then_body, env, inst_ptrs, pool, route, window, stats,
+                    );
+                } else {
+                    exec_stmts(
+                        program, else_body, env, inst_ptrs, pool, route, window, stats,
+                    );
+                }
+            }
+            Stmt::SetScalar { var, expr } => env[var.0 as usize] = expr.eval(env),
+        }
+    }
+}
+
+/// Issues one point task: dependence analysis against the window, then
+/// submission (deferred-execution style — the control thread never
+/// blocks on the task itself).
+#[allow(clippy::too_many_arguments)]
+fn issue_task(
+    program: &Program,
+    task: TaskId,
+    regions: &[RegionId],
+    scalars: Vec<f64>,
+    point: DynPoint,
+    inst_ptrs: &std::collections::HashMap<RegionId, InstPtr>,
+    pool: &Pool,
+    route: &Route,
+    window: &mut Window,
+    stats: &mut ImplicitStats,
+) -> Arc<Job> {
+    let decl = program.task(task);
+    let accesses: Vec<(RegionId, Privilege)> = regions
+        .iter()
+        .zip(&decl.params)
+        .map(|(&r, p)| (r, p.privilege))
+        .collect();
+    let args: Vec<JobArg> = regions
+        .iter()
+        .zip(&decl.params)
+        .map(|(&r, p)| {
+            let root = program.forest.root_of(r);
+            JobArg {
+                domain: program.forest.domain(r).clone(),
+                privilege: p.privilege,
+                fields: p.fields.clone(),
+                inst: InstPtr(inst_ptrs[&root].0),
+            }
+        })
+        .collect();
+    // `remaining` starts at 1: a sentinel held by the control thread
+    // while edges are being added, preventing a predecessor that
+    // completes mid-analysis from submitting the job twice.
+    let worker = route.mapper.map_task(task, point, route.num_workers);
+    assert!(
+        worker < route.num_workers,
+        "mapper chose worker {worker} of {}",
+        route.num_workers
+    );
+    let job = Arc::new(Job {
+        task,
+        args,
+        scalars,
+        point,
+        worker,
+        ret: Mutex::new(None),
+        remaining: AtomicUsize::new(1),
+        dependents: Mutex::new(Vec::new()),
+        done: AtomicBool::new(false),
+    });
+
+    // Dependence analysis (the per-task control overhead).
+    let mut n_deps = 0usize;
+    for (prev_acc, prev_job) in &window.records {
+        let mut conflict = false;
+        for &(r1, p1) in prev_acc {
+            for &(r2, p2) in &accesses {
+                stats.dependence_checks += 1;
+                if !needs_edge(p1, p2) {
+                    continue;
+                }
+                if program.forest.root_of(r1) != program.forest.root_of(r2) {
+                    continue;
+                }
+                if program.forest.provably_disjoint(r1, r2) {
+                    continue;
+                }
+                if program
+                    .forest
+                    .domain(r1)
+                    .overlaps(program.forest.domain(r2))
+                {
+                    conflict = true;
+                    break;
+                }
+            }
+            if conflict {
+                break;
+            }
+        }
+        if conflict {
+            // Register the edge unless the predecessor already finished.
+            let mut deps = prev_job.dependents.lock();
+            if !prev_job.done.load(Ordering::SeqCst) {
+                job.remaining.fetch_add(1, Ordering::SeqCst);
+                deps.push(Arc::clone(&job));
+                n_deps += 1;
+            }
+        }
+    }
+    stats.dependence_edges += n_deps as u64;
+    stats.tasks_launched += 1;
+    pool.register();
+    // Release the sentinel; submit if no edges remain.
+    if job.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+        pool.submit(Arc::clone(&job));
+    }
+    window.records.push((accesses, Arc::clone(&job)));
+    stats.max_window = stats.max_window.max(window.records.len());
+    if window.records.len() > 4096 {
+        window.prune();
+    }
+    job
+}

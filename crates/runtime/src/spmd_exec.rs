@@ -1,0 +1,593 @@
+//! Multithreaded executor for control-replicated programs.
+//!
+//! Each shard of the [`SpmdProgram`] runs on its own OS thread with its
+//! own *distributed-memory* storage: one instance per owned subregion
+//! per use, plus reduction temporaries (§3, §4.3). Shards communicate
+//! only through copy messages and the scalar collective — there is no
+//! shared mutable region data, which is exactly the paper's
+//! distributed-memory implementation of region semantics.
+//!
+//! Synchronization follows the consumer-applied protocol of §3.4:
+//! copies "are issued by the producer of the data", and the consumer
+//! blocks on the matching receive at its own copy point. The receive
+//! doubles as the point-to-point synchronization — write-after-read is
+//! satisfied because the consumer only applies data between its own
+//! statements, read-after-write because it cannot proceed until the
+//! data arrives. The naive global-barrier mode (Fig. 4c) adds
+//! [`ShardBarrier`] waits around every copy.
+
+use crate::collective::{DynamicCollective, ShardBarrier};
+use crate::plan::{build_exchange_plan, ExchangePlan, InstKey, PairPlan, SetupStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use regent_cr::{CopyId, CopyStmt, SpmdArg, SpmdLaunch, SpmdProgram, SpmdStmt, TempId, UseBase};
+use regent_geometry::{Domain, DynPoint};
+use regent_ir::{ArgSlot, Store, TaskCtx};
+use regent_region::{copy_fields, ColumnData, FieldId, Instance, ReductionOp};
+use std::collections::HashMap;
+
+/// One field's payload within a copy message, in the canonical element
+/// order of the pair's intersection domain.
+#[derive(Clone, Debug)]
+enum Chunk {
+    F64(Vec<f64>),
+    I64(Vec<i64>),
+}
+
+/// A copy message from a producer shard to a consumer shard.
+struct CopyMsg {
+    copy: CopyId,
+    pair_seq: u32,
+    chunks: Vec<Chunk>,
+}
+
+/// Per-shard execution statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    /// Point tasks executed by this shard.
+    pub tasks_executed: u64,
+    /// Copy statements executed (dynamic count).
+    pub copies_executed: u64,
+    /// Messages sent to other shards.
+    pub messages_sent: u64,
+    /// Elements sent to other shards (across all fields).
+    pub elements_sent: u64,
+    /// Scalar collectives participated in.
+    pub collectives: u64,
+}
+
+impl ShardStats {
+    /// Accumulates another stats record into this one.
+    pub fn merge_from(&mut self, o: &ShardStats) {
+        self.merge(o);
+    }
+
+    fn merge(&mut self, o: &ShardStats) {
+        self.tasks_executed += o.tasks_executed;
+        self.copies_executed += o.copies_executed;
+        self.messages_sent += o.messages_sent;
+        self.elements_sent += o.elements_sent;
+        self.collectives += o.collectives;
+    }
+}
+
+/// Result of an SPMD execution.
+pub struct SpmdRunResult {
+    /// Final scalar environment (identical on all shards; shard 0's).
+    pub env: Vec<f64>,
+    /// Dynamic intersection timings (Table 1).
+    pub setup: SetupStats,
+    /// Aggregated execution statistics.
+    pub stats: ShardStats,
+    /// Per-shard statistics.
+    pub per_shard: Vec<ShardStats>,
+}
+
+/// Executes a control-replicated program against `store` (which holds
+/// the initial region contents and receives the final ones).
+pub fn execute_spmd(spmd: &SpmdProgram, store: &mut Store) -> SpmdRunResult {
+    let env: Vec<f64> = spmd.scalars.iter().map(|s| s.init).collect();
+    execute_spmd_with_env(spmd, store, env)
+}
+
+/// [`execute_spmd`] with an explicit initial scalar environment —
+/// needed by the hybrid range-local driver (§2.2), where scalars
+/// computed before a replicated range flow into it.
+pub fn execute_spmd_with_env(
+    spmd: &SpmdProgram,
+    store: &mut Store,
+    initial_env: Vec<f64>,
+) -> SpmdRunResult {
+    let plan = build_exchange_plan(spmd);
+    let ns = spmd.num_shards;
+    let collective = DynamicCollective::new(ns);
+    let barrier = ShardBarrier::new(ns);
+
+    // Mesh of channels: senders[src][dst] paired with receivers[dst][src].
+    let mut senders: Vec<Vec<Sender<CopyMsg>>> = (0..ns).map(|_| Vec::new()).collect();
+    let mut rx_rows: Vec<Vec<Option<Receiver<CopyMsg>>>> =
+        (0..ns).map(|_| (0..ns).map(|_| None).collect()).collect();
+    for (src, row) in senders.iter_mut().enumerate() {
+        for (dst, slot) in rx_rows.iter_mut().enumerate() {
+            let (tx, rx) = unbounded();
+            row.push(tx);
+            slot[src] = Some(rx);
+            let _ = dst;
+        }
+    }
+    let receivers: Vec<Vec<Receiver<CopyMsg>>> = rx_rows
+        .into_iter()
+        .map(|row| row.into_iter().map(|o| o.unwrap()).collect())
+        .collect();
+
+    let mut results: Vec<Option<(Vec<f64>, ShardStats, ShardData)>> =
+        (0..ns).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ns);
+        for (shard, rx_row) in receivers.into_iter().enumerate() {
+            let tx_all: Vec<Vec<Sender<CopyMsg>>> = senders.clone();
+            let plan = &plan;
+            let collective = &collective;
+            let barrier = &barrier;
+            let store_ref: &Store = store;
+            let init_env = &initial_env;
+            handles.push(scope.spawn(move || {
+                let mut shard_exec = ShardExec {
+                    spmd,
+                    plan,
+                    shard,
+                    data: allocate_shard_data(spmd, shard, store_ref),
+                    env: init_env.clone(),
+                    tx: tx_all[shard].clone(),
+                    rx: rx_row,
+                    collective,
+                    barrier,
+                    stats: ShardStats::default(),
+                    local_queue: HashMap::new(),
+                    offset_cache: HashMap::new(),
+                };
+                shard_exec.run_stmts(&spmd.body);
+                (shard_exec.env, shard_exec.stats, shard_exec.data)
+            }));
+        }
+        for (shard, h) in handles.into_iter().enumerate() {
+            results[shard] = Some(h.join().expect("shard thread panicked"));
+        }
+    });
+
+    // Finalization (§3.1): flush written partitions back to the root
+    // store. All instances covering an element agree at this point, so
+    // the flush order is immaterial; iterate deterministically anyway.
+    let mut per_shard = Vec::with_capacity(ns);
+    let mut env0: Option<Vec<f64>> = None;
+    let mut agg = ShardStats::default();
+    let mut datas = Vec::with_capacity(ns);
+    for r in results.into_iter() {
+        let (env, stats, data) = r.unwrap();
+        if let Some(ref e0) = env0 {
+            debug_assert_eq!(
+                e0, &env,
+                "scalar environments diverged across shards (replication bug)"
+            );
+        } else {
+            env0 = Some(env);
+        }
+        agg.merge(&stats);
+        per_shard.push(stats);
+        datas.push(data);
+    }
+    for data in &datas {
+        for (key, inst) in data.iter_sorted() {
+            if let InstKey::UsePart(u, _) = key {
+                let decl = &spmd.uses[*u as usize];
+                if decl.writes {
+                    let region = regent_cr::analysis::base_region(&spmd.forest, decl.base);
+                    let root_inst = store.instance_mut_in(&spmd.forest, region);
+                    copy_fields(inst, root_inst, &decl.fields, inst.domain());
+                }
+            }
+        }
+    }
+
+    SpmdRunResult {
+        env: env0.unwrap_or_default(),
+        setup: plan.setup,
+        stats: agg,
+        per_shard,
+    }
+}
+
+/// Shard-local storage.
+struct ShardData {
+    insts: HashMap<InstKey, Instance>,
+}
+
+impl ShardData {
+    fn iter_sorted(&self) -> impl Iterator<Item = (&InstKey, &Instance)> {
+        let mut keys: Vec<&InstKey> = self.insts.keys().collect();
+        keys.sort();
+        keys.into_iter().map(move |k| (k, &self.insts[k]))
+    }
+}
+
+/// Allocates and initializes a shard's instances: one per owned
+/// partition color per use, one replica per whole-region use, and the
+/// reduction temporaries (§3.1 initialization + §4.3 temps).
+fn allocate_shard_data(spmd: &SpmdProgram, shard: usize, store: &Store) -> ShardData {
+    let mut insts = HashMap::new();
+    for (u, decl) in spmd.uses.iter().enumerate() {
+        if !decl.needs_instances() {
+            continue;
+        }
+        let region = regent_cr::analysis::base_region(&spmd.forest, decl.base);
+        let fields_space = spmd.forest.fields(region);
+        let root_inst = store.instance_in(&spmd.forest, region);
+        match decl.base {
+            UseBase::Part(p) => {
+                for &c in spmd.owned_colors(decl.domain, shard) {
+                    let sub = spmd.forest.subregion(p, c);
+                    let dom = spmd.forest.domain(sub).clone();
+                    let mut inst = Instance::new(dom.clone(), fields_space);
+                    copy_fields(root_inst, &mut inst, &decl.fields, &dom);
+                    insts.insert(InstKey::UsePart(u as u32, c), inst);
+                }
+            }
+            UseBase::Whole(r) => {
+                let dom = spmd.forest.domain(r).clone();
+                let mut inst = Instance::new(dom.clone(), fields_space);
+                copy_fields(root_inst, &mut inst, &decl.fields, &dom);
+                insts.insert(InstKey::UseWhole(u as u32, shard as u32), inst);
+            }
+        }
+    }
+    for (t, decl) in spmd.temps.iter().enumerate() {
+        let region = regent_cr::analysis::base_region(&spmd.forest, decl.base);
+        let fields_space = spmd.forest.fields(region);
+        match decl.base {
+            UseBase::Part(p) => {
+                for &c in spmd.owned_colors(decl.domain, shard) {
+                    let sub = spmd.forest.subregion(p, c);
+                    let dom = spmd.forest.domain(sub).clone();
+                    let inst = Instance::new_reduction(dom, fields_space, decl.op);
+                    insts.insert(InstKey::TempPart(t as u32, c), inst);
+                }
+            }
+            UseBase::Whole(r) => {
+                let dom = spmd.forest.domain(r).clone();
+                let inst = Instance::new_reduction(dom, fields_space, decl.op);
+                insts.insert(InstKey::TempWhole(t as u32, shard as u32), inst);
+            }
+        }
+    }
+    ShardData { insts }
+}
+
+struct ShardExec<'a> {
+    spmd: &'a SpmdProgram,
+    plan: &'a ExchangePlan,
+    shard: usize,
+    data: ShardData,
+    env: Vec<f64>,
+    tx: Vec<Sender<CopyMsg>>,
+    rx: Vec<Receiver<CopyMsg>>,
+    collective: &'a DynamicCollective,
+    barrier: &'a ShardBarrier,
+    stats: ShardStats,
+    /// Payloads for self-pairs (producer == consumer == this shard),
+    /// keyed by (copy id, pair seq).
+    local_queue: HashMap<(u32, u32), Vec<Chunk>>,
+    /// Memoized element→storage-offset lists per (intersection, pair,
+    /// side): copies run every iteration, the offsets never change.
+    offset_cache: HashMap<(u32, u32, bool), std::sync::Arc<Vec<usize>>>,
+}
+
+impl<'a> ShardExec<'a> {
+    fn run_stmts(&mut self, stmts: &[SpmdStmt]) {
+        for s in stmts {
+            match s {
+                SpmdStmt::Launch(l) => self.run_launch(l),
+                SpmdStmt::Copy(c) => self.run_copy(c),
+                SpmdStmt::ResetTemp(t) => self.reset_temp(*t),
+                SpmdStmt::AllReduce { var, op } => {
+                    let local = self.env[var.0 as usize];
+                    self.env[var.0 as usize] = self.collective.reduce(self.shard, local, *op);
+                    self.stats.collectives += 1;
+                }
+                SpmdStmt::SetScalar { var, expr } => {
+                    self.env[var.0 as usize] = expr.eval(&self.env);
+                }
+                SpmdStmt::For { count, body } => {
+                    let n = count.eval(&self.env).max(0.0) as u64;
+                    for _ in 0..n {
+                        self.run_stmts(body);
+                    }
+                }
+                SpmdStmt::While { cond, body } => {
+                    while cond.eval(&self.env) != 0.0 {
+                        self.run_stmts(body);
+                    }
+                }
+                SpmdStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    if cond.eval(&self.env) != 0.0 {
+                        self.run_stmts(then_body);
+                    } else {
+                        self.run_stmts(else_body);
+                    }
+                }
+                SpmdStmt::Barrier => self.barrier.wait(),
+            }
+        }
+    }
+
+    fn reset_temp(&mut self, t: TempId) {
+        let decl = &self.spmd.temps[t.0 as usize];
+        let keys: Vec<InstKey> = match decl.base {
+            UseBase::Part(_) => self
+                .spmd
+                .owned_colors(decl.domain, self.shard)
+                .iter()
+                .map(|&c| InstKey::TempPart(t.0, c))
+                .collect(),
+            UseBase::Whole(_) => vec![InstKey::TempWhole(t.0, self.shard as u32)],
+        };
+        for k in keys {
+            let inst = self.data.insts.get_mut(&k).unwrap();
+            for &f in &decl.fields {
+                inst.fill_field(f, decl.op);
+            }
+        }
+    }
+
+    fn run_launch(&mut self, l: &SpmdLaunch) {
+        let decl = self.spmd.task(l.task);
+        let scalar_args: Vec<f64> = l.scalar_args.iter().map(|e| e.eval(&self.env)).collect();
+        let owned: Vec<DynPoint> = self.spmd.owned_colors(l.domain, self.shard).to_vec();
+        let mut reduced: Option<f64> = None;
+        for c in owned {
+            // Resolve argument instances and domains.
+            let mut slots: Vec<ArgSlot> = Vec::with_capacity(l.args.len());
+            for (idx, a) in l.args.iter().enumerate() {
+                let param = &decl.params[idx];
+                let (key, domain) = self.arg_key_domain(a, c);
+                let inst: *mut Instance = self
+                    .data
+                    .insts
+                    .get_mut(&key)
+                    .unwrap_or_else(|| panic!("shard {} missing instance {key:?}", self.shard));
+                // SAFETY: shard-local instances; one kernel runs at a
+                // time on this thread; aliasing between slots is
+                // mediated by TaskCtx (never two live references).
+                slots.push(unsafe {
+                    ArgSlot::new(domain, param.privilege, param.fields.clone(), inst)
+                });
+            }
+            let mut ctx = TaskCtx::new(&mut slots, &scalar_args, c);
+            (decl.kernel)(&mut ctx);
+            self.stats.tasks_executed += 1;
+            if let Some((_, op)) = l.reduce_result {
+                let v = ctx
+                    .return_value
+                    .unwrap_or_else(|| panic!("task {} returned no value", decl.name));
+                reduced = Some(match reduced {
+                    None => v,
+                    Some(acc) => op.fold(acc, v),
+                });
+            }
+        }
+        if let Some((var, op)) = l.reduce_result {
+            // Local partial; the AllReduce emitted right after this
+            // launch folds across shards. Shards owning no points
+            // contribute the identity.
+            self.env[var.0 as usize] = reduced.unwrap_or_else(|| op.identity());
+        }
+    }
+
+    fn arg_key_domain(&self, a: &SpmdArg, c: DynPoint) -> (InstKey, Domain) {
+        match a {
+            SpmdArg::Use(u) => {
+                let decl = &self.spmd.uses[*u];
+                match decl.base {
+                    UseBase::Part(p) => {
+                        let sub = self.spmd.forest.subregion(p, c);
+                        (
+                            InstKey::UsePart(*u as u32, c),
+                            self.spmd.forest.domain(sub).clone(),
+                        )
+                    }
+                    UseBase::Whole(r) => (
+                        InstKey::UseWhole(*u as u32, self.shard as u32),
+                        self.spmd.forest.domain(r).clone(),
+                    ),
+                }
+            }
+            SpmdArg::Temp(t) => {
+                let decl = &self.spmd.temps[t.0 as usize];
+                match decl.base {
+                    UseBase::Part(p) => {
+                        let sub = self.spmd.forest.subregion(p, c);
+                        (
+                            InstKey::TempPart(t.0, c),
+                            self.spmd.forest.domain(sub).clone(),
+                        )
+                    }
+                    UseBase::Whole(r) => (
+                        InstKey::TempWhole(t.0, self.shard as u32),
+                        self.spmd.forest.domain(r).clone(),
+                    ),
+                }
+            }
+        }
+    }
+
+    fn run_copy(&mut self, c: &CopyStmt) {
+        self.stats.copies_executed += 1;
+        let pairs: &[PairPlan] = &self.plan.pairs[c.intersection.0 as usize];
+        // Producer phase (§3.4: copies are issued by the producer).
+        for (seq, p) in pairs.iter().enumerate() {
+            if p.src_owner != self.shard {
+                continue;
+            }
+            let offs = offsets_for(
+                &mut self.offset_cache,
+                &self.data,
+                c.intersection.0,
+                seq as u32,
+                true,
+                &p.src_key,
+                &p.elements,
+            );
+            let src = &self.data.insts[&p.src_key];
+            let chunks = extract(src, &c.fields, &offs);
+            if p.dst_owner == self.shard {
+                self.local_queue.insert((c.id.0, seq as u32), chunks);
+            } else {
+                self.tx[p.dst_owner]
+                    .send(CopyMsg {
+                        copy: c.id,
+                        pair_seq: seq as u32,
+                        chunks,
+                    })
+                    .expect("copy channel closed");
+                self.stats.messages_sent += 1;
+                self.stats.elements_sent += p.elements.volume();
+            }
+        }
+        // Consumer phase: apply in the global deterministic order (the
+        // receive is the point-to-point synchronization).
+        for (seq, p) in pairs.iter().enumerate() {
+            if p.dst_owner != self.shard {
+                continue;
+            }
+            let chunks = if p.src_owner == self.shard {
+                self.local_queue
+                    .remove(&(c.id.0, seq as u32))
+                    .expect("missing local copy payload")
+            } else {
+                let msg = self.rx[p.src_owner].recv().expect("copy channel closed");
+                debug_assert_eq!(msg.copy, c.id, "copy protocol out of sync");
+                debug_assert_eq!(msg.pair_seq, seq as u32, "pair order out of sync");
+                msg.chunks
+            };
+            let offs = offsets_for(
+                &mut self.offset_cache,
+                &self.data,
+                c.intersection.0,
+                seq as u32,
+                false,
+                &p.dst_key,
+                &p.elements,
+            );
+            let dst = self.data.insts.get_mut(&p.dst_key).unwrap();
+            apply(dst, &c.fields, &offs, &chunks, c.reduction);
+        }
+    }
+}
+
+/// Computes (and memoizes) the storage offsets of a pair's elements in
+/// the given shard-local instance. Copies execute every loop
+/// iteration; the offsets never change, so this is paid once.
+#[allow(clippy::too_many_arguments)]
+fn offsets_for(
+    cache: &mut HashMap<(u32, u32, bool), std::sync::Arc<Vec<usize>>>,
+    data: &ShardData,
+    intersection: u32,
+    seq: u32,
+    is_src: bool,
+    key: &InstKey,
+    elements: &Domain,
+) -> std::sync::Arc<Vec<usize>> {
+    if let Some(v) = cache.get(&(intersection, seq, is_src)) {
+        return std::sync::Arc::clone(v);
+    }
+    let inst = &data.insts[key];
+    let ix = inst.indexer();
+    let offsets: Vec<usize> = elements
+        .iter()
+        .map(|p| ix.offset_of(p).expect("element outside instance") as usize)
+        .collect();
+    let arc = std::sync::Arc::new(offsets);
+    cache.insert((intersection, seq, is_src), std::sync::Arc::clone(&arc));
+    arc
+}
+
+/// Extracts field payloads at precomputed offsets (canonical element
+/// order of the pair's intersection).
+fn extract(inst: &Instance, fields: &[FieldId], offsets: &[usize]) -> Vec<Chunk> {
+    fields
+        .iter()
+        .map(|&f| {
+            // Column type probed via the instance accessors.
+            match column_kind(inst, f) {
+                Kind::F64 => {
+                    let col = inst.f64_col(f);
+                    Chunk::F64(offsets.iter().map(|&o| col[o]).collect())
+                }
+                Kind::I64 => {
+                    let col = inst.i64_col(f);
+                    Chunk::I64(offsets.iter().map(|&o| col[o]).collect())
+                }
+            }
+        })
+        .collect()
+}
+
+enum Kind {
+    F64,
+    I64,
+}
+
+fn column_kind(inst: &Instance, f: FieldId) -> Kind {
+    match inst.column(f) {
+        ColumnData::F64(_) => Kind::F64,
+        ColumnData::I64(_) => Kind::I64,
+    }
+}
+
+/// Applies field payloads at precomputed offsets, either overwriting
+/// or folding (§4.3 reduction copies).
+fn apply(
+    inst: &mut Instance,
+    fields: &[FieldId],
+    offsets: &[usize],
+    chunks: &[Chunk],
+    reduction: Option<ReductionOp>,
+) {
+    for (&f, chunk) in fields.iter().zip(chunks) {
+        match chunk {
+            Chunk::F64(vals) => {
+                let col = inst.f64_col_mut(f);
+                match reduction {
+                    None => {
+                        for (&o, &v) in offsets.iter().zip(vals) {
+                            col[o] = v;
+                        }
+                    }
+                    Some(op) => {
+                        for (&o, &v) in offsets.iter().zip(vals) {
+                            col[o] = op.fold(col[o], v);
+                        }
+                    }
+                }
+            }
+            Chunk::I64(vals) => {
+                let col = inst.i64_col_mut(f);
+                match reduction {
+                    None => {
+                        for (&o, &v) in offsets.iter().zip(vals) {
+                            col[o] = v;
+                        }
+                    }
+                    Some(op) => {
+                        for (&o, &v) in offsets.iter().zip(vals) {
+                            col[o] = op.fold_i64(col[o], v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Tests of the exchange-plan evaluation (§3.3): pair ownership,
+//! ordering, element exactness, and the scale-invariance property the
+//! paper relies on (O(1) intersections per region for halo patterns).
+
+use regent_cr::{control_replicate, CrOptions};
+use regent_geometry::{Domain, DynPoint};
+use regent_ir::{expr::c, Program, ProgramBuilder, RegionArg, RegionParam, TaskDecl};
+use regent_region::{ops, FieldSpace, FieldType};
+use regent_runtime::{build_exchange_plan, InstKey};
+use std::sync::Arc;
+
+/// Simple halo program: write blocks, read ±1 halos.
+fn halo_program(n: u64, parts: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let fs = FieldSpace::of(&[("x", FieldType::F64), ("y", FieldType::F64)]);
+    let x = fs.lookup("x").unwrap();
+    let y = fs.lookup("y").unwrap();
+    let r = b.forest.create_region(Domain::range(n), fs);
+    let p = ops::block(&mut b.forest, r, parts);
+    let q = ops::image(&mut b.forest, r, p, |pt, sink| {
+        sink.push(DynPoint::from(pt.coord(0) - 1));
+        sink.push(DynPoint::from(pt.coord(0)));
+        sink.push(DynPoint::from(pt.coord(0) + 1));
+    });
+    let w = b.task(TaskDecl {
+        name: "w".into(),
+        params: vec![RegionParam::read_write(&[x]), RegionParam::read(&[y])],
+        num_scalar_args: 0,
+        returns_value: false,
+        kernel: Arc::new(|_| {}),
+        cost_per_element: 1.0,
+    });
+    let rd = b.task(TaskDecl {
+        name: "r".into(),
+        params: vec![RegionParam::read_write(&[y]), RegionParam::read(&[x])],
+        num_scalar_args: 0,
+        returns_value: false,
+        kernel: Arc::new(|_| {}),
+        cost_per_element: 1.0,
+    });
+    let l = b.for_loop(c(2.0));
+    b.index_launch(
+        w,
+        parts as u64,
+        vec![RegionArg::Part(p), RegionArg::Part(q)],
+    );
+    b.index_launch(
+        rd,
+        parts as u64,
+        vec![RegionArg::Part(p), RegionArg::Part(q)],
+    );
+    b.end(l);
+    b.build()
+}
+
+#[test]
+fn pairs_have_correct_owners_and_order() {
+    let spmd = control_replicate(halo_program(64, 8), &CrOptions::new(4)).unwrap();
+    let plan = build_exchange_plan(&spmd);
+    for pairs in &plan.pairs {
+        let mut last = None;
+        for p in pairs {
+            assert!(p.src_owner < 4 && p.dst_owner < 4);
+            assert!(!p.elements.is_empty());
+            // Global order is non-decreasing in source position.
+            if let Some(prev) = last {
+                assert!(p.order >= prev, "pairs out of order");
+            }
+            last = Some(p.order);
+            // Keys reference the right kinds.
+            assert!(matches!(p.src_key, InstKey::UsePart(..)));
+            assert!(matches!(p.dst_key, InstKey::UsePart(..)));
+        }
+    }
+}
+
+#[test]
+fn halo_pairs_scale_linearly() {
+    // O(1) neighbours per piece (§3.3): total pairs grow linearly in
+    // piece count, not quadratically.
+    let count = |parts: usize| {
+        let spmd =
+            control_replicate(halo_program(parts as u64 * 8, parts), &CrOptions::new(4)).unwrap();
+        build_exchange_plan(&spmd).setup.num_pairs
+    };
+    let at8 = count(8);
+    let at32 = count(32);
+    assert!(at32 <= at8 * 5, "pairs grew superlinearly: {at8} → {at32}");
+    assert!(at32 >= at8 * 3, "pairs should grow with pieces");
+}
+
+#[test]
+fn exchange_elements_are_exact_boundaries() {
+    // For ±1 halos, cross-piece pairs carry exactly one element.
+    let spmd = control_replicate(halo_program(64, 8), &CrOptions::new(8)).unwrap();
+    let plan = build_exchange_plan(&spmd);
+    let mut cross = 0;
+    for pairs in &plan.pairs {
+        for p in pairs {
+            if p.src_owner != p.dst_owner {
+                assert_eq!(p.elements.volume(), 1, "{p:?}");
+                cross += 1;
+            }
+        }
+    }
+    assert!(cross > 0, "expected cross-shard boundary exchanges");
+}
+
+#[test]
+fn plan_is_deterministic() {
+    let spmd = control_replicate(halo_program(48, 6), &CrOptions::new(3)).unwrap();
+    let a = build_exchange_plan(&spmd);
+    let b = build_exchange_plan(&spmd);
+    assert_eq!(a.setup.num_pairs, b.setup.num_pairs);
+    assert_eq!(a.setup.total_elements, b.setup.total_elements);
+    for (pa, pb) in a.pairs.iter().zip(&b.pairs) {
+        assert_eq!(pa.len(), pb.len());
+        for (x, y) in pa.iter().zip(pb) {
+            assert_eq!(x.src_key, y.src_key);
+            assert_eq!(x.dst_key, y.dst_key);
+            assert!(x.elements.set_eq(&y.elements));
+        }
+    }
+}
+
+#[test]
+fn hierarchical_tree_shrinks_the_plan() {
+    // DESIGN.md ablation: the §4.5 private/ghost structure reduces both
+    // the pair count and the exchanged volume relative to the flat
+    // structure, because private data leaves the analysis entirely.
+    use regent_region::private_ghost_split;
+
+    // Flat: block + halo partitions of the whole region.
+    let flat = control_replicate(halo_program(256, 16), &CrOptions::new(8)).unwrap();
+    let flat_plan = build_exchange_plan(&flat);
+
+    // Hierarchical: the same pattern expressed through private/ghost.
+    let mut b = ProgramBuilder::new();
+    let fs = FieldSpace::of(&[("x", FieldType::F64), ("y", FieldType::F64)]);
+    let x = fs.lookup("x").unwrap();
+    let y = fs.lookup("y").unwrap();
+    let r = b.forest.create_region(Domain::range(256), fs);
+    let p = ops::block(&mut b.forest, r, 16);
+    let q = ops::image(&mut b.forest, r, p, |pt, sink| {
+        sink.push(DynPoint::from(pt.coord(0) - 1));
+        sink.push(DynPoint::from(pt.coord(0)));
+        sink.push(DynPoint::from(pt.coord(0) + 1));
+    });
+    let pg = private_ghost_split(&mut b.forest, p, q);
+    let w = b.task(TaskDecl {
+        name: "w".into(),
+        params: vec![
+            RegionParam::read_write(&[x]), // private own
+            RegionParam::read_write(&[x]), // shared own
+            RegionParam::read(&[y]),       // ghost halo
+        ],
+        num_scalar_args: 0,
+        returns_value: false,
+        kernel: Arc::new(|_| {}),
+        cost_per_element: 1.0,
+    });
+    let rd = b.task(TaskDecl {
+        name: "r".into(),
+        params: vec![
+            RegionParam::read_write(&[y]),
+            RegionParam::read_write(&[y]),
+            RegionParam::read(&[x]),
+        ],
+        num_scalar_args: 0,
+        returns_value: false,
+        kernel: Arc::new(|_| {}),
+        cost_per_element: 1.0,
+    });
+    let l = b.for_loop(c(2.0));
+    b.index_launch(
+        w,
+        16,
+        vec![
+            RegionArg::Part(pg.private_owned),
+            RegionArg::Part(pg.shared_owned),
+            RegionArg::Part(pg.ghost_halo),
+        ],
+    );
+    b.index_launch(
+        rd,
+        16,
+        vec![
+            RegionArg::Part(pg.private_owned),
+            RegionArg::Part(pg.shared_owned),
+            RegionArg::Part(pg.ghost_halo),
+        ],
+    );
+    b.end(l);
+    let hier = control_replicate(b.build(), &CrOptions::new(8)).unwrap();
+    let hier_plan = build_exchange_plan(&hier);
+
+    assert!(
+        hier_plan.setup.total_elements < flat_plan.setup.total_elements,
+        "hierarchical should move fewer elements: {} vs {}",
+        hier_plan.setup.total_elements,
+        flat_plan.setup.total_elements
+    );
+}

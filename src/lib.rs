@@ -1,0 +1,7 @@
+pub use regent_apps as apps;
+pub use regent_cr as cr;
+pub use regent_geometry as geometry;
+pub use regent_ir as ir;
+pub use regent_machine as machine;
+pub use regent_region as region;
+pub use regent_runtime as runtime;
