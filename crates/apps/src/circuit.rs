@@ -15,8 +15,7 @@
 //! "The input for this problem was a randomly generated sparse graph
 //! with 100k edges and 25k vertices per compute node."
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use regent_geometry::{Domain, DynPoint};
 use regent_ir::{expr::c, Privilege, Program, ProgramBuilder, RegionArg, RegionParam, TaskDecl};
 use regent_machine::{CopyEdge, MachineConfig, PhaseSpec, TimestepSpec};
@@ -71,18 +70,18 @@ pub struct CircuitGraph {
 /// node of a *neighbouring* piece (ring topology — matching the O(1)
 /// neighbours-per-piece property of scalable codes, §3.3).
 pub fn generate_graph(cfg: &CircuitConfig) -> CircuitGraph {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::new(cfg.seed);
     let npp = cfg.nodes_per_piece as i64;
     let mut endpoints = Vec::with_capacity(cfg.pieces * cfg.wires_per_piece);
     for piece in 0..cfg.pieces as i64 {
         for _ in 0..cfg.wires_per_piece {
-            let a = piece * npp + rng.gen_range(0..npp);
+            let a = piece * npp + rng.gen_range(npp as u64) as i64;
             let b = if cfg.pieces > 1 && rng.gen_bool(cfg.cross_fraction) {
                 let dir = if rng.gen_bool(0.5) { 1 } else { -1 };
                 let other = (piece + dir).rem_euclid(cfg.pieces as i64);
-                other * npp + rng.gen_range(0..npp)
+                other * npp + rng.gen_range(npp as u64) as i64
             } else {
-                piece * npp + rng.gen_range(0..npp)
+                piece * npp + rng.gen_range(npp as u64) as i64
             };
             endpoints.push((a, b));
         }

@@ -24,4 +24,5 @@
 pub mod circuit;
 pub mod miniaero;
 pub mod pennant;
+pub mod rng;
 pub mod stencil;

@@ -417,10 +417,7 @@ mod spec_invariant_tests {
     fn paper_workload_sizes() {
         let m = MachineConfig::piz_daint(4);
         assert_eq!(stencil_spec(4, &m).elements_per_node, 40_000 * 40_000);
-        assert_eq!(
-            miniaero::miniaero_spec(4, &m).elements_per_node,
-            512 * 1024
-        );
+        assert_eq!(miniaero::miniaero_spec(4, &m).elements_per_node, 512 * 1024);
         assert_eq!(pennant::pennant_spec(4, &m).elements_per_node, 7_400_000);
         assert_eq!(circuit::circuit_spec(4, &m).elements_per_node, 25_000);
     }

@@ -1,0 +1,87 @@
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regent_apps::circuit::{circuit_program, generate_graph, CircuitConfig};
+use regent_apps::stencil::{stencil_program, StencilConfig};
+use regent_cr::{control_replicate, CrOptions};
+
+fn bench_transform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("control_replicate");
+    for pieces in [4usize, 16, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("circuit", pieces),
+            &pieces,
+            |b, &pieces| {
+                let cfg = CircuitConfig {
+                    pieces,
+                    nodes_per_piece: 32,
+                    wires_per_piece: 128,
+                    cross_fraction: 0.1,
+                    steps: 2,
+                    substeps: 4,
+                    seed: 1,
+                };
+                let graph = generate_graph(&cfg);
+                b.iter(|| {
+                    let (prog, _) = circuit_program(cfg, &graph);
+                    control_replicate(prog, &CrOptions::new(pieces)).unwrap()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("stencil", pieces),
+            &pieces,
+            |b, &pieces| {
+                let (ntx, nty) = regent_apps::stencil::near_square(pieces);
+                let cfg = StencilConfig {
+                    n: 32 * ntx.max(nty) as u64,
+                    ntx,
+                    nty,
+                    radius: 2,
+                    steps: 2,
+                };
+                b.iter(|| {
+                    let (prog, _) = stencil_program(cfg);
+                    control_replicate(prog, &CrOptions::new(pieces)).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    // Compare transform time with and without the placement passes.
+    let cfg = CircuitConfig {
+        pieces: 16,
+        nodes_per_piece: 32,
+        wires_per_piece: 128,
+        cross_fraction: 0.1,
+        steps: 2,
+        substeps: 4,
+        seed: 1,
+    };
+    let graph = generate_graph(&cfg);
+    c.bench_function("transform_with_placement", |b| {
+        b.iter(|| {
+            let (prog, _) = circuit_program(cfg, &graph);
+            control_replicate(prog, &CrOptions::new(16)).unwrap()
+        })
+    });
+    c.bench_function("transform_without_placement", |b| {
+        b.iter(|| {
+            let (prog, _) = circuit_program(cfg, &graph);
+            let mut o = CrOptions::new(16);
+            o.optimize_placement = false;
+            control_replicate(prog, &o).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_transform, bench_placement
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regent_region::bvh::{Bvh, TaggedRect};
+use regent_region::intersect::{shallow_intersections_naive, shallow_intersections_of};
+use regent_region::interval::{Interval, IntervalTree};
+use regent_region::{ops, Color, Domain, DynPoint, DynRect, FieldSpace, RegionForest};
+
+/// A partition's children as `(color, domain)` pairs.
+type ChildList = Vec<(Color, Domain)>;
+
+/// Halo pattern over a 1-D region split into `pieces`.
+fn halo_lists(pieces: usize) -> (ChildList, ChildList) {
+    let mut forest = RegionForest::new();
+    let r = forest.create_region(Domain::range(pieces as u64 * 256), FieldSpace::new());
+    let pb = ops::block(&mut forest, r, pieces);
+    let qb = ops::image(&mut forest, r, pb, |p, sink| {
+        sink.push(DynPoint::from(p.coord(0) - 1));
+        sink.push(DynPoint::from(p.coord(0) + 1));
+    });
+    let get = |p| {
+        forest
+            .partition(p)
+            .iter()
+            .map(|(c, reg)| (c, forest.domain(reg).clone()))
+            .collect::<Vec<_>>()
+    };
+    (get(pb), get(qb))
+}
+
+fn bench_shallow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shallow_intersections");
+    for pieces in [64usize, 256, 1024] {
+        let (src, dst) = halo_lists(pieces);
+        g.bench_with_input(
+            BenchmarkId::new("interval_tree", pieces),
+            &pieces,
+            |b, _| b.iter(|| shallow_intersections_of(&src, &dst)),
+        );
+        g.bench_with_input(BenchmarkId::new("naive_n2", pieces), &pieces, |b, _| {
+            b.iter(|| shallow_intersections_naive(&src, &dst))
+        });
+    }
+    g.finish();
+}
+
+fn bench_structures(c: &mut Criterion) {
+    let intervals: Vec<Interval> = (0..4096)
+        .map(|i| Interval::new(i * 3, i * 3 + 5, i as u32))
+        .collect();
+    c.bench_function("interval_tree_build_4096", |b| {
+        b.iter(|| IntervalTree::build(intervals.clone()))
+    });
+    let tree = IntervalTree::build(intervals);
+    c.bench_function("interval_tree_query", |b| {
+        b.iter(|| tree.query_ids(6000, 6100))
+    });
+
+    let rects: Vec<TaggedRect> = (0..64 * 64)
+        .map(|i| {
+            let (x, y) = (i % 64, i / 64);
+            TaggedRect {
+                rect: DynRect::new(
+                    DynPoint::new(&[x * 10, y * 10]),
+                    DynPoint::new(&[x * 10 + 9, y * 10 + 9]),
+                ),
+                id: i as u32,
+            }
+        })
+        .collect();
+    c.bench_function("bvh_build_4096", |b| b.iter(|| Bvh::build(rects.clone())));
+    let bvh = Bvh::build(rects);
+    let q = DynRect::new(DynPoint::new(&[95, 95]), DynPoint::new(&[125, 125]));
+    c.bench_function("bvh_query", |b| b.iter(|| bvh.query_ids(&q)));
+}
+
+fn bench_domain_algebra(c: &mut Criterion) {
+    let a = Domain::from_ids((0..10_000).map(|i| i * 2));
+    let b_dom = Domain::from_ids((0..10_000).map(|i| i * 3));
+    c.bench_function("domain_intersect_sparse", |b| {
+        b.iter(|| a.intersect(&b_dom))
+    });
+    c.bench_function("domain_union_sparse", |b| b.iter(|| a.union(&b_dom)));
+    c.bench_function("domain_subtract_sparse", |b| b.iter(|| a.subtract(&b_dom)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_shallow, bench_structures, bench_domain_algebra
+}
+criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! for a denser curve.
 
 use regent_apps::stencil::stencil_spec;
-use regent_bench::{parse_args, print_figure};
+use regent_bench::{parse_args, run_figure};
 use regent_machine::{MachineConfig, MpiVariant};
 
 fn mpi(machine: &MachineConfig) -> MpiVariant {
@@ -29,10 +29,10 @@ fn mpi_openmp(machine: &MachineConfig) -> MpiVariant {
 
 fn main() {
     let runner = parse_args();
-    let series = runner.run(stencil_spec, &[("MPI", mpi), ("MPI+OpenMP", mpi_openmp)]);
-    print_figure(
+    run_figure(
         "Figure 6: Stencil weak scaling (10^6 points/s per node)",
-        &series,
-        runner.max_nodes,
+        &runner,
+        stencil_spec,
+        &[("MPI", mpi), ("MPI+OpenMP", mpi_openmp)],
     );
 }

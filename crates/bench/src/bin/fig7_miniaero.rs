@@ -11,7 +11,7 @@
 //! per core configuration".
 
 use regent_apps::miniaero::miniaero_spec;
-use regent_bench::{parse_args, print_figure};
+use regent_bench::{parse_args, run_figure};
 use regent_machine::{MachineConfig, MpiVariant};
 
 fn kokkos_rank_per_core(machine: &MachineConfig) -> MpiVariant {
@@ -29,16 +29,13 @@ fn kokkos_rank_per_node(_machine: &MachineConfig) -> MpiVariant {
 
 fn main() {
     let runner = parse_args();
-    let series = runner.run(
+    run_figure(
+        "Figure 7: MiniAero weak scaling (10^3 cells/s per node)",
+        &runner,
         miniaero_spec,
         &[
             ("MPI+Kokkos (rank/core)", kokkos_rank_per_core),
             ("MPI+Kokkos (rank/node)", kokkos_rank_per_node),
         ],
-    );
-    print_figure(
-        "Figure 7: MiniAero weak scaling (10^3 cells/s per node)",
-        &series,
-        runner.max_nodes,
     );
 }

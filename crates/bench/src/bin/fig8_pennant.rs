@@ -9,7 +9,7 @@
 //! references amplify noise (87% vs 82% vs 64% at 1024 nodes).
 
 use regent_apps::pennant::pennant_spec;
-use regent_bench::{parse_args, print_figure};
+use regent_bench::{parse_args, run_figure};
 use regent_machine::{MachineConfig, MpiVariant};
 
 fn mpi(machine: &MachineConfig) -> MpiVariant {
@@ -28,10 +28,10 @@ fn main() {
     // PENNANT's long compute-bound phases plus a per-step global dt
     // collective make it the noise-sensitive code of the suite.
     runner.machine_mod = |m| m.noise_fraction = 0.065;
-    let series = runner.run(pennant_spec, &[("MPI", mpi), ("MPI+OpenMP", mpi_openmp)]);
-    print_figure(
+    run_figure(
         "Figure 8: PENNANT weak scaling (10^6 zones/s per node)",
-        &series,
-        runner.max_nodes,
+        &runner,
+        pennant_spec,
+        &[("MPI", mpi), ("MPI+OpenMP", mpi_openmp)],
     );
 }

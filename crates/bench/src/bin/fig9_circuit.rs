@@ -4,14 +4,14 @@
 //! code).
 
 use regent_apps::circuit::circuit_spec;
-use regent_bench::{parse_args, print_figure};
+use regent_bench::{parse_args, run_figure};
 
 fn main() {
     let runner = parse_args();
-    let series = runner.run(circuit_spec, &[]);
-    print_figure(
+    run_figure(
         "Figure 9: Circuit weak scaling (10^3 graph nodes/s per node)",
-        &series,
-        runner.max_nodes,
+        &runner,
+        circuit_spec,
+        &[],
     );
 }

@@ -12,14 +12,22 @@
 //!   (Table 1), measured on the real intersection machinery.
 //! * `ablations` — the design-choice ablations listed in DESIGN.md.
 //!
+//! Every figure binary accepts `--trace <path>`: the simulated
+//! schedules are recorded (one track per node count per execution
+//! model), a per-timestep control-cost table is printed — the paper's
+//! O(N)-vs-O(1) control-overhead claim, read directly off the trace —
+//! and the whole trace is written as Chrome `trace_event` JSON
+//! loadable in `chrome://tracing` / Perfetto.
+//!
 //! Criterion micro-benchmarks live in `benches/`.
 
 #![warn(missing_docs)]
 
 use regent_machine::{
-    simulate_cr, simulate_implicit, simulate_mpi, MachineConfig, MpiVariant, ScalingSeries,
-    TimestepSpec,
+    simulate_cr_traced, simulate_implicit_traced, simulate_mpi, MachineConfig, MpiVariant,
+    ScalingSeries, TimestepSpec,
 };
+use regent_trace::{export_chrome, mean_step_cost, sim_control_cost_per_step, Trace, Tracer};
 
 /// Constructor of a reference-code configuration for a given machine.
 pub type VariantFn = fn(&MachineConfig) -> MpiVariant;
@@ -34,6 +42,9 @@ pub struct FigureRunner {
     /// Per-figure machine adjustment (e.g. an application sensitive to
     /// OS noise raises `noise_fraction`).
     pub machine_mod: fn(&mut MachineConfig),
+    /// When set, record the simulated schedules and write a Chrome
+    /// `trace_event` JSON file here.
+    pub trace_path: Option<String>,
 }
 
 impl Default for FigureRunner {
@@ -42,6 +53,7 @@ impl Default for FigureRunner {
             max_nodes: 1024,
             steps: 5,
             machine_mod: |_| {},
+            trace_path: None,
         }
     }
 }
@@ -55,6 +67,22 @@ impl FigureRunner {
         spec_of: impl Fn(usize, &MachineConfig) -> TimestepSpec,
         mpi_variants: &[(&str, VariantFn)],
     ) -> Vec<ScalingSeries> {
+        let (series, _) = self.run_collecting(spec_of, mpi_variants);
+        series
+    }
+
+    /// [`FigureRunner::run`], also returning the recorded trace (empty
+    /// when `trace_path` is unset).
+    pub fn run_collecting(
+        &self,
+        spec_of: impl Fn(usize, &MachineConfig) -> TimestepSpec,
+        mpi_variants: &[(&str, VariantFn)],
+    ) -> (Vec<ScalingSeries>, Trace) {
+        let tracer = if self.trace_path.is_some() {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
         let mut cr = ScalingSeries::new("Regent (with CR)");
         let mut nocr = ScalingSeries::new("Regent (w/o CR)");
         let mut mpis: Vec<ScalingSeries> = mpi_variants
@@ -65,8 +93,18 @@ impl FigureRunner {
             let mut machine = MachineConfig::piz_daint(nodes);
             (self.machine_mod)(&mut machine);
             let spec = spec_of(nodes, &machine);
-            cr.push(nodes, simulate_cr(&machine, &spec, self.steps));
-            nocr.push(nodes, simulate_implicit(&machine, &spec, self.steps));
+            let mut tb = tracer.buffer(&format!("cr/n{nodes}"));
+            cr.push(
+                nodes,
+                simulate_cr_traced(&machine, &spec, self.steps, &mut tb),
+            );
+            tb.flush();
+            let mut tb = tracer.buffer(&format!("implicit/n{nodes}"));
+            nocr.push(
+                nodes,
+                simulate_implicit_traced(&machine, &spec, self.steps, &mut tb),
+            );
+            tb.flush();
             for ((_, mk), series) in mpi_variants.iter().zip(&mut mpis) {
                 series.push(
                     nodes,
@@ -76,8 +114,58 @@ impl FigureRunner {
         }
         let mut out = vec![cr, nocr];
         out.extend(mpis);
-        out
+        regent_machine::trace_series(&out, &tracer);
+        (out, tracer.take())
     }
+}
+
+/// Per-step control cost of each execution model, per node count —
+/// extracted from the recorded simulator trace. The implicit column
+/// grows with the machine (O(N) dynamic analysis on one control
+/// thread); the CR column stays flat (O(1) per-shard launches, §3.5).
+pub fn control_cost_table(trace: &Trace, max_nodes: usize, steps: u64) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:>6}  {:>22}  {:>22}",
+        "nodes", "w/o CR ctl µs/step", "with CR ctl µs/step"
+    )
+    .unwrap();
+    let _ = steps;
+    for nodes in regent_machine::node_counts_to(max_nodes) {
+        let imp = mean_step_cost(&sim_control_cost_per_step(
+            trace,
+            &format!("implicit/n{nodes}"),
+        ));
+        let cr = mean_step_cost(&sim_control_cost_per_step(trace, &format!("cr/n{nodes}")));
+        writeln!(
+            out,
+            "{:>6}  {:>22.1}  {:>22.1}",
+            nodes,
+            imp / 1000.0,
+            cr / 1000.0
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Writes the trace as Chrome `trace_event` JSON at `path` (validating
+/// the output parses) and prints the control-cost evidence.
+pub fn write_trace(trace: &Trace, path: &str, max_nodes: usize, steps: u64) {
+    println!("--- per-timestep control cost (from simulated trace) ---");
+    print!("{}", control_cost_table(trace, max_nodes, steps));
+    println!();
+    let json = export_chrome(trace);
+    regent_trace::json::parse(&json).expect("exported trace is not valid JSON");
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!(
+        "trace: {} events on {} tracks -> {path} (open in chrome://tracing or Perfetto)",
+        trace.num_events(),
+        trace.tracks.len()
+    );
+    println!();
 }
 
 /// Prints a figure: the data table plus each series' parallel
@@ -98,7 +186,23 @@ pub fn print_figure(title: &str, series: &[ScalingSeries], max_nodes: usize) {
     println!();
 }
 
-/// Shared CLI handling: `--max-nodes N` and `--steps S`.
+/// Runs a figure end to end: sweep, table, and — when `--trace` was
+/// given — the control-cost table and the Chrome JSON file.
+pub fn run_figure(
+    title: &str,
+    runner: &FigureRunner,
+    spec_of: impl Fn(usize, &MachineConfig) -> TimestepSpec,
+    mpi_variants: &[(&str, VariantFn)],
+) {
+    let (series, trace) = runner.run_collecting(spec_of, mpi_variants);
+    print_figure(title, &series, runner.max_nodes);
+    if let Some(path) = &runner.trace_path {
+        write_trace(&trace, path, runner.max_nodes, runner.steps);
+    }
+}
+
+/// Shared CLI handling: `--max-nodes N`, `--steps S`, and
+/// `--trace <path>` (write a Chrome trace of the simulated schedules).
 pub fn parse_args() -> FigureRunner {
     let mut runner = FigureRunner::default();
     let args: Vec<String> = std::env::args().collect();
@@ -111,6 +215,10 @@ pub fn parse_args() -> FigureRunner {
             }
             "--steps" => {
                 runner.steps = args[i + 1].parse().expect("--steps S");
+                i += 2;
+            }
+            "--trace" => {
+                runner.trace_path = Some(args.get(i + 1).expect("--trace <path>").clone());
                 i += 2;
             }
             other => panic!("unknown argument {other}"),
@@ -137,5 +245,38 @@ mod tests {
         let nocr_eff = series[1].efficiency_at(32).unwrap();
         assert!(cr_eff > 0.9, "CR efficiency {cr_eff}");
         assert!(nocr_eff < cr_eff, "no-CR must trail CR");
+    }
+
+    #[test]
+    fn trace_shows_on_vs_o1_control_cost() {
+        let runner = FigureRunner {
+            max_nodes: 32,
+            steps: 3,
+            trace_path: Some("unused".into()),
+            ..Default::default()
+        };
+        let (_, trace) = runner.run_collecting(stencil_spec, &[]);
+        let imp1 = mean_step_cost(&sim_control_cost_per_step(&trace, "implicit/n1"));
+        let imp32 = mean_step_cost(&sim_control_cost_per_step(&trace, "implicit/n32"));
+        let cr1 = mean_step_cost(&sim_control_cost_per_step(&trace, "cr/n1"));
+        let cr32 = mean_step_cost(&sim_control_cost_per_step(&trace, "cr/n32"));
+        assert!(imp1 > 0.0 && cr1 > 0.0);
+        // O(N): the single control thread's per-step cost grows roughly
+        // linearly with the machine (32× nodes → ≥10× cost here, the
+        // fixed per-task term damping perfect linearity).
+        assert!(
+            imp32 > 10.0 * imp1,
+            "implicit control cost must grow with N: {imp1} -> {imp32}"
+        );
+        // O(1): each shard launches only its own tasks; per-step cost is
+        // independent of the node count.
+        assert!(
+            cr32 < 2.0 * cr1,
+            "CR control cost must stay flat: {cr1} -> {cr32}"
+        );
+        // And the exported JSON round-trips.
+        let json = export_chrome(&trace);
+        let v = regent_trace::json::parse(&json).unwrap();
+        assert!(!v.get("traceEvents").unwrap().as_arr().unwrap().is_empty());
     }
 }

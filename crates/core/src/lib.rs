@@ -32,9 +32,9 @@ pub use analysis::{
 };
 pub use hybrid::{replicate_ranges, HybridProgram, Segment};
 pub use placement::PlacementStats;
-pub use replicate::{control_replicate, CrOptions, SyncMode};
+pub use replicate::{control_replicate, control_replicate_traced, CrOptions, SyncMode};
 pub use spmd::{
-    block_range, owner_of, CopyId, CopySource, CopyStmt, CrStats, DomainId, IntersectDecl,
-    IntersectId, LaunchId, SpmdArg, SpmdLaunch, SpmdProgram, SpmdStmt, TempDecl, TempId, UseBase,
-    UseDecl,
+    block_range, owner_of, CopyId, CopySource, CopyStmt, CrStats, DomainId, ForestOracle,
+    IntersectDecl, IntersectId, LaunchId, SpmdArg, SpmdLaunch, SpmdProgram, SpmdStmt, TempDecl,
+    TempId, UseBase, UseDecl,
 };

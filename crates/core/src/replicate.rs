@@ -32,6 +32,7 @@ use crate::spmd::{
 use regent_geometry::Domain;
 use regent_ir::{normalize_projections, validate, Privilege, Program, RegionArg, Stmt};
 use regent_region::{Color, RegionForest};
+use regent_trace::{EventKind, TraceBuf, Tracer};
 use std::collections::HashMap;
 
 /// Synchronization strategy (§3.4).
@@ -362,16 +363,50 @@ impl<'a> Builder<'a> {
 /// The entire body must satisfy the target requirements of §2.2; use
 /// [`crate::analysis::find_replicable_ranges`] to locate eligible
 /// fragments of mixed programs first.
-pub fn control_replicate(mut program: Program, opts: &CrOptions) -> Result<SpmdProgram, CrError> {
+pub fn control_replicate(program: Program, opts: &CrOptions) -> Result<SpmdProgram, CrError> {
+    let tracer = Tracer::disabled();
+    control_replicate_traced(program, opts, &mut tracer.buffer("cr"))
+}
+
+/// [`control_replicate`] recording one `Pass` span per compiler phase
+/// into `tb` — the CR pipeline's own compile-time profile.
+pub fn control_replicate_traced(
+    mut program: Program,
+    opts: &CrOptions,
+    tb: &mut TraceBuf,
+) -> Result<SpmdProgram, CrError> {
     if opts.num_shards == 0 {
         return Err(CrError("num_shards must be positive".into()));
     }
+    let t0 = tb.now();
     if let Err(errs) = validate(&program) {
         return Err(CrError(format!("program invalid: {}", errs[0].0)));
     }
+    tb.span_since(t0, EventKind::Pass { name: "validate" });
+    let t0 = tb.now();
     normalize_projections(&mut program);
+    tb.span_since(
+        t0,
+        EventKind::Pass {
+            name: "normalize-projections",
+        },
+    );
+    let t0 = tb.now();
     let summaries = collect_accesses(&program, &program.body)?;
+    tb.span_since(
+        t0,
+        EventKind::Pass {
+            name: "collect-accesses",
+        },
+    );
+    let t0 = tb.now();
     check_coverage(&program.forest, &summaries)?;
+    tb.span_since(
+        t0,
+        EventKind::Pass {
+            name: "check-coverage",
+        },
+    );
 
     let mut b = Builder {
         program: &program,
@@ -401,10 +436,14 @@ pub fn control_replicate(mut program: Program, opts: &CrOptions) -> Result<SpmdP
         });
         b.use_index.insert(s.base, idx);
     }
+    let t0 = tb.now();
     let mut body = b.transform_stmts(&program.body);
+    tb.span_since(t0, EventKind::Pass { name: "transform" });
     let mut stats = b.stats;
     if opts.optimize_placement {
+        let t0 = tb.now();
         let placed = placement::optimize(&mut body, &b.uses, &program.tasks);
+        tb.span_since(t0, EventKind::Pass { name: "placement" });
         stats.copies_removed_redundant = placed.removed_redundant;
         stats.copies_removed_dead = placed.removed_dead;
     }

@@ -224,6 +224,63 @@ pub struct CrStats {
     pub barriers: usize,
 }
 
+impl CrStats {
+    /// Records the transform's statistics as `Counter` events on a
+    /// `cr-stats` track, so compile-time decisions (copies inserted and
+    /// removed, pairs proven disjoint) land in the same trace file as
+    /// the execution they shaped.
+    pub fn emit_trace(&self, tracer: &std::sync::Arc<regent_trace::Tracer>) {
+        let mut tb = tracer.buffer("cr-stats");
+        let counters: [(&'static str, usize); 7] = [
+            ("copies_inserted", self.copies_inserted),
+            ("reduction_copies_inserted", self.reduction_copies_inserted),
+            ("copies_removed_redundant", self.copies_removed_redundant),
+            ("copies_removed_dead", self.copies_removed_dead),
+            ("pairs_proven_disjoint", self.pairs_proven_disjoint),
+            ("scalar_collectives", self.scalar_collectives),
+            ("barriers", self.barriers),
+        ];
+        for (i, (name, v)) in counters.into_iter().enumerate() {
+            tb.push(
+                i as u64,
+                0,
+                regent_trace::EventKind::Counter {
+                    name,
+                    value: v as f64,
+                },
+            );
+        }
+        tb.flush();
+    }
+}
+
+/// A [`regent_trace::OverlapOracle`] backed by the real region forest:
+/// two regions may alias only when they belong to the same tree and
+/// their domains actually intersect. This is what lets the Spy
+/// validator skip access pairs the region system proves independent.
+pub struct ForestOracle<'a> {
+    forest: &'a RegionForest,
+}
+
+impl<'a> ForestOracle<'a> {
+    /// Creates an oracle over `forest`.
+    pub fn new(forest: &'a RegionForest) -> Self {
+        ForestOracle { forest }
+    }
+}
+
+impl regent_trace::OverlapOracle for ForestOracle<'_> {
+    fn overlaps(&self, a: u32, b: u32) -> bool {
+        let n = self.forest.num_regions() as u32;
+        if a >= n || b >= n {
+            // Unknown region ids: stay conservative.
+            return true;
+        }
+        let (a, b) = (RegionId(a), RegionId(b));
+        self.forest.root_of(a) == self.forest.root_of(b) && !self.forest.dynamically_disjoint(a, b)
+    }
+}
+
 /// The complete SPMD program: replicated body + allocation and
 /// intersection tables.
 pub struct SpmdProgram {

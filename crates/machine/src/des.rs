@@ -9,6 +9,15 @@
 //! collective latency — are modeled explicitly, while task compute
 //! costs are supplied by the workload builders.
 
+//!
+//! With an enabled tracer ([`Sim::run_traced`]) the engine records a
+//! `SimTask` span for every service interval, tagged via [`Sim::tag`]
+//! with its model-level meaning (launch, analysis, compute, copy,
+//! collective) and (node, step) coordinates. Virtual seconds map to
+//! trace nanoseconds 1:1e9, so the Chrome exporter renders simulated
+//! timelines exactly like real ones.
+
+use regent_trace::{EventKind as TraceEventKind, SimKind, TraceBuf, Tracer};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -47,6 +56,8 @@ pub struct Resource {
 pub struct Sim {
     tasks: Vec<SimTask>,
     resources: Vec<Resource>,
+    /// Trace tags parallel to `tasks`: (kind, node, step).
+    meta: Vec<(SimKind, u32, u32)>,
 }
 
 /// Results of a simulation run.
@@ -105,6 +116,7 @@ impl Sim {
         Sim {
             tasks: Vec::new(),
             resources: Vec::new(),
+            meta: Vec::new(),
         }
     }
 
@@ -138,7 +150,13 @@ impl Sim {
             dependents: Vec::new(),
             num_deps: 0,
         });
+        self.meta.push((SimKind::Other, 0, 0));
         id
+    }
+
+    /// Tags a task with its model-level meaning for tracing.
+    pub fn tag(&mut self, t: SimTaskId, kind: SimKind, node: u32, step: u32) {
+        self.meta[t.0 as usize] = (kind, node, step);
     }
 
     /// Declares that `after` cannot start before `before` completes.
@@ -157,7 +175,15 @@ impl Sim {
     /// # Panics
     /// If the dependence graph is cyclic (some task never becomes
     /// ready).
-    pub fn run(mut self) -> SimResult {
+    pub fn run(self) -> SimResult {
+        let tracer = Tracer::disabled();
+        let mut tb = tracer.buffer("sim");
+        self.run_traced(&mut tb)
+    }
+
+    /// [`Sim::run`] recording a `SimTask` span per service interval
+    /// into `tb` (virtual seconds × 1e9 → trace nanoseconds).
+    pub fn run_traced(mut self, tb: &mut TraceBuf) -> SimResult {
         let n = self.tasks.len();
         let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
         let mut seq = 0u64;
@@ -201,6 +227,7 @@ impl Sim {
                         free[r.0 as usize] -= 1;
                         let d = self.tasks[tid.0 as usize].duration;
                         busy_time[r.0 as usize] += d;
+                        record_service(tb, &self.meta, tid, now, d);
                         push(&mut heap, &mut seq, now + d, EventKind::ServerDone(r, tid));
                     } else {
                         queues[r.0 as usize].push_back(tid);
@@ -212,6 +239,7 @@ impl Sim {
                     if let Some(next) = queues[r.0 as usize].pop_front() {
                         let d = self.tasks[next.0 as usize].duration;
                         busy_time[r.0 as usize] += d;
+                        record_service(tb, &self.meta, next, now, d);
                         push(&mut heap, &mut seq, now + d, EventKind::ServerDone(r, next));
                     } else {
                         free[r.0 as usize] += 1;
@@ -246,6 +274,19 @@ impl Sim {
             finish_times: finish,
             busy_time,
         }
+    }
+}
+
+/// Records one service interval as a `SimTask` span (virtual seconds
+/// scaled to nanoseconds).
+fn record_service(tb: &mut TraceBuf, meta: &[(SimKind, u32, u32)], t: SimTaskId, now: f64, d: f64) {
+    if tb.is_enabled() {
+        let (kind, node, step) = meta[t.0 as usize];
+        tb.push(
+            (now * 1e9) as u64,
+            (d * 1e9) as u64,
+            TraceEventKind::SimTask { kind, node, step },
+        );
     }
 }
 
@@ -336,6 +377,38 @@ mod tests {
         sim.add_dep(a, b);
         sim.add_dep(b, a);
         sim.run();
+    }
+
+    #[test]
+    fn traced_run_records_service_spans() {
+        let tracer = Tracer::enabled();
+        let mut sim = Sim::new();
+        let r = sim.add_resource(1);
+        let a = sim.add_task(r, 1.0);
+        let b = sim.add_task(r, 2.0);
+        sim.add_dep(a, b);
+        sim.tag(a, SimKind::Launch, 3, 7);
+        sim.tag(b, SimKind::Compute, 3, 7);
+        let mut tb = tracer.buffer("sim");
+        let res = sim.run_traced(&mut tb);
+        tb.flush();
+        assert_eq!(res.makespan, 3.0);
+        let trace = tracer.take();
+        let track = trace.track("sim").unwrap();
+        assert_eq!(track.events.len(), 2);
+        // Spans in service order with virtual-seconds × 1e9 timestamps.
+        assert_eq!(track.events[0].ts, 0);
+        assert_eq!(track.events[0].dur, 1_000_000_000);
+        assert_eq!(track.events[1].ts, 1_000_000_000);
+        assert_eq!(track.events[1].dur, 2_000_000_000);
+        match track.events[1].kind {
+            TraceEventKind::SimTask { kind, node, step } => {
+                assert_eq!(kind, SimKind::Compute);
+                assert_eq!(node, 3);
+                assert_eq!(step, 7);
+            }
+            ref k => panic!("unexpected event {k:?}"),
+        }
     }
 
     #[test]

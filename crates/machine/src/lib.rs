@@ -12,6 +12,11 @@
 //!   Regent with CR, Regent without CR (single control thread), and
 //!   hand-written MPI(+X) references.
 //! * [`metrics`] — weak-scaling series/efficiency reporting.
+//!
+//! The engine and every scenario have `*_traced` variants recording
+//! the simulated schedule as `SimTask` spans into a `regent-trace`
+//! buffer (virtual seconds × 1e9 → nanoseconds), so simulated runs can
+//! be profiled and exported exactly like real executor runs.
 
 #![warn(missing_docs)]
 
@@ -21,6 +26,9 @@ pub mod model;
 pub mod scenario;
 
 pub use des::{Resource, ResourceId, Sim, SimResult, SimTask, SimTaskId};
-pub use metrics::{format_table, node_counts_to, ScalePoint, ScalingSeries};
+pub use metrics::{format_table, node_counts_to, trace_series, ScalePoint, ScalingSeries};
 pub use model::{CopyEdge, MachineConfig, PhaseSpec, TimestepSpec};
-pub use scenario::{simulate_cr, simulate_implicit, simulate_mpi, MpiVariant, ScenarioResult};
+pub use scenario::{
+    simulate_cr, simulate_cr_traced, simulate_implicit, simulate_implicit_traced, simulate_mpi,
+    simulate_mpi_traced, MpiVariant, ScenarioResult,
+};

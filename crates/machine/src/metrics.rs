@@ -89,6 +89,27 @@ pub fn format_table(series: &[ScalingSeries]) -> String {
     out
 }
 
+/// Records scaling series into a trace as `Counter` events: one track
+/// per series (named `series/<label>`), timestamped by node count so
+/// the Chrome counter plot reads as throughput-per-node vs. machine
+/// size.
+pub fn trace_series(series: &[ScalingSeries], tracer: &std::sync::Arc<regent_trace::Tracer>) {
+    for s in series {
+        let mut tb = tracer.buffer(&format!("series/{}", s.label));
+        for p in &s.points {
+            tb.push(
+                p.nodes as u64,
+                0,
+                regent_trace::EventKind::Counter {
+                    name: "throughput_per_node",
+                    value: p.throughput_per_node,
+                },
+            );
+        }
+        tb.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,8 +14,16 @@
 //!   MPI+OpenMP, MPI+Kokkos): no runtime overhead, all cores compute,
 //!   bulk-synchronous neighbor exchanges.
 
+//!
+//! Every scenario has a `*_traced` variant that tags each sim-task with
+//! its model-level meaning and records the simulated schedule into a
+//! [`TraceBuf`]. Per-step control cost extracted from such traces
+//! (`regent_trace::sim_control_cost_per_step`) is the simulator's
+//! evidence for the paper's O(N)-vs-O(1) control-overhead claim.
+
 use crate::des::{ResourceId, Sim, SimTaskId};
 use crate::model::{noise_multiplier, MachineConfig, TimestepSpec};
+use regent_trace::{SimKind, TraceBuf, Tracer};
 
 /// Result of simulating one configuration.
 #[derive(Clone, Copy, Debug)]
@@ -28,9 +36,9 @@ pub struct ScenarioResult {
     pub graph_size: usize,
 }
 
-fn finish(sim: Sim, spec: &TimestepSpec, steps: u64) -> ScenarioResult {
+fn finish(sim: Sim, spec: &TimestepSpec, steps: u64, tb: &mut TraceBuf) -> ScenarioResult {
     let graph_size = sim.num_tasks();
-    let res = sim.run();
+    let res = sim.run_traced(tb);
     let throughput = spec.elements_per_node as f64 * steps as f64 / res.makespan;
     ScenarioResult {
         makespan: res.makespan,
@@ -41,6 +49,17 @@ fn finish(sim: Sim, spec: &TimestepSpec, steps: u64) -> ScenarioResult {
 
 /// Simulates Regent **with** control replication.
 pub fn simulate_cr(machine: &MachineConfig, spec: &TimestepSpec, steps: u64) -> ScenarioResult {
+    let tracer = Tracer::disabled();
+    simulate_cr_traced(machine, spec, steps, &mut tracer.buffer("sim"))
+}
+
+/// [`simulate_cr`] recording the simulated schedule into `tb`.
+pub fn simulate_cr_traced(
+    machine: &MachineConfig,
+    spec: &TimestepSpec,
+    steps: u64,
+    tb: &mut TraceBuf,
+) -> ScenarioResult {
     let n = spec.num_nodes;
     let mut sim = Sim::new();
     let compute: Vec<ResourceId> = (0..n)
@@ -58,7 +77,7 @@ pub fn simulate_cr(machine: &MachineConfig, spec: &TimestepSpec, steps: u64) -> 
     let mut pending_collective: Option<SimTaskId> = None;
 
     let mut noise_key = 0u64;
-    for _ in 0..steps {
+    for step in 0..steps {
         for phase in &spec.phases {
             let mut cur_tasks: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
             for node in 0..n {
@@ -67,6 +86,7 @@ pub fn simulate_cr(machine: &MachineConfig, spec: &TimestepSpec, steps: u64) -> 
                     // Deferred execution: collectives never block the
                     // shard's control flow (§3.4).
                     let op = sim.add_task(control[node], machine.shard_launch_time);
+                    sim.tag(op, SimKind::Launch, node as u32, step as u32);
                     if let Some(prev) = last_launch[node] {
                         sim.add_dep(prev, op);
                     }
@@ -76,6 +96,7 @@ pub fn simulate_cr(machine: &MachineConfig, spec: &TimestepSpec, steps: u64) -> 
                     let dur =
                         phase.task_compute_s * noise_multiplier(machine.noise_fraction, noise_key);
                     let t = sim.add_task(compute[node], dur);
+                    sim.tag(t, SimKind::Compute, node as u32, step as u32);
                     sim.add_dep(op, t);
                     for &p in &prev_tasks[node] {
                         sim.add_dep(p, t);
@@ -103,6 +124,7 @@ pub fn simulate_cr(machine: &MachineConfig, spec: &TimestepSpec, steps: u64) -> 
                     machine.message_overhead + e.bytes / machine.network_bandwidth,
                     machine.network_latency,
                 );
+                sim.tag(c, SimKind::Copy, e.src, step as u32);
                 for &t in &cur_tasks[e.src as usize] {
                     sim.add_dep(t, c);
                 }
@@ -112,6 +134,7 @@ pub fn simulate_cr(machine: &MachineConfig, spec: &TimestepSpec, steps: u64) -> 
             // a consuming phase picks it up.
             if phase.collective {
                 let j = sim.add_task_delayed(control[0], 0.0, machine.collective_latency(n));
+                sim.tag(j, SimKind::Collective, 0, step as u32);
                 for tasks in &cur_tasks {
                     for &t in tasks {
                         sim.add_dep(t, j);
@@ -123,7 +146,7 @@ pub fn simulate_cr(machine: &MachineConfig, spec: &TimestepSpec, steps: u64) -> 
             inbound = new_inbound;
         }
     }
-    finish(sim, spec, steps)
+    finish(sim, spec, steps, tb)
 }
 
 /// Simulates Regent **without** control replication: one control
@@ -132,6 +155,20 @@ pub fn simulate_implicit(
     machine: &MachineConfig,
     spec: &TimestepSpec,
     steps: u64,
+) -> ScenarioResult {
+    let tracer = Tracer::disabled();
+    simulate_implicit_traced(machine, spec, steps, &mut tracer.buffer("sim"))
+}
+
+/// [`simulate_implicit`] recording the simulated schedule into `tb`.
+/// The dynamic-analysis spans all land on node 0 — the single control
+/// thread — which is exactly what the per-step control-cost profile
+/// shows growing with machine size.
+pub fn simulate_implicit_traced(
+    machine: &MachineConfig,
+    spec: &TimestepSpec,
+    steps: u64,
+    tb: &mut TraceBuf,
 ) -> ScenarioResult {
     let n = spec.num_nodes;
     let mut sim = Sim::new();
@@ -147,7 +184,7 @@ pub fn simulate_implicit(
     let mut pending_collective: Option<SimTaskId> = None;
 
     let mut noise_key = 0u64;
-    for _ in 0..steps {
+    for step in 0..steps {
         for phase in &spec.phases {
             let mut cur_tasks: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
             for node in 0..n {
@@ -162,6 +199,8 @@ pub fn simulate_implicit(
                     let analysis =
                         machine.task_analysis_time + machine.task_analysis_window_cost * in_flight;
                     let op = sim.add_task_delayed(control, analysis, machine.network_latency);
+                    // Analysis happens on the control thread (node 0).
+                    sim.tag(op, SimKind::Analysis, 0, step as u32);
                     if let Some(prev) = last_launch {
                         sim.add_dep(prev, op);
                     }
@@ -173,6 +212,7 @@ pub fn simulate_implicit(
                     let dur =
                         phase.task_compute_s * noise_multiplier(machine.noise_fraction, noise_key);
                     let t = sim.add_task(compute[node], dur);
+                    sim.tag(t, SimKind::Compute, node as u32, step as u32);
                     sim.add_dep(op, t);
                     for &p in &prev_tasks[node] {
                         sim.add_dep(p, t);
@@ -190,6 +230,7 @@ pub fn simulate_implicit(
                     machine.message_overhead + e.bytes / machine.network_bandwidth,
                     machine.network_latency,
                 );
+                sim.tag(c, SimKind::Copy, e.src, step as u32);
                 for &t in &cur_tasks[e.src as usize] {
                     sim.add_dep(t, c);
                 }
@@ -198,6 +239,7 @@ pub fn simulate_implicit(
             pending_collective = if phase.collective {
                 // The control thread blocks on the reduced scalar.
                 let j = sim.add_task_delayed(control, 0.0, machine.collective_latency(n));
+                sim.tag(j, SimKind::Collective, 0, step as u32);
                 for tasks in &cur_tasks {
                     for &t in tasks {
                         sim.add_dep(t, j);
@@ -211,7 +253,7 @@ pub fn simulate_implicit(
             inbound = new_inbound;
         }
     }
-    finish(sim, spec, steps)
+    finish(sim, spec, steps, tb)
 }
 
 /// Configuration of a hand-written SPMD reference.
@@ -261,6 +303,18 @@ pub fn simulate_mpi(
     steps: u64,
     variant: MpiVariant,
 ) -> ScenarioResult {
+    let tracer = Tracer::disabled();
+    simulate_mpi_traced(machine, spec, steps, variant, &mut tracer.buffer("sim"))
+}
+
+/// [`simulate_mpi`] recording the simulated schedule into `tb`.
+pub fn simulate_mpi_traced(
+    machine: &MachineConfig,
+    spec: &TimestepSpec,
+    steps: u64,
+    variant: MpiVariant,
+    tb: &mut TraceBuf,
+) -> ScenarioResult {
     let n = spec.num_nodes;
     let mut sim = Sim::new();
     let compute: Vec<ResourceId> = (0..n)
@@ -272,7 +326,7 @@ pub fn simulate_mpi(
     let mut pending_collective: Option<SimTaskId> = None;
 
     let mut noise_key = 0u64;
-    for _ in 0..steps {
+    for step in 0..steps {
         for phase in &spec.phases {
             // Per node: total phase work split evenly over the cores.
             let total =
@@ -286,6 +340,7 @@ pub fn simulate_mpi(
                     let dur = chunk_t
                         * noise_multiplier(machine.noise_fraction * variant.noise_scale, noise_key);
                     let t = sim.add_task(compute[node], dur);
+                    sim.tag(t, SimKind::Compute, node as u32, step as u32);
                     for &p in &prev_barrier[node] {
                         sim.add_dep(p, t);
                     }
@@ -308,6 +363,7 @@ pub fn simulate_mpi(
                         machine.message_overhead + e.bytes / r as f64 / machine.network_bandwidth,
                         machine.network_latency,
                     );
+                    sim.tag(c, SimKind::Copy, e.src, step as u32);
                     for &t in &cur_tasks[e.src as usize] {
                         sim.add_dep(t, c);
                     }
@@ -319,6 +375,7 @@ pub fn simulate_mpi(
             pending_collective = if phase.collective {
                 let j =
                     sim.add_task_delayed(nic[0], 0.0, machine.collective_latency(n * r as usize));
+                sim.tag(j, SimKind::Collective, 0, step as u32);
                 for tasks in &cur_tasks {
                     for &t in tasks {
                         sim.add_dep(t, j);
@@ -334,7 +391,7 @@ pub fn simulate_mpi(
             prev_barrier = barrier_next;
         }
     }
-    finish(sim, spec, steps)
+    finish(sim, spec, steps, tb)
 }
 
 #[cfg(test)]

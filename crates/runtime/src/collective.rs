@@ -8,9 +8,13 @@
 //!   order bit-for-bit.
 //! * [`ShardBarrier`] — a reusable sense-reversing barrier for the
 //!   naive synchronization mode (Fig. 4c).
+//!
+//! Both primitives expose their *generation* numbers (`*_counted`
+//! variants) so callers can record synchronization events the trace
+//! validator can correlate across shard event logs.
 
-use parking_lot::{Condvar, Mutex};
 use regent_region::ReductionOp;
+use std::sync::{Condvar, Mutex};
 
 struct CollectiveState {
     generation: u64,
@@ -48,7 +52,13 @@ impl DynamicCollective {
     /// participant of this generation has contributed; returns the fold
     /// of all contributions in shard order.
     pub fn reduce(&self, shard: usize, value: f64, op: ReductionOp) -> f64 {
-        let mut st = self.state.lock();
+        self.reduce_counted(shard, value, op).0
+    }
+
+    /// Like [`DynamicCollective::reduce`], also returning the
+    /// generation number this contribution belonged to.
+    pub fn reduce_counted(&self, shard: usize, value: f64, op: ReductionOp) -> (f64, u64) {
+        let mut st = self.state.lock().unwrap();
         let my_gen = st.generation;
         debug_assert!(st.contributions[shard].is_none(), "double contribution");
         st.contributions[shard] = Some(value);
@@ -64,12 +74,12 @@ impl DynamicCollective {
             st.arrived = 0;
             st.generation += 1;
             self.cv.notify_all();
-            return acc;
+            return (acc, my_gen);
         }
         while st.generation == my_gen {
-            self.cv.wait(&mut st);
+            st = self.cv.wait(st).unwrap();
         }
-        st.result
+        (st.result, my_gen)
     }
 }
 
@@ -101,18 +111,25 @@ impl ShardBarrier {
 
     /// Blocks until all `n` participants have arrived.
     pub fn wait(&self) {
-        let mut st = self.state.lock();
+        self.wait_counted();
+    }
+
+    /// Like [`ShardBarrier::wait`], returning the generation number
+    /// this arrival belonged to.
+    pub fn wait_counted(&self) -> u64 {
+        let mut st = self.state.lock().unwrap();
         let my_gen = st.generation;
         st.arrived += 1;
         if st.arrived == self.n {
             st.arrived = 0;
             st.generation += 1;
             self.cv.notify_all();
-            return;
+            return my_gen;
         }
         while st.generation == my_gen {
-            self.cv.wait(&mut st);
+            st = self.cv.wait(st).unwrap();
         }
+        my_gen
     }
 }
 
@@ -147,7 +164,9 @@ mod tests {
                     let mut results = Vec::new();
                     for round in 0..10 {
                         let v = (s * 10 + round) as f64;
-                        results.push(c.reduce(s, v, ReductionOp::Max));
+                        let (r, generation) = c.reduce_counted(s, v, ReductionOp::Max);
+                        assert_eq!(generation, round as u64);
+                        results.push(r);
                     }
                     results
                 })
@@ -181,10 +200,11 @@ mod tests {
                 std::thread::spawn(move || {
                     for round in 1..=20 {
                         counter.fetch_add(1, Ordering::SeqCst);
-                        b.wait();
+                        let g = b.wait_counted();
                         // After the barrier, all n increments of this
                         // round must be visible.
                         assert!(counter.load(Ordering::SeqCst) >= n * round);
+                        assert_eq!(g as usize, 2 * round - 2);
                         b.wait();
                     }
                 })

@@ -7,10 +7,16 @@
 //! store and flushes written partitions back at its end — exactly the
 //! initialization/finalization copies of §3.1 placed at the range
 //! boundaries.
+//!
+//! The traced entry point records a `Pass` span per segment on a
+//! `hybrid` control track, bracketing the shard tracks the replicated
+//! segments produce.
 
-use crate::spmd_exec::{execute_spmd_with_env, ShardStats};
+use crate::spmd_exec::{execute_spmd_with_env_traced, ShardStats};
 use regent_cr::hybrid::{HybridProgram, Segment};
 use regent_ir::{interp, Store};
+use regent_trace::{EventKind, Tracer};
+use std::sync::Arc;
 
 /// Result of a hybrid execution.
 pub struct HybridRunResult {
@@ -26,6 +32,18 @@ pub struct HybridRunResult {
 
 /// Executes a hybrid program end to end.
 pub fn execute_hybrid(hybrid: &HybridProgram, store: &mut Store) -> HybridRunResult {
+    execute_hybrid_traced(hybrid, store, &Tracer::disabled())
+}
+
+/// [`execute_hybrid`] recording events into `tracer`: a `Pass` span per
+/// segment on the `hybrid` track, plus the usual shard tracks from each
+/// replicated segment.
+pub fn execute_hybrid_traced(
+    hybrid: &HybridProgram,
+    store: &mut Store,
+    tracer: &Arc<Tracer>,
+) -> HybridRunResult {
+    let mut tb = tracer.buffer("hybrid");
     let mut env: Vec<f64> = hybrid.base.scalars.iter().map(|s| s.init).collect();
     let mut spmd_stats = ShardStats::default();
     let mut sequential_tasks = 0;
@@ -33,17 +51,32 @@ pub fn execute_hybrid(hybrid: &HybridProgram, store: &mut Store) -> HybridRunRes
     for segment in &hybrid.segments {
         match segment {
             Segment::Sequential(stmts) => {
+                let t0 = tb.now();
                 let stats = interp::run_stmts_in(&hybrid.base, store, stmts, &mut env);
+                tb.span_since(
+                    t0,
+                    EventKind::Pass {
+                        name: "segment-sequential",
+                    },
+                );
                 sequential_tasks += stats.tasks_executed;
             }
             Segment::Replicated(spmd) => {
-                let r = execute_spmd_with_env(spmd, store, env.clone());
+                let t0 = tb.now();
+                let r = execute_spmd_with_env_traced(spmd, store, env.clone(), tracer);
+                tb.span_since(
+                    t0,
+                    EventKind::Pass {
+                        name: "segment-replicated",
+                    },
+                );
                 env = r.env;
                 spmd_stats.merge_from(&r.stats);
                 replicated_segments += 1;
             }
         }
     }
+    tb.flush();
     HybridRunResult {
         env,
         spmd_stats,

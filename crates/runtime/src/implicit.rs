@@ -15,7 +15,10 @@
 //! grows with the machine: the control thread does O(N) analysis work
 //! per time step. The executor counts that work
 //! ([`ImplicitStats::dependence_checks`]) so the machine model in
-//! `regent-machine` can charge it when projecting to large node counts.
+//! `regent-machine` can charge it when projecting to large node counts,
+//! and — when [`ImplicitOptions::tracer`] is enabled — records every
+//! launch, analysis span, dependence edge, and kernel run as structured
+//! events for the `regent-trace` consumers.
 //!
 //! Reduction privileges are serialized against each other here (rather
 //! than staged through temporaries), which keeps fold order identical
@@ -23,13 +26,13 @@
 //! interpreter, which the test suite exploits.
 
 use crate::mapper::{DefaultMapper, Mapper};
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
 use regent_geometry::{Domain, DynPoint};
 use regent_ir::{interp::resolve_arg, ArgSlot, Privilege, Program, Stmt, Store, TaskCtx, TaskId};
 use regent_region::{Instance, RegionId};
+use regent_trace::{fields_mask, EventKind, PrivCode, TraceBuf, Tracer};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Options for the implicit executor.
 #[derive(Clone)]
@@ -38,14 +41,18 @@ pub struct ImplicitOptions {
     pub num_workers: usize,
     /// The mapping policy assigning point tasks to workers (§4.2).
     pub mapper: Arc<dyn Mapper>,
+    /// Event recorder; [`Tracer::disabled`] makes recording free.
+    pub tracer: Arc<Tracer>,
 }
 
 impl ImplicitOptions {
-    /// `num_workers` workers with the default round-robin mapper.
+    /// `num_workers` workers with the default round-robin mapper and
+    /// tracing off.
     pub fn with_workers(num_workers: usize) -> Self {
         ImplicitOptions {
             num_workers,
             mapper: Arc::new(DefaultMapper),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -89,6 +96,10 @@ struct Job {
     args: Vec<JobArg>,
     scalars: Vec<f64>,
     point: DynPoint,
+    /// Dynamic launch sequence number (trace identity).
+    launch: u32,
+    /// Position in the launch domain (trace identity).
+    pos: u32,
     /// Worker chosen by the mapper (§4.2).
     worker: usize,
     ret: Mutex<Option<f64>>,
@@ -111,11 +122,9 @@ impl Pool {
         let w = job.worker;
         self.ready_tx[w].send(Some(job)).unwrap();
     }
-}
 
-impl Pool {
     fn complete_one(&self) {
-        let mut n = self.outstanding.lock();
+        let mut n = self.outstanding.lock().unwrap();
         *n -= 1;
         if *n == 0 {
             self.drained.notify_all();
@@ -123,18 +132,18 @@ impl Pool {
     }
 
     fn register(&self) {
-        *self.outstanding.lock() += 1;
+        *self.outstanding.lock().unwrap() += 1;
     }
 
     fn wait_drained(&self) {
-        let mut n = self.outstanding.lock();
+        let mut n = self.outstanding.lock().unwrap();
         while *n > 0 {
-            self.drained.wait(&mut n);
+            n = self.drained.wait(n).unwrap();
         }
     }
 }
 
-fn run_job(job: &Job, tasks: &[regent_ir::TaskDecl], pool: &Pool) {
+fn run_job(job: &Job, tasks: &[regent_ir::TaskDecl], pool: &Pool, tb: &mut TraceBuf) {
     let decl = &tasks[job.task.0 as usize];
     let mut slots: Vec<ArgSlot> = job
         .args
@@ -148,12 +157,21 @@ fn run_job(job: &Job, tasks: &[regent_ir::TaskDecl], pool: &Pool) {
         })
         .collect();
     let mut ctx = TaskCtx::new(&mut slots, &job.scalars, job.point);
+    let t0 = tb.now();
     (decl.kernel)(&mut ctx);
-    *job.ret.lock() = ctx.return_value;
+    tb.span_since(
+        t0,
+        EventKind::TaskRun {
+            launch: job.launch,
+            pos: job.pos,
+            task: job.task.0,
+        },
+    );
+    *job.ret.lock().unwrap() = ctx.return_value;
     // Mark done and release dependents under the lock so late
     // edge-additions observe a consistent state.
     let deps = {
-        let mut d = job.dependents.lock();
+        let mut d = job.dependents.lock().unwrap();
         job.done.store(true, Ordering::SeqCst);
         std::mem::take(&mut *d)
     };
@@ -180,6 +198,33 @@ impl Window {
     }
 }
 
+/// Control-thread bookkeeping threaded through statement execution:
+/// statistics, the event recorder, and the trace identity counters.
+struct Ctl {
+    stats: ImplicitStats,
+    tb: TraceBuf,
+    launch_seq: u32,
+    loop_depth: u32,
+}
+
+impl Ctl {
+    /// Emits the drain marker after the pool quiesced (a full barrier
+    /// in the happens-before graph).
+    fn drained(&mut self) {
+        self.tb.instant(EventKind::Drain);
+    }
+}
+
+/// Maps an IR privilege to its trace-event code (shared with the SPMD
+/// executor so both logs speak the same access language).
+pub(crate) fn priv_code(p: Privilege) -> PrivCode {
+    match p {
+        Privilege::Read => PrivCode::Read,
+        Privilege::ReadWrite => PrivCode::Write,
+        Privilege::Reduce(op) => PrivCode::Reduce(op as u8),
+    }
+}
+
 /// Do two privileges require an ordering edge when their regions
 /// overlap? Reductions are serialized (see module docs).
 fn needs_edge(a: Privilege, b: Privilege) -> bool {
@@ -196,7 +241,6 @@ pub fn execute_implicit(
 ) -> (Vec<f64>, ImplicitStats) {
     assert!(opts.num_workers > 0);
     let mut env: Vec<f64> = program.scalars.iter().map(|s| s.init).collect();
-    let mut stats = ImplicitStats::default();
 
     // Cache raw pointers to every root instance (the map is not
     // mutated while workers run).
@@ -210,7 +254,7 @@ pub fn execute_implicit(
     let mut senders = Vec::with_capacity(opts.num_workers);
     let mut receivers = Vec::with_capacity(opts.num_workers);
     for _ in 0..opts.num_workers {
-        let (tx, rx) = unbounded::<Option<Arc<Job>>>();
+        let (tx, rx) = channel::<Option<Arc<Job>>>();
         senders.push(tx);
         receivers.push(rx);
     }
@@ -220,13 +264,22 @@ pub fn execute_implicit(
         drained: Condvar::new(),
     };
 
+    let mut ctl = Ctl {
+        stats: ImplicitStats::default(),
+        tb: opts.tracer.buffer("control"),
+        launch_seq: 0,
+        loop_depth: 0,
+    };
+
     std::thread::scope(|scope| {
-        for rx in receivers {
+        for (w, rx) in receivers.into_iter().enumerate() {
             let pool = &pool;
             let tasks = &program.tasks;
+            let tracer = Arc::clone(&opts.tracer);
             scope.spawn(move || {
+                let mut tb = tracer.buffer(&format!("worker-{w}"));
                 while let Ok(Some(job)) = rx.recv() {
-                    run_job(&job, tasks, pool);
+                    run_job(&job, tasks, pool, &mut tb);
                 }
             });
         }
@@ -246,16 +299,18 @@ pub fn execute_implicit(
             &pool,
             &route,
             &mut window,
-            &mut stats,
+            &mut ctl,
         );
         pool.wait_drained();
+        ctl.drained();
         // Poison pills: one per worker so every thread exits recv().
         for tx in &pool.ready_tx {
             tx.send(None).unwrap();
         }
     });
 
-    (env, stats)
+    ctl.tb.flush();
+    (env, ctl.stats)
 }
 
 /// The routing policy: which worker a point task lands on.
@@ -273,15 +328,17 @@ fn exec_stmts(
     pool: &Pool,
     route: &Route,
     window: &mut Window,
-    stats: &mut ImplicitStats,
+    ctl: &mut Ctl,
 ) {
     for s in stmts {
         match s {
             Stmt::IndexLaunch(il) => {
                 let decl = program.task(il.task);
                 let scalar_args: Vec<f64> = il.scalar_args.iter().map(|e| e.eval(env)).collect();
+                let launch_seq = ctl.launch_seq;
+                ctl.launch_seq += 1;
                 let mut launch_jobs: Vec<Arc<Job>> = Vec::new();
-                for &i in &il.launch_domain {
+                for (pos, &i) in il.launch_domain.iter().enumerate() {
                     let regions: Vec<RegionId> =
                         il.args.iter().map(|a| resolve_arg(program, a, i)).collect();
                     let job = issue_task(
@@ -290,11 +347,12 @@ fn exec_stmts(
                         &regions,
                         scalar_args.clone(),
                         i,
+                        (launch_seq, pos as u32),
                         inst_ptrs,
                         pool,
                         route,
                         window,
-                        stats,
+                        ctl,
                     );
                     launch_jobs.push(job);
                 }
@@ -302,11 +360,13 @@ fn exec_stmts(
                     // Scalar reduction: wait for the launch, fold returns
                     // in launch order (§4.4).
                     pool.wait_drained();
+                    ctl.drained();
                     let mut acc: Option<f64> = None;
                     for j in &launch_jobs {
                         let v = j
                             .ret
                             .lock()
+                            .unwrap()
                             .unwrap_or_else(|| panic!("task {} returned no value", decl.name));
                         acc = Some(match acc {
                             None => v,
@@ -319,21 +379,25 @@ fn exec_stmts(
             }
             Stmt::SingleLaunch(sl) => {
                 let scalar_args: Vec<f64> = sl.scalar_args.iter().map(|e| e.eval(env)).collect();
+                let launch_seq = ctl.launch_seq;
+                ctl.launch_seq += 1;
                 let job = issue_task(
                     program,
                     sl.task,
                     &sl.args,
                     scalar_args,
                     DynPoint::from(0),
+                    (launch_seq, 0),
                     inst_ptrs,
                     pool,
                     route,
                     window,
-                    stats,
+                    ctl,
                 );
                 if let Some(var) = sl.result {
                     pool.wait_drained();
-                    env[var.0 as usize] = job.ret.lock().unwrap_or_else(|| {
+                    ctl.drained();
+                    env[var.0 as usize] = job.ret.lock().unwrap().unwrap_or_else(|| {
                         panic!("task {} returned no value", program.task(sl.task).name)
                     });
                     window.records.clear();
@@ -341,13 +405,25 @@ fn exec_stmts(
             }
             Stmt::For { count, body } => {
                 let n = count.eval(env).max(0.0) as u64;
-                for _ in 0..n {
-                    exec_stmts(program, body, env, inst_ptrs, pool, route, window, stats);
+                for it in 0..n {
+                    if ctl.loop_depth == 0 {
+                        ctl.tb.instant(EventKind::StepBegin { step: it });
+                    }
+                    ctl.loop_depth += 1;
+                    exec_stmts(program, body, env, inst_ptrs, pool, route, window, ctl);
+                    ctl.loop_depth -= 1;
                 }
             }
             Stmt::While { cond, body } => {
+                let mut it = 0u64;
                 while cond.eval(env) != 0.0 {
-                    exec_stmts(program, body, env, inst_ptrs, pool, route, window, stats);
+                    if ctl.loop_depth == 0 {
+                        ctl.tb.instant(EventKind::StepBegin { step: it });
+                    }
+                    ctl.loop_depth += 1;
+                    exec_stmts(program, body, env, inst_ptrs, pool, route, window, ctl);
+                    ctl.loop_depth -= 1;
+                    it += 1;
                 }
             }
             Stmt::If {
@@ -356,13 +432,9 @@ fn exec_stmts(
                 else_body,
             } => {
                 if cond.eval(env) != 0.0 {
-                    exec_stmts(
-                        program, then_body, env, inst_ptrs, pool, route, window, stats,
-                    );
+                    exec_stmts(program, then_body, env, inst_ptrs, pool, route, window, ctl);
                 } else {
-                    exec_stmts(
-                        program, else_body, env, inst_ptrs, pool, route, window, stats,
-                    );
+                    exec_stmts(program, else_body, env, inst_ptrs, pool, route, window, ctl);
                 }
             }
             Stmt::SetScalar { var, expr } => env[var.0 as usize] = expr.eval(env),
@@ -380,11 +452,12 @@ fn issue_task(
     regions: &[RegionId],
     scalars: Vec<f64>,
     point: DynPoint,
+    (launch, pos): (u32, u32),
     inst_ptrs: &std::collections::HashMap<RegionId, InstPtr>,
     pool: &Pool,
     route: &Route,
     window: &mut Window,
-    stats: &mut ImplicitStats,
+    ctl: &mut Ctl,
 ) -> Arc<Job> {
     let decl = program.task(task);
     let accesses: Vec<(RegionId, Privilege)> = regions
@@ -405,6 +478,26 @@ fn issue_task(
             }
         })
         .collect();
+    ctl.tb.instant(EventKind::TaskLaunch {
+        launch,
+        pos,
+        task: task.0,
+    });
+    if ctl.tb.is_enabled() {
+        // One access event per region argument; the instance identity
+        // is the root region (all implicit-executor tasks share root
+        // instances).
+        for (&(r, p), param) in accesses.iter().zip(&decl.params) {
+            ctl.tb.instant(EventKind::TaskAccess {
+                launch,
+                pos,
+                region: r.0,
+                inst: program.forest.root_of(r).0 as u64,
+                fields: fields_mask(param.fields.iter().map(|f| f.0)),
+                privilege: priv_code(p),
+            });
+        }
+    }
     // `remaining` starts at 1: a sentinel held by the control thread
     // while edges are being added, preventing a predecessor that
     // completes mid-analysis from submitting the job twice.
@@ -419,6 +512,8 @@ fn issue_task(
         args,
         scalars,
         point,
+        launch,
+        pos,
         worker,
         ret: Mutex::new(None),
         remaining: AtomicUsize::new(1),
@@ -427,12 +522,14 @@ fn issue_task(
     });
 
     // Dependence analysis (the per-task control overhead).
+    let analysis_start = ctl.tb.now();
+    let checks_before = ctl.stats.dependence_checks;
     let mut n_deps = 0usize;
     for (prev_acc, prev_job) in &window.records {
         let mut conflict = false;
         for &(r1, p1) in prev_acc {
             for &(r2, p2) in &accesses {
-                stats.dependence_checks += 1;
+                ctl.stats.dependence_checks += 1;
                 if !needs_edge(p1, p2) {
                     continue;
                 }
@@ -456,8 +553,18 @@ fn issue_task(
             }
         }
         if conflict {
+            // The edge is recorded even when the predecessor already
+            // finished: its completion happened-before this launch, so
+            // the ordering is real either way (the trace validator
+            // relies on it).
+            ctl.tb.instant(EventKind::DepEdge {
+                from_launch: prev_job.launch,
+                from_pos: prev_job.pos,
+                to_launch: launch,
+                to_pos: pos,
+            });
             // Register the edge unless the predecessor already finished.
-            let mut deps = prev_job.dependents.lock();
+            let mut deps = prev_job.dependents.lock().unwrap();
             if !prev_job.done.load(Ordering::SeqCst) {
                 job.remaining.fetch_add(1, Ordering::SeqCst);
                 deps.push(Arc::clone(&job));
@@ -465,15 +572,23 @@ fn issue_task(
             }
         }
     }
-    stats.dependence_edges += n_deps as u64;
-    stats.tasks_launched += 1;
+    ctl.tb.span_since(
+        analysis_start,
+        EventKind::DepAnalysis {
+            launch,
+            pos,
+            checks: (ctl.stats.dependence_checks - checks_before) as u32,
+        },
+    );
+    ctl.stats.dependence_edges += n_deps as u64;
+    ctl.stats.tasks_launched += 1;
     pool.register();
     // Release the sentinel; submit if no edges remain.
     if job.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
         pool.submit(Arc::clone(&job));
     }
     window.records.push((accesses, Arc::clone(&job)));
-    stats.max_window = stats.max_window.max(window.records.len());
+    ctl.stats.max_window = ctl.stats.max_window.max(window.records.len());
     if window.records.len() > 4096 {
         window.prune();
     }

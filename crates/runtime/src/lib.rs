@@ -18,6 +18,13 @@
 //!
 //! Both executors are tested to produce results bit-identical to the
 //! sequential reference interpreter in `regent-ir`.
+//!
+//! Every executor has a `*_traced` variant accepting a
+//! [`regent_trace::Tracer`]: the implicit executor records its control
+//! thread (launches, dependence-analysis spans, conflict edges, drains)
+//! and its workers (task runs), the SPMD executor records one track per
+//! shard (runs, accesses, copy issues/applies, collective generations).
+//! The plain entry points pass a disabled tracer and record nothing.
 
 #![warn(missing_docs)]
 
@@ -29,8 +36,11 @@ pub mod plan;
 pub mod spmd_exec;
 
 pub use collective::{DynamicCollective, ShardBarrier};
-pub use hybrid_exec::{execute_hybrid, HybridRunResult};
+pub use hybrid_exec::{execute_hybrid, execute_hybrid_traced, HybridRunResult};
 pub use implicit::{execute_implicit, ImplicitOptions, ImplicitStats};
 pub use mapper::{DefaultMapper, Mapper, SingleWorkerMapper, TaskKindMapper};
 pub use plan::{build_exchange_plan, ExchangePlan, InstKey, PairPlan, SetupStats};
-pub use spmd_exec::{execute_spmd, execute_spmd_with_env, ShardStats, SpmdRunResult};
+pub use spmd_exec::{
+    execute_spmd, execute_spmd_traced, execute_spmd_with_env, execute_spmd_with_env_traced,
+    ShardStats, SpmdRunResult,
+};

@@ -15,15 +15,25 @@
 //! statements, read-after-write because it cannot proceed until the
 //! data arrives. The naive global-barrier mode (Fig. 4c) adds
 //! [`ShardBarrier`] waits around every copy.
+//!
+//! With an enabled [`Tracer`] (the `*_traced` entry points) every shard
+//! records its runs, accesses, copy issues/applies, and collective
+//! generations on its own track — enough for the `regent-trace` Spy
+//! validator to reconstruct the execution's happens-before graph and
+//! certify every cross-shard dependence.
 
 use crate::collective::{DynamicCollective, ShardBarrier};
 use crate::plan::{build_exchange_plan, ExchangePlan, InstKey, PairPlan, SetupStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use regent_cr::spmd::block_range;
 use regent_cr::{CopyId, CopyStmt, SpmdArg, SpmdLaunch, SpmdProgram, SpmdStmt, TempId, UseBase};
 use regent_geometry::{Domain, DynPoint};
 use regent_ir::{ArgSlot, Store, TaskCtx};
-use regent_region::{copy_fields, ColumnData, FieldId, Instance, ReductionOp};
+use regent_region::{copy_fields, ColumnData, FieldId, Instance, ReductionOp, RegionId};
+use regent_trace::{fields_mask, EventKind, TraceBuf, Tracer};
 use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 
 /// One field's payload within a copy message, in the canonical element
 /// order of the pair's intersection domain.
@@ -85,8 +95,18 @@ pub struct SpmdRunResult {
 /// Executes a control-replicated program against `store` (which holds
 /// the initial region contents and receives the final ones).
 pub fn execute_spmd(spmd: &SpmdProgram, store: &mut Store) -> SpmdRunResult {
+    execute_spmd_traced(spmd, store, &Tracer::disabled())
+}
+
+/// [`execute_spmd`] recording events into `tracer` (shard `s` records
+/// on track `shard-s`).
+pub fn execute_spmd_traced(
+    spmd: &SpmdProgram,
+    store: &mut Store,
+    tracer: &Arc<Tracer>,
+) -> SpmdRunResult {
     let env: Vec<f64> = spmd.scalars.iter().map(|s| s.init).collect();
-    execute_spmd_with_env(spmd, store, env)
+    execute_spmd_with_env_traced(spmd, store, env, tracer)
 }
 
 /// [`execute_spmd`] with an explicit initial scalar environment —
@@ -96,6 +116,16 @@ pub fn execute_spmd_with_env(
     spmd: &SpmdProgram,
     store: &mut Store,
     initial_env: Vec<f64>,
+) -> SpmdRunResult {
+    execute_spmd_with_env_traced(spmd, store, initial_env, &Tracer::disabled())
+}
+
+/// [`execute_spmd_with_env`] recording events into `tracer`.
+pub fn execute_spmd_with_env_traced(
+    spmd: &SpmdProgram,
+    store: &mut Store,
+    initial_env: Vec<f64>,
+    tracer: &Arc<Tracer>,
 ) -> SpmdRunResult {
     let plan = build_exchange_plan(spmd);
     let ns = spmd.num_shards;
@@ -108,7 +138,7 @@ pub fn execute_spmd_with_env(
         (0..ns).map(|_| (0..ns).map(|_| None).collect()).collect();
     for (src, row) in senders.iter_mut().enumerate() {
         for (dst, slot) in rx_rows.iter_mut().enumerate() {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             row.push(tx);
             slot[src] = Some(rx);
             let _ = dst;
@@ -131,6 +161,7 @@ pub fn execute_spmd_with_env(
             let barrier = &barrier;
             let store_ref: &Store = store;
             let init_env = &initial_env;
+            let tracer = Arc::clone(tracer);
             handles.push(scope.spawn(move || {
                 let mut shard_exec = ShardExec {
                     spmd,
@@ -145,8 +176,13 @@ pub fn execute_spmd_with_env(
                     stats: ShardStats::default(),
                     local_queue: HashMap::new(),
                     offset_cache: HashMap::new(),
+                    tb: tracer.buffer(&format!("shard-{shard}")),
+                    launch_seq: 0,
+                    loop_depth: 0,
+                    copy_occurrence: HashMap::new(),
                 };
                 shard_exec.run_stmts(&spmd.body);
+                shard_exec.tb.flush();
                 (shard_exec.env, shard_exec.stats, shard_exec.data)
             }));
         }
@@ -195,6 +231,14 @@ pub fn execute_spmd_with_env(
         stats: agg,
         per_shard,
     }
+}
+
+/// Stable identity hash of a shard-local physical instance (the `inst`
+/// field of trace events).
+fn inst_hash(key: &InstKey) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
 }
 
 /// Shard-local storage.
@@ -279,6 +323,17 @@ struct ShardExec<'a> {
     /// Memoized element→storage-offset lists per (intersection, pair,
     /// side): copies run every iteration, the offsets never change.
     offset_cache: HashMap<(u32, u32, bool), std::sync::Arc<Vec<usize>>>,
+    /// Event recorder for this shard's track.
+    tb: TraceBuf,
+    /// Dynamic launch sequence number. Control flow is replicated, so
+    /// every shard assigns the same number to the same logical launch —
+    /// the cross-shard trace identity (§3.5).
+    launch_seq: u32,
+    /// Current loop nesting depth (0 ⇒ outermost, a timestep loop).
+    loop_depth: u32,
+    /// Dynamic occurrence counters per (copy id, pair index), matching
+    /// producer and consumer counts by replicated control flow.
+    copy_occurrence: HashMap<(u32, u32), u32>,
 }
 
 impl<'a> ShardExec<'a> {
@@ -290,21 +345,43 @@ impl<'a> ShardExec<'a> {
                 SpmdStmt::ResetTemp(t) => self.reset_temp(*t),
                 SpmdStmt::AllReduce { var, op } => {
                     let local = self.env[var.0 as usize];
-                    self.env[var.0 as usize] = self.collective.reduce(self.shard, local, *op);
+                    let t0 = self.tb.now();
+                    let (folded, generation) =
+                        self.collective.reduce_counted(self.shard, local, *op);
+                    self.env[var.0 as usize] = folded;
                     self.stats.collectives += 1;
+                    if self.tb.is_enabled() {
+                        // Arrival is stamped at the pre-wait time: the
+                        // contribution was available from t0 on.
+                        self.tb
+                            .push(t0, 0, EventKind::CollectiveArrive { generation });
+                        self.tb.instant(EventKind::CollectiveLeave { generation });
+                    }
                 }
                 SpmdStmt::SetScalar { var, expr } => {
                     self.env[var.0 as usize] = expr.eval(&self.env);
                 }
                 SpmdStmt::For { count, body } => {
                     let n = count.eval(&self.env).max(0.0) as u64;
-                    for _ in 0..n {
+                    for it in 0..n {
+                        if self.loop_depth == 0 {
+                            self.tb.instant(EventKind::StepBegin { step: it });
+                        }
+                        self.loop_depth += 1;
                         self.run_stmts(body);
+                        self.loop_depth -= 1;
                     }
                 }
                 SpmdStmt::While { cond, body } => {
+                    let mut it = 0u64;
                     while cond.eval(&self.env) != 0.0 {
+                        if self.loop_depth == 0 {
+                            self.tb.instant(EventKind::StepBegin { step: it });
+                        }
+                        self.loop_depth += 1;
                         self.run_stmts(body);
+                        self.loop_depth -= 1;
+                        it += 1;
                     }
                 }
                 SpmdStmt::If {
@@ -318,7 +395,14 @@ impl<'a> ShardExec<'a> {
                         self.run_stmts(else_body);
                     }
                 }
-                SpmdStmt::Barrier => self.barrier.wait(),
+                SpmdStmt::Barrier => {
+                    let t0 = self.tb.now();
+                    let generation = self.barrier.wait_counted();
+                    if self.tb.is_enabled() {
+                        self.tb.push(t0, 0, EventKind::BarrierArrive { generation });
+                        self.tb.instant(EventKind::BarrierLeave { generation });
+                    }
+                }
             }
         }
     }
@@ -344,20 +428,37 @@ impl<'a> ShardExec<'a> {
 
     fn run_launch(&mut self, l: &SpmdLaunch) {
         let decl = self.spmd.task(l.task);
+        let launch = self.launch_seq;
+        self.launch_seq += 1;
         let scalar_args: Vec<f64> = l.scalar_args.iter().map(|e| e.eval(&self.env)).collect();
         let owned: Vec<DynPoint> = self.spmd.owned_colors(l.domain, self.shard).to_vec();
+        // This shard's points start at the block offset within the
+        // launch domain — the cross-shard `pos` identity.
+        let domain_len = self.spmd.launch_domains[l.domain.0 as usize].len();
+        let (block_start, _) = block_range(domain_len, self.spmd.num_shards, self.shard);
         let mut reduced: Option<f64> = None;
-        for c in owned {
+        for (local_idx, c) in owned.into_iter().enumerate() {
+            let pos = (block_start + local_idx) as u32;
             // Resolve argument instances and domains.
             let mut slots: Vec<ArgSlot> = Vec::with_capacity(l.args.len());
             for (idx, a) in l.args.iter().enumerate() {
                 let param = &decl.params[idx];
-                let (key, domain) = self.arg_key_domain(a, c);
+                let (key, domain, region) = self.arg_key_domain(a, c);
                 let inst: *mut Instance = self
                     .data
                     .insts
                     .get_mut(&key)
                     .unwrap_or_else(|| panic!("shard {} missing instance {key:?}", self.shard));
+                if self.tb.is_enabled() {
+                    self.tb.instant(EventKind::TaskAccess {
+                        launch,
+                        pos,
+                        region: region.0,
+                        inst: inst_hash(&key),
+                        fields: fields_mask(param.fields.iter().map(|f| f.0)),
+                        privilege: crate::implicit::priv_code(param.privilege),
+                    });
+                }
                 // SAFETY: shard-local instances; one kernel runs at a
                 // time on this thread; aliasing between slots is
                 // mediated by TaskCtx (never two live references).
@@ -365,8 +466,22 @@ impl<'a> ShardExec<'a> {
                     ArgSlot::new(domain, param.privilege, param.fields.clone(), inst)
                 });
             }
+            self.tb.instant(EventKind::TaskLaunch {
+                launch,
+                pos,
+                task: l.task.0,
+            });
             let mut ctx = TaskCtx::new(&mut slots, &scalar_args, c);
+            let t0 = self.tb.now();
             (decl.kernel)(&mut ctx);
+            self.tb.span_since(
+                t0,
+                EventKind::TaskRun {
+                    launch,
+                    pos,
+                    task: l.task.0,
+                },
+            );
             self.stats.tasks_executed += 1;
             if let Some((_, op)) = l.reduce_result {
                 let v = ctx
@@ -386,7 +501,7 @@ impl<'a> ShardExec<'a> {
         }
     }
 
-    fn arg_key_domain(&self, a: &SpmdArg, c: DynPoint) -> (InstKey, Domain) {
+    fn arg_key_domain(&self, a: &SpmdArg, c: DynPoint) -> (InstKey, Domain, RegionId) {
         match a {
             SpmdArg::Use(u) => {
                 let decl = &self.spmd.uses[*u];
@@ -396,11 +511,13 @@ impl<'a> ShardExec<'a> {
                         (
                             InstKey::UsePart(*u as u32, c),
                             self.spmd.forest.domain(sub).clone(),
+                            sub,
                         )
                     }
                     UseBase::Whole(r) => (
                         InstKey::UseWhole(*u as u32, self.shard as u32),
                         self.spmd.forest.domain(r).clone(),
+                        r,
                     ),
                 }
             }
@@ -412,25 +529,55 @@ impl<'a> ShardExec<'a> {
                         (
                             InstKey::TempPart(t.0, c),
                             self.spmd.forest.domain(sub).clone(),
+                            sub,
                         )
                     }
                     UseBase::Whole(r) => (
                         InstKey::TempWhole(t.0, self.shard as u32),
                         self.spmd.forest.domain(r).clone(),
+                        r,
                     ),
                 }
             }
         }
     }
 
+    /// The logical region a copy pair's destination key covers.
+    fn key_region(&self, key: &InstKey) -> RegionId {
+        match *key {
+            InstKey::UsePart(u, c) => match self.spmd.uses[u as usize].base {
+                UseBase::Part(p) => self.spmd.forest.subregion(p, c),
+                UseBase::Whole(r) => r,
+            },
+            InstKey::UseWhole(u, _) => {
+                regent_cr::analysis::base_region(&self.spmd.forest, self.spmd.uses[u as usize].base)
+            }
+            InstKey::TempPart(t, c) => match self.spmd.temps[t as usize].base {
+                UseBase::Part(p) => self.spmd.forest.subregion(p, c),
+                UseBase::Whole(r) => r,
+            },
+            InstKey::TempWhole(t, _) => regent_cr::analysis::base_region(
+                &self.spmd.forest,
+                self.spmd.temps[t as usize].base,
+            ),
+        }
+    }
+
     fn run_copy(&mut self, c: &CopyStmt) {
         self.stats.copies_executed += 1;
         let pairs: &[PairPlan] = &self.plan.pairs[c.intersection.0 as usize];
+        let traced = self.tb.is_enabled();
+        let copy_fields_mask = if traced {
+            fields_mask(c.fields.iter().map(|f| f.0))
+        } else {
+            0
+        };
         // Producer phase (§3.4: copies are issued by the producer).
         for (seq, p) in pairs.iter().enumerate() {
             if p.src_owner != self.shard {
                 continue;
             }
+            let t0 = self.tb.now();
             let offs = offsets_for(
                 &mut self.offset_cache,
                 &self.data,
@@ -442,6 +589,19 @@ impl<'a> ShardExec<'a> {
             );
             let src = &self.data.insts[&p.src_key];
             let chunks = extract(src, &c.fields, &offs);
+            if traced {
+                let occurrence = self.occurrence(c.id.0, seq as u32, true);
+                self.tb.span_since(
+                    t0,
+                    EventKind::CopyIssue {
+                        copy: c.id.0,
+                        pair: seq as u32,
+                        seq: occurrence,
+                        elements: p.elements.volume(),
+                        dst_shard: p.dst_owner as u32,
+                    },
+                );
+            }
             if p.dst_owner == self.shard {
                 self.local_queue.insert((c.id.0, seq as u32), chunks);
             } else {
@@ -462,6 +622,7 @@ impl<'a> ShardExec<'a> {
             if p.dst_owner != self.shard {
                 continue;
             }
+            let t0 = self.tb.now();
             let chunks = if p.src_owner == self.shard {
                 self.local_queue
                     .remove(&(c.id.0, seq as u32))
@@ -483,7 +644,36 @@ impl<'a> ShardExec<'a> {
             );
             let dst = self.data.insts.get_mut(&p.dst_key).unwrap();
             apply(dst, &c.fields, &offs, &chunks, c.reduction);
+            if traced {
+                let occurrence = self.occurrence(c.id.0, seq as u32, false);
+                // The span covers the blocking receive, so copy stalls
+                // are visible in profiles.
+                self.tb.span_since(
+                    t0,
+                    EventKind::CopyApply {
+                        copy: c.id.0,
+                        pair: seq as u32,
+                        seq: occurrence,
+                        region: self.key_region(&p.dst_key).0,
+                        inst: inst_hash(&p.dst_key),
+                        fields: copy_fields_mask,
+                        reduce: c.reduction.is_some(),
+                    },
+                );
+            }
         }
+    }
+
+    /// Next dynamic occurrence number of a (copy, pair) on one side.
+    /// Producer and consumer sides count independently but identically
+    /// (replicated control flow), which is what matches a `CopyIssue`
+    /// to its `CopyApply` across shard logs.
+    fn occurrence(&mut self, copy: u32, pair: u32, is_src: bool) -> u32 {
+        let k = (copy, pair ^ (u32::from(is_src) << 31));
+        let e = self.copy_occurrence.entry(k).or_insert(0);
+        let v = *e;
+        *e += 1;
+        v
     }
 }
 

@@ -587,8 +587,8 @@ fn mapping_is_agnostic_to_results() {
         let mut s2 = Store::new(&prog2);
         init2(&prog2, &mut s2);
         let opts = ImplicitOptions {
-            num_workers: 4,
             mapper,
+            ..ImplicitOptions::with_workers(4)
         };
         let (env, _) = execute_implicit(&prog2, &mut s2, opts);
         assert_eq!(env_ref, env);

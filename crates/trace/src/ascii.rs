@@ -1,0 +1,104 @@
+//! A terminal-friendly timeline: one row per track, spans rendered as
+//! `=` runs and instants as `|`, scaled to a fixed width.
+
+use crate::tracer::Trace;
+use std::fmt::Write as _;
+
+/// Renders `trace` as an ASCII timeline `width` columns wide (plus the
+/// track-name gutter). Returns an empty string for an empty trace.
+pub fn ascii_timeline(trace: &Trace, width: usize) -> String {
+    let width = width.max(10);
+    let Some((t0, t1)) = trace.time_bounds() else {
+        return String::new();
+    };
+    let extent = (t1 - t0).max(1);
+    let gutter = trace
+        .tracks
+        .iter()
+        .map(|t| t.name.len())
+        .max()
+        .unwrap_or(5)
+        .clamp(5, 24);
+    let col = |ts: u64| -> usize {
+        (((ts - t0) as u128 * (width as u128 - 1)) / extent as u128) as usize
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:gutter$}  0{}{:.3} ms",
+        "",
+        " ".repeat(width.saturating_sub(10)),
+        extent as f64 / 1e6
+    );
+    for track in &trace.tracks {
+        let mut row = vec![b'.'; width];
+        // Spans first, instants on top so they stay visible.
+        for e in &track.events {
+            if e.dur > 0 {
+                let (a, b) = (col(e.ts), col(e.ts + e.dur));
+                for c in &mut row[a..=b.min(width - 1)] {
+                    *c = b'=';
+                }
+            }
+        }
+        for e in &track.events {
+            if e.dur == 0 {
+                row[col(e.ts)] = b'|';
+            }
+        }
+        let mut name = track.name.clone();
+        name.truncate(gutter);
+        let _ = writeln!(
+            out,
+            "{:gutter$}  {}",
+            name,
+            String::from_utf8(row).expect("ascii row")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind};
+    use crate::tracer::Track;
+
+    #[test]
+    fn renders_rows_for_every_track() {
+        let trace = Trace {
+            tracks: vec![
+                Track {
+                    name: "control".into(),
+                    events: vec![Event {
+                        ts: 0,
+                        dur: 100,
+                        kind: EventKind::Mark { name: "a" },
+                    }],
+                    dropped: 0,
+                },
+                Track {
+                    name: "worker-0".into(),
+                    events: vec![Event {
+                        ts: 50,
+                        dur: 0,
+                        kind: EventKind::Mark { name: "b" },
+                    }],
+                    dropped: 0,
+                },
+            ],
+        };
+        let art = ascii_timeline(&trace, 40);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 tracks");
+        assert!(lines[1].contains("control"));
+        assert!(lines[1].contains('='));
+        assert!(lines[2].contains('|'));
+    }
+
+    #[test]
+    fn empty_trace_is_empty_art() {
+        assert_eq!(ascii_timeline(&Trace::default(), 40), "");
+    }
+}

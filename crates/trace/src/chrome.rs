@@ -1,0 +1,217 @@
+//! Chrome `trace_event` JSON exporter (hand-rolled, no serde).
+//!
+//! The output is the "JSON Object Format" understood by
+//! `chrome://tracing` and Perfetto: a `traceEvents` array of complete
+//! (`"ph":"X"`), instant (`"ph":"i"`), counter (`"ph":"C"`), and
+//! metadata (`"ph":"M"`) events. Timestamps are microseconds; each
+//! track becomes one thread (`tid`) named via `thread_name` metadata.
+
+use crate::event::{Event, EventKind, PrivCode, SimKind};
+use crate::json::escape_into;
+use crate::tracer::Trace;
+use std::fmt::Write as _;
+
+/// Exports a trace as Chrome trace-event JSON.
+pub fn export_chrome(trace: &Trace) -> String {
+    let mut out = String::with_capacity(64 * 1024 + trace.num_events() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (tid, track) in trace.tracks.iter().enumerate() {
+        sep(&mut out, &mut first);
+        write!(
+            out,
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":\""
+        )
+        .unwrap();
+        escape_into(&mut out, &track.name);
+        out.push_str("\"}}");
+        for e in &track.events {
+            sep(&mut out, &mut first);
+            write_event(&mut out, tid, e);
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+fn write_event(out: &mut String, tid: usize, e: &Event) {
+    if let EventKind::Counter { name, value } = e.kind {
+        let v = if value.is_finite() { value } else { 0.0 };
+        write!(
+            out,
+            "{{\"ph\":\"C\",\"name\":\"{name}\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"args\":{{\"value\":{v}}}}}",
+            us(e.ts)
+        )
+        .unwrap();
+        return;
+    }
+    let name = kind_name(&e.kind);
+    let args = kind_args(&e.kind);
+    if e.dur > 0 {
+        write!(
+            out,
+            "{{\"ph\":\"X\",\"name\":\"{name}\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"dur\":{},\"args\":{{{args}}}}}",
+            us(e.ts),
+            us(e.dur)
+        )
+        .unwrap();
+    } else {
+        write!(
+            out,
+            "{{\"ph\":\"i\",\"name\":\"{name}\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"s\":\"t\",\"args\":{{{args}}}}}",
+            us(e.ts)
+        )
+        .unwrap();
+    }
+}
+
+fn priv_str(p: PrivCode) -> &'static str {
+    match p {
+        PrivCode::Read => "read",
+        PrivCode::Write => "readwrite",
+        PrivCode::Reduce(_) => "reduce",
+    }
+}
+
+/// Short display name for a sim task kind.
+pub fn sim_kind_name(k: SimKind) -> &'static str {
+    match k {
+        SimKind::Launch => "launch",
+        SimKind::Analysis => "analysis",
+        SimKind::Compute => "compute",
+        SimKind::Copy => "copy",
+        SimKind::Collective => "collective",
+        SimKind::Other => "sim",
+    }
+}
+
+fn kind_name(k: &EventKind) -> String {
+    match k {
+        EventKind::TaskLaunch { launch, pos, .. } => format!("launch L{launch}[{pos}]"),
+        EventKind::TaskRun { launch, pos, .. } => format!("run L{launch}[{pos}]"),
+        EventKind::TaskAccess { launch, pos, .. } => format!("access L{launch}[{pos}]"),
+        EventKind::DepAnalysis { launch, pos, .. } => format!("analyze L{launch}[{pos}]"),
+        EventKind::DepEdge { .. } => "dep edge".into(),
+        EventKind::Drain => "drain".into(),
+        EventKind::CopyIssue { copy, pair, .. } => format!("copy {copy}.{pair} send"),
+        EventKind::CopyApply { copy, pair, .. } => format!("copy {copy}.{pair} apply"),
+        EventKind::BarrierArrive { .. } => "barrier arrive".into(),
+        EventKind::BarrierLeave { .. } => "barrier leave".into(),
+        EventKind::CollectiveArrive { .. } => "collective arrive".into(),
+        EventKind::CollectiveLeave { .. } => "collective leave".into(),
+        EventKind::StepBegin { step } => format!("step {step}"),
+        EventKind::Pass { name } => format!("pass {name}"),
+        EventKind::SimTask { kind, step, .. } => {
+            format!("{} s{step}", sim_kind_name(*kind))
+        }
+        EventKind::Counter { name, .. } => (*name).to_string(),
+        EventKind::Mark { name } => (*name).to_string(),
+    }
+}
+
+fn kind_args(k: &EventKind) -> String {
+    match k {
+        EventKind::TaskLaunch { task, .. } | EventKind::TaskRun { task, .. } => {
+            format!("\"task\":{task}")
+        }
+        EventKind::TaskAccess {
+            region,
+            inst,
+            fields,
+            privilege,
+            ..
+        } => format!(
+            "\"region\":{region},\"inst\":{inst},\"fields\":{fields},\"privilege\":\"{}\"",
+            priv_str(*privilege)
+        ),
+        EventKind::DepAnalysis { checks, .. } => format!("\"checks\":{checks}"),
+        EventKind::DepEdge {
+            from_launch,
+            from_pos,
+            to_launch,
+            to_pos,
+        } => format!("\"from\":\"L{from_launch}[{from_pos}]\",\"to\":\"L{to_launch}[{to_pos}]\""),
+        EventKind::CopyIssue {
+            seq,
+            elements,
+            dst_shard,
+            ..
+        } => format!("\"seq\":{seq},\"elements\":{elements},\"dst\":{dst_shard}"),
+        EventKind::CopyApply {
+            seq,
+            region,
+            inst,
+            reduce,
+            ..
+        } => format!("\"seq\":{seq},\"region\":{region},\"inst\":{inst},\"reduce\":{reduce}"),
+        EventKind::BarrierArrive { generation }
+        | EventKind::BarrierLeave { generation }
+        | EventKind::CollectiveArrive { generation }
+        | EventKind::CollectiveLeave { generation } => format!("\"generation\":{generation}"),
+        EventKind::SimTask { node, step, .. } => format!("\"node\":{node},\"step\":{step}"),
+        _ => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn export_parses_and_has_all_events() {
+        let tracer = Tracer::enabled();
+        let mut b = tracer.buffer("shard \"0\"\n"); // hostile name
+        let t0 = b.now();
+        b.instant(EventKind::TaskLaunch {
+            launch: 1,
+            pos: 2,
+            task: 3,
+        });
+        b.span_since(
+            t0,
+            EventKind::TaskRun {
+                launch: 1,
+                pos: 2,
+                task: 3,
+            },
+        );
+        b.push(
+            5,
+            0,
+            EventKind::Counter {
+                name: "q",
+                value: 1.25,
+            },
+        );
+        drop(b);
+        let trace = tracer.take();
+        let out = export_chrome(&trace);
+        let v = json::parse(&out).expect("exporter output must parse");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 metadata + 3 events.
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events[0].get("args").unwrap().get("name").unwrap().as_str(),
+            Some("shard \"0\"\n")
+        );
+        // Phases present as expected.
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phases, vec!["M", "i", "X", "C"]);
+    }
+}

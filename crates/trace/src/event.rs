@@ -1,0 +1,270 @@
+//! The event schema: everything the executors, the simulator, and the
+//! CR compiler record.
+//!
+//! Events are `Copy` and contain no owned data — names are `&'static
+//! str`, identities are small integers — so recording one is a ring
+//! write with no allocation.
+//!
+//! ## Identity conventions
+//!
+//! * `launch` — the *dynamic* launch sequence number: how many launch
+//!   statements the control flow has executed before this one. Control
+//!   flow is replicated across SPMD shards (§3.5), so shards assign
+//!   identical numbers to the same logical launch, which is what lets
+//!   the Spy validator correlate tasks across shard-local event logs.
+//! * `pos` — the task's position in its launch domain (0 for single
+//!   launches).
+//! * `inst` — a hash identifying the *physical instance* accessed.
+//!   Shared-memory executors hash the root region; the distributed
+//!   SPMD executor hashes the shard-local instance key. Two accesses
+//!   with equal `inst` touch the same memory.
+//! * `fields` — a bitmask of field ids (bit `id % 64`); two accesses
+//!   can only conflict if their masks intersect.
+
+/// Privilege of a recorded region access (mirrors
+/// `regent_ir::Privilege` without depending on it — this crate is a
+/// leaf).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PrivCode {
+    /// Read-only access.
+    Read,
+    /// Read-write access.
+    Write,
+    /// Reduction access; the payload discriminates the operator (two
+    /// reductions conflict unless they use the same operator).
+    Reduce(u8),
+}
+
+impl PrivCode {
+    /// Does this privilege modify the region?
+    pub fn mutates(self) -> bool {
+        !matches!(self, PrivCode::Read)
+    }
+
+    /// Can two accesses with these privileges run unordered (§2.1)?
+    pub fn compatible(self, other: PrivCode) -> bool {
+        match (self, other) {
+            (PrivCode::Read, PrivCode::Read) => true,
+            (PrivCode::Reduce(a), PrivCode::Reduce(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// What kind of work a simulated task represents (used to attribute
+/// virtual time in the discrete-event simulator).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimKind {
+    /// A shard's task-launch operation (CR: O(1) per shard).
+    Launch,
+    /// Control-thread dependence analysis (implicit: O(N) per step).
+    Analysis,
+    /// Application kernel compute.
+    Compute,
+    /// NIC serialization / message transfer.
+    Copy,
+    /// Collective participation.
+    Collective,
+    /// Anything untagged.
+    Other,
+}
+
+/// One structured event.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum EventKind {
+    /// Control thread (or shard) issued a task.
+    TaskLaunch {
+        /// Dynamic launch sequence number.
+        launch: u32,
+        /// Position in the launch domain.
+        pos: u32,
+        /// Task declaration id.
+        task: u32,
+    },
+    /// A worker (or shard) executed the task's kernel; the span covers
+    /// the kernel run.
+    TaskRun {
+        /// Dynamic launch sequence number.
+        launch: u32,
+        /// Position in the launch domain.
+        pos: u32,
+        /// Task declaration id.
+        task: u32,
+    },
+    /// One region access of task `(launch, pos)` (emitted adjacent to
+    /// its launch or run event).
+    TaskAccess {
+        /// Dynamic launch sequence number of the accessing task.
+        launch: u32,
+        /// Position of the accessing task in its launch domain.
+        pos: u32,
+        /// Logical region accessed.
+        region: u32,
+        /// Physical instance identity hash.
+        inst: u64,
+        /// Field bitmask (see module docs).
+        fields: u64,
+        /// Access privilege.
+        privilege: PrivCode,
+    },
+    /// Dynamic dependence analysis performed by the implicit executor's
+    /// control thread for one task — the per-task cost that grows with
+    /// the in-flight window (§1, §4.1).
+    DepAnalysis {
+        /// Dynamic launch sequence number of the analyzed task.
+        launch: u32,
+        /// Position of the analyzed task.
+        pos: u32,
+        /// Pairwise region checks performed.
+        checks: u32,
+    },
+    /// A dependence edge the control thread recorded (or observed
+    /// already satisfied) between two tasks.
+    DepEdge {
+        /// Launch sequence of the predecessor task.
+        from_launch: u32,
+        /// Position of the predecessor task.
+        from_pos: u32,
+        /// Launch sequence of the successor task.
+        to_launch: u32,
+        /// Position of the successor task.
+        to_pos: u32,
+    },
+    /// The control thread drained the worker pool (waited for all
+    /// outstanding tasks): everything launched before this point
+    /// happened-before everything after it.
+    Drain,
+    /// Producer side of a copy pair: extract + send. `seq` counts
+    /// dynamic occurrences of the same (copy, pair), matching the
+    /// consumer's count — that pairing *is* the point-to-point
+    /// synchronization of §3.4.
+    CopyIssue {
+        /// Static copy statement id.
+        copy: u32,
+        /// Pair index within the copy's intersection.
+        pair: u32,
+        /// Dynamic occurrence number of this (copy, pair).
+        seq: u32,
+        /// Elements transferred.
+        elements: u64,
+        /// Destination shard.
+        dst_shard: u32,
+    },
+    /// Consumer side of a copy pair: blocking receive + apply. The
+    /// span covers the wait, so copy stalls are visible in profiles.
+    CopyApply {
+        /// Static copy statement id.
+        copy: u32,
+        /// Pair index within the copy's intersection.
+        pair: u32,
+        /// Dynamic occurrence number of this (copy, pair).
+        seq: u32,
+        /// Destination logical region written.
+        region: u32,
+        /// Destination physical instance hash.
+        inst: u64,
+        /// Field bitmask of the copied fields.
+        fields: u64,
+        /// True for reduction-fold applies (§4.3).
+        reduce: bool,
+    },
+    /// Arrived at a barrier generation.
+    BarrierArrive {
+        /// Barrier generation number.
+        generation: u64,
+    },
+    /// Released from a barrier generation.
+    BarrierLeave {
+        /// Barrier generation number.
+        generation: u64,
+    },
+    /// Contributed to a dynamic collective generation (§4.4).
+    CollectiveArrive {
+        /// Collective generation number.
+        generation: u64,
+    },
+    /// Received a dynamic collective's folded result.
+    CollectiveLeave {
+        /// Collective generation number.
+        generation: u64,
+    },
+    /// An outermost-loop iteration began on this track (the timestep
+    /// boundary the per-step cost analysis groups by).
+    StepBegin {
+        /// Zero-based timestep number.
+        step: u64,
+    },
+    /// A compiler pass of the CR pipeline (span).
+    Pass {
+        /// Pass name.
+        name: &'static str,
+    },
+    /// A simulated task's service interval, in *virtual* time.
+    SimTask {
+        /// What the simulated work represents.
+        kind: SimKind,
+        /// Node the serving resource belongs to.
+        node: u32,
+        /// Timestep the task belongs to.
+        step: u32,
+    },
+    /// A named scalar sample.
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Sampled value.
+        value: f64,
+    },
+    /// A named instant marker.
+    Mark {
+        /// Marker name.
+        name: &'static str,
+    },
+}
+
+/// One recorded event: a half-open interval `[ts, ts + dur)` in
+/// nanoseconds (instant events have `dur == 0`).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Event {
+    /// Start timestamp, nanoseconds from the tracer epoch.
+    pub ts: u64,
+    /// Duration in nanoseconds (0 for instants).
+    pub dur: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Folds field ids into the 64-bit mask convention used by
+/// [`EventKind::TaskAccess`] / [`EventKind::CopyApply`]. Ids ≥ 64 wrap
+/// (conservative: may alias, never misses a real conflict).
+pub fn fields_mask(ids: impl IntoIterator<Item = u32>) -> u64 {
+    let mut m = 0u64;
+    for id in ids {
+        m |= 1u64 << (id % 64);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privilege_compatibility() {
+        assert!(PrivCode::Read.compatible(PrivCode::Read));
+        assert!(PrivCode::Reduce(1).compatible(PrivCode::Reduce(1)));
+        assert!(!PrivCode::Reduce(1).compatible(PrivCode::Reduce(2)));
+        assert!(!PrivCode::Read.compatible(PrivCode::Write));
+        assert!(!PrivCode::Write.compatible(PrivCode::Write));
+        assert!(PrivCode::Write.mutates());
+        assert!(PrivCode::Reduce(0).mutates());
+        assert!(!PrivCode::Read.mutates());
+    }
+
+    #[test]
+    fn field_masks() {
+        assert_eq!(fields_mask([0, 1]), 0b11);
+        assert_eq!(fields_mask([65]), 0b10); // wraps
+        assert_eq!(fields_mask([]) & fields_mask([3]), 0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Prof-style analysis: per-track utilization, per-timestep control
+//! cost, and the duration-weighted critical path.
+//!
+//! The per-step control cost is the paper's headline measurement: a
+//! single control thread's dependence analysis grows with node count
+//! (O(N) per timestep), while a control-replicated shard launches only
+//! its own tasks (O(1) per timestep). Two extractors surface that from
+//! traces:
+//!
+//! * [`control_cost_per_step`] — for *executor* traces: sums
+//!   [`crate::EventKind::DepAnalysis`] span time between consecutive
+//!   [`crate::EventKind::StepBegin`] markers on one track;
+//! * [`sim_control_cost_per_step`] — for *simulator* traces: sums
+//!   [`crate::EventKind::SimTask`] service time with kind `Launch` or
+//!   `Analysis` per `(node, step)`, then takes the per-step maximum
+//!   over nodes (nodes run concurrently, so the slowest one bounds the
+//!   step).
+
+use crate::event::{EventKind, SimKind};
+use crate::graph::build_graph;
+use crate::tracer::Trace;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Node-count ceiling above which [`ProfReport::analyze`] skips the
+/// critical path (its reachability precompute is quadratic).
+const CRITICAL_PATH_NODE_LIMIT: usize = 16_384;
+
+/// Utilization summary of one track.
+#[derive(Clone, Debug)]
+pub struct TrackSummary {
+    /// Track name.
+    pub name: String,
+    /// Events recorded.
+    pub events: usize,
+    /// Events lost to ring wrap-around.
+    pub dropped: u64,
+    /// Total span time (ns) on this track.
+    pub busy_ns: u64,
+    /// Wall extent (ns): last end minus first start.
+    pub span_ns: u64,
+    /// `busy_ns / span_ns` (0 for empty or instant-only tracks).
+    pub utilization: f64,
+}
+
+/// Whole-trace profile.
+#[derive(Clone, Debug)]
+pub struct ProfReport {
+    /// Per-track summaries, in trace order.
+    pub tracks: Vec<TrackSummary>,
+    /// Duration-weighted critical path length (ns), when the trace is
+    /// small enough to reconstruct the happens-before graph and the
+    /// graph is acyclic.
+    pub critical_path_ns: Option<u64>,
+}
+
+impl ProfReport {
+    /// Profiles a collected trace.
+    pub fn analyze(trace: &Trace) -> ProfReport {
+        let tracks = trace
+            .tracks
+            .iter()
+            .map(|t| {
+                let busy_ns: u64 = t.events.iter().map(|e| e.dur).sum();
+                let span_ns = match (
+                    t.events.iter().map(|e| e.ts).min(),
+                    t.events.iter().map(|e| e.ts + e.dur).max(),
+                ) {
+                    (Some(lo), Some(hi)) => hi - lo,
+                    _ => 0,
+                };
+                TrackSummary {
+                    name: t.name.clone(),
+                    events: t.events.len(),
+                    dropped: t.dropped,
+                    busy_ns,
+                    span_ns,
+                    utilization: if span_ns > 0 {
+                        busy_ns as f64 / span_ns as f64
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        let sync_nodes = trace
+            .tracks
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| {
+                !matches!(
+                    e.kind,
+                    EventKind::Counter { .. } | EventKind::SimTask { .. }
+                )
+            })
+            .count();
+        let critical_path_ns = if sync_nodes <= CRITICAL_PATH_NODE_LIMIT {
+            build_graph(trace).ok().map(|g| g.critical_path().0)
+        } else {
+            None
+        };
+        ProfReport {
+            tracks,
+            critical_path_ns,
+        }
+    }
+
+    /// Renders the profile as an aligned text table.
+    pub fn format_table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .tracks
+            .iter()
+            .map(|t| t.name.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        let _ = writeln!(
+            out,
+            "{:width$}  {:>8}  {:>8}  {:>12}  {:>12}  {:>6}",
+            "track", "events", "dropped", "busy (us)", "span (us)", "util"
+        );
+        for t in &self.tracks {
+            let _ = writeln!(
+                out,
+                "{:width$}  {:>8}  {:>8}  {:>12.1}  {:>12.1}  {:>5.1}%",
+                t.name,
+                t.events,
+                t.dropped,
+                t.busy_ns as f64 / 1e3,
+                t.span_ns as f64 / 1e3,
+                t.utilization * 100.0
+            );
+        }
+        if let Some(cp) = self.critical_path_ns {
+            let _ = writeln!(out, "critical path: {:.1} us", cp as f64 / 1e3);
+        }
+        out
+    }
+}
+
+/// Per-timestep dependence-analysis cost (ns) of one executor track,
+/// grouped by its [`crate::EventKind::StepBegin`] markers. Span time
+/// before the first marker is attributed to step 0's predecessor and
+/// dropped. Returns `(step, cost_ns)` pairs in step order.
+pub fn control_cost_per_step(trace: &Trace, track: &str) -> Vec<(u64, u64)> {
+    let Some(t) = trace.track(track) else {
+        return Vec::new();
+    };
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    let mut current: Option<u64> = None;
+    for e in &t.events {
+        match e.kind {
+            EventKind::StepBegin { step } => {
+                current = Some(step);
+                if out.last().map(|(s, _)| *s) != Some(step) {
+                    out.push((step, 0));
+                }
+            }
+            EventKind::DepAnalysis { .. } if current.is_some() => {
+                if let Some(last) = out.last_mut() {
+                    last.1 += e.dur;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Per-timestep control cost (virtual ns) of one *simulator* track:
+/// `Launch` + `Analysis` service time summed per `(node, step)`, then
+/// the maximum over nodes for each step. Returns `(step, cost_ns)` in
+/// step order.
+pub fn sim_control_cost_per_step(trace: &Trace, track: &str) -> Vec<(u64, u64)> {
+    let Some(t) = trace.track(track) else {
+        return Vec::new();
+    };
+    let mut per: HashMap<(u32, u32), u64> = HashMap::new();
+    for e in &t.events {
+        if let EventKind::SimTask { kind, node, step } = e.kind {
+            if matches!(kind, SimKind::Launch | SimKind::Analysis) {
+                *per.entry((node, step)).or_insert(0) += e.dur;
+            }
+        }
+    }
+    let mut by_step: HashMap<u32, u64> = HashMap::new();
+    for ((_node, step), cost) in per {
+        let slot = by_step.entry(step).or_insert(0);
+        *slot = (*slot).max(cost);
+    }
+    let mut out: Vec<(u64, u64)> = by_step.into_iter().map(|(s, c)| (s as u64, c)).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Mean of the cost column of a per-step series (0 when empty).
+pub fn mean_step_cost(series: &[(u64, u64)]) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    series.iter().map(|(_, c)| *c as f64).sum::<f64>() / series.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::tracer::Track;
+
+    fn track(name: &str, events: Vec<Event>) -> Track {
+        Track {
+            name: name.into(),
+            events,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn utilization_and_table() {
+        let trace = Trace {
+            tracks: vec![track(
+                "w0",
+                vec![
+                    Event {
+                        ts: 0,
+                        dur: 50,
+                        kind: EventKind::Mark { name: "a" },
+                    },
+                    Event {
+                        ts: 100,
+                        dur: 50,
+                        kind: EventKind::Mark { name: "b" },
+                    },
+                ],
+            )],
+        };
+        let p = ProfReport::analyze(&trace);
+        assert_eq!(p.tracks[0].busy_ns, 100);
+        assert_eq!(p.tracks[0].span_ns, 150);
+        assert!((p.tracks[0].utilization - 100.0 / 150.0).abs() < 1e-9);
+        assert!(p.format_table().contains("w0"));
+    }
+
+    #[test]
+    fn executor_step_costs_group_by_step_begin() {
+        let dep = |d: u64| Event {
+            ts: 0,
+            dur: d,
+            kind: EventKind::DepAnalysis {
+                launch: 0,
+                pos: 0,
+                checks: 1,
+            },
+        };
+        let step = |s: u64| Event {
+            ts: 0,
+            dur: 0,
+            kind: EventKind::StepBegin { step: s },
+        };
+        let trace = Trace {
+            tracks: vec![track(
+                "control",
+                vec![step(0), dep(10), dep(5), step(1), dep(7)],
+            )],
+        };
+        assert_eq!(
+            control_cost_per_step(&trace, "control"),
+            vec![(0, 15), (1, 7)]
+        );
+        assert!(control_cost_per_step(&trace, "absent").is_empty());
+    }
+
+    #[test]
+    fn sim_step_costs_take_max_over_nodes() {
+        let sim = |kind: SimKind, node: u32, step: u32, dur: u64| Event {
+            ts: 0,
+            dur,
+            kind: EventKind::SimTask { kind, node, step },
+        };
+        let trace = Trace {
+            tracks: vec![track(
+                "sim",
+                vec![
+                    sim(SimKind::Launch, 0, 0, 10),
+                    sim(SimKind::Analysis, 0, 0, 5),
+                    sim(SimKind::Launch, 1, 0, 12),
+                    sim(SimKind::Compute, 1, 0, 1000), // not control cost
+                    sim(SimKind::Launch, 0, 1, 9),
+                ],
+            )],
+        };
+        // Step 0: node 0 costs 15, node 1 costs 12 → max 15.
+        assert_eq!(
+            sim_control_cost_per_step(&trace, "sim"),
+            vec![(0, 15), (1, 9)]
+        );
+        assert!((mean_step_cost(&[(0, 15), (1, 9)]) - 12.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,73 @@
+//! End-to-end: record a small synthetic execution, export it as Chrome
+//! trace JSON, and parse it back with the in-crate parser.
+
+use regent_trace::{export_chrome, json, EventKind, PrivCode, Tracer};
+
+#[test]
+fn chrome_export_round_trips_through_parser() {
+    let tracer = Tracer::enabled();
+    {
+        let mut control = tracer.buffer("control");
+        let mut worker = tracer.buffer("worker-0");
+        for step in 0..3u64 {
+            control.instant(EventKind::StepBegin { step });
+            for launch in 0..4u32 {
+                let l = step as u32 * 4 + launch;
+                control.instant(EventKind::TaskLaunch {
+                    launch: l,
+                    pos: 0,
+                    task: 7,
+                });
+                control.push(
+                    control.now(),
+                    0,
+                    EventKind::TaskAccess {
+                        launch: l,
+                        pos: 0,
+                        region: 3,
+                        inst: 0xdead,
+                        fields: 0b11,
+                        privilege: PrivCode::Write,
+                    },
+                );
+                let t0 = worker.now();
+                worker.span_since(
+                    t0,
+                    EventKind::TaskRun {
+                        launch: l,
+                        pos: 0,
+                        task: 7,
+                    },
+                );
+            }
+            control.instant(EventKind::Drain);
+            control.push(
+                control.now(),
+                0,
+                EventKind::Counter {
+                    name: "window",
+                    value: step as f64,
+                },
+            );
+        }
+    }
+    let trace = tracer.take();
+    let total = trace.num_events();
+    assert!(total > 0);
+
+    let out = export_chrome(&trace);
+    let v = json::parse(&out).expect("chrome export must be valid JSON");
+    let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+    // Every recorded event plus one thread_name metadata per track.
+    assert_eq!(events.len(), total + trace.tracks.len());
+    for e in events {
+        let ph = e.get("ph").unwrap().as_str().unwrap();
+        assert!(matches!(ph, "X" | "i" | "C" | "M"), "unexpected ph {ph}");
+        assert!(e.get("pid").is_some());
+        assert!(e.get("tid").is_some());
+        if ph != "M" {
+            // Timestamps must be numeric microseconds.
+            assert!(e.get("ts").unwrap().as_num().is_some());
+        }
+    }
+}

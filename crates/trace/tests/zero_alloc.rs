@@ -1,0 +1,75 @@
+//! Proves the "zero-cost when disabled" claim: recording through a
+//! disabled tracer performs no heap allocation at all.
+//!
+//! This lives alone in its own integration-test binary because it
+//! installs a counting `#[global_allocator]`, which must not interfere
+//! with other tests.
+
+use regent_trace::{EventKind, PrivCode, Tracer};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+#[test]
+fn disabled_tracer_never_allocates() {
+    let tracer = Tracer::disabled(); // Arc: allocates once, before measuring
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut buf = tracer.buffer("worker-0");
+    for i in 0..10_000u32 {
+        let t0 = buf.now();
+        buf.instant(EventKind::TaskLaunch {
+            launch: i,
+            pos: 0,
+            task: 0,
+        });
+        buf.push(
+            0,
+            0,
+            EventKind::TaskAccess {
+                launch: i,
+                pos: 0,
+                region: 1,
+                inst: 2,
+                fields: 1,
+                privilege: PrivCode::Write,
+            },
+        );
+        buf.span_since(
+            t0,
+            EventKind::TaskRun {
+                launch: i,
+                pos: 0,
+                task: 0,
+            },
+        );
+        buf.flush();
+    }
+    drop(buf);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled-mode recording must not allocate"
+    );
+    assert_eq!(tracer.take().num_events(), 0);
+}

@@ -5,3 +5,4 @@ pub use regent_ir as ir;
 pub use regent_machine as machine;
 pub use regent_region as region;
 pub use regent_runtime as runtime;
+pub use regent_trace as trace;
