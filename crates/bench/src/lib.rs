@@ -24,8 +24,8 @@
 #![warn(missing_docs)]
 
 use regent_machine::{
-    simulate_cr_traced, simulate_implicit_traced, simulate_mpi, MachineConfig, MpiVariant,
-    ScalingSeries, TimestepSpec,
+    simulate_cr_faulted, simulate_implicit_faulted, simulate_mpi_faulted, FaultPlan, MachineConfig,
+    MpiVariant, ScalingSeries, TimestepSpec,
 };
 use regent_trace::{export_chrome, mean_step_cost, sim_control_cost_per_step, Trace, Tracer};
 
@@ -45,6 +45,10 @@ pub struct FigureRunner {
     /// When set, record the simulated schedules and write a Chrome
     /// `trace_event` JSON file here.
     pub trace_path: Option<String>,
+    /// When set, every simulated execution runs under this fault plan
+    /// (`--faults <seed>,<rate>`: seeded message loss at the given
+    /// rate), so the figures show degraded-network behavior.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for FigureRunner {
@@ -54,6 +58,7 @@ impl Default for FigureRunner {
             steps: 5,
             machine_mod: |_| {},
             trace_path: None,
+            faults: None,
         }
     }
 }
@@ -89,6 +94,7 @@ impl FigureRunner {
             .iter()
             .map(|(label, _)| ScalingSeries::new(label))
             .collect();
+        let plan = self.faults.clone().unwrap_or_default();
         for nodes in regent_machine::node_counts_to(self.max_nodes) {
             let mut machine = MachineConfig::piz_daint(nodes);
             (self.machine_mod)(&mut machine);
@@ -96,19 +102,21 @@ impl FigureRunner {
             let mut tb = tracer.buffer(&format!("cr/n{nodes}"));
             cr.push(
                 nodes,
-                simulate_cr_traced(&machine, &spec, self.steps, &mut tb),
+                simulate_cr_faulted(&machine, &spec, self.steps, &plan, &mut tb),
             );
             tb.flush();
             let mut tb = tracer.buffer(&format!("implicit/n{nodes}"));
             nocr.push(
                 nodes,
-                simulate_implicit_traced(&machine, &spec, self.steps, &mut tb),
+                simulate_implicit_faulted(&machine, &spec, self.steps, &plan, &mut tb),
             );
             tb.flush();
             for ((_, mk), series) in mpi_variants.iter().zip(&mut mpis) {
+                // MPI references are never traced (as before).
+                let mut tb = Tracer::disabled().buffer("mpi");
                 series.push(
                     nodes,
-                    simulate_mpi(&machine, &spec, self.steps, mk(&machine)),
+                    simulate_mpi_faulted(&machine, &spec, self.steps, mk(&machine), &plan, &mut tb),
                 );
             }
         }
@@ -201,8 +209,10 @@ pub fn run_figure(
     }
 }
 
-/// Shared CLI handling: `--max-nodes N`, `--steps S`, and
-/// `--trace <path>` (write a Chrome trace of the simulated schedules).
+/// Shared CLI handling: `--max-nodes N`, `--steps S`, `--trace <path>`
+/// (write a Chrome trace of the simulated schedules), and
+/// `--faults <seed>,<rate>` (run every model under seeded message loss
+/// at the given rate).
 pub fn parse_args() -> FigureRunner {
     let mut runner = FigureRunner::default();
     let args: Vec<String> = std::env::args().collect();
@@ -219,6 +229,17 @@ pub fn parse_args() -> FigureRunner {
             }
             "--trace" => {
                 runner.trace_path = Some(args.get(i + 1).expect("--trace <path>").clone());
+                i += 2;
+            }
+            "--faults" => {
+                let spec = args.get(i + 1).expect("--faults <seed>,<rate>");
+                let (seed, rate) = spec
+                    .split_once(',')
+                    .expect("--faults <seed>,<rate> (e.g. --faults 42,0.01)");
+                runner.faults = Some(FaultPlan::from_seed_rate(
+                    seed.trim().parse().expect("fault seed must be an integer"),
+                    rate.trim().parse().expect("fault rate must be a float"),
+                ));
                 i += 2;
             }
             other => panic!("unknown argument {other}"),

@@ -1,0 +1,457 @@
+//! # regent-fault
+//!
+//! Deterministic, seeded fault plans shared by the machine simulator
+//! (`regent-machine`) and the real SPMD executor (`regent-runtime`).
+//!
+//! The paper's SPMD shards coordinate purely through point-to-point
+//! synchronization (§3.4), so a single failed shard stalls every peer.
+//! This crate provides the *model* of what can fail — it decides
+//! nothing about recovery, which lives with each consumer:
+//!
+//! * **Scheduled events** ([`FaultEvent`]) — a shard crash at a given
+//!   epoch (real executor: an outermost-loop iteration; simulator: a
+//!   time step), or a transient node slowdown window in virtual time.
+//! * **Probabilistic message faults** — per-copy loss, duplication,
+//!   and delay decided by a pure hash of `(seed, message key,
+//!   attempt)`, so the same plan produces the same fault sequence on
+//!   every run regardless of thread or event interleaving.
+//! * **[`RetryPolicy`]** — per-copy timeout with exponential backoff,
+//!   the recovery half of the message-loss model.
+//! * **[`FaultStats`]** — what actually happened (losses, retries,
+//!   crashes, replayed epochs), accumulated by the consumers and
+//!   surfaced in `SimResult` / bench output.
+//!
+//! Determinism is the whole point: the test suites assert that a run
+//! under an active fault plan is reproducible (same seed ⇒ same
+//! schedule) and that checkpoint–restart recovery yields bit-identical
+//! results to a fault-free run.
+
+#![warn(missing_docs)]
+
+/// One scheduled (non-probabilistic) fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// A shard (real executor) or node (simulator) crashes at the start
+    /// of the given epoch / time step, losing all state since the last
+    /// checkpoint.
+    ShardCrash {
+        /// The shard or node that dies.
+        shard: u32,
+        /// Zero-based epoch (outermost-loop iteration / time step) at
+        /// whose start the crash is injected.
+        epoch: u64,
+    },
+    /// A node serves work `factor`× slower during `[start, start +
+    /// duration)` of virtual time (simulator only).
+    Slowdown {
+        /// The affected node.
+        node: u32,
+        /// Window start, virtual seconds.
+        start: f64,
+        /// Window length, virtual seconds.
+        duration: f64,
+        /// Service-time multiplier (> 1 slows the node down).
+        factor: f64,
+    },
+}
+
+/// What the fault plan decides for one delivery attempt of a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MessageFate {
+    /// Delivered normally.
+    Deliver,
+    /// Lost in flight: the sender times out and retransmits.
+    Lose,
+    /// Delivered twice; the duplicate wastes bandwidth and must be
+    /// deduplicated by the receiver.
+    Duplicate,
+    /// Delivered after an extra in-flight delay.
+    Delay,
+}
+
+/// Timeout-and-retransmit policy for lost copies.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Time the sender waits for an acknowledgement before the first
+    /// retransmit, seconds.
+    pub timeout: f64,
+    /// Backoff multiplier applied per failed attempt (attempt `k`
+    /// waits `timeout × multiplier^k`).
+    pub backoff: f64,
+    /// Attempts after which the delivery is forced through (the model
+    /// must make progress; a real transport would escalate to a node
+    /// failure instead).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout: 100.0e-6,
+            backoff: 2.0,
+            max_attempts: 10,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff delay before retransmitting after failed attempt
+    /// `attempt` (zero-based).
+    pub fn backoff_delay(&self, attempt: u32) -> f64 {
+        self.timeout * self.backoff.powi(attempt.min(self.max_attempts) as i32)
+    }
+}
+
+/// A deterministic fault plan: scheduled events plus seeded
+/// probabilistic message faults.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic decision.
+    pub seed: u64,
+    /// Scheduled crash / slowdown events.
+    pub events: Vec<FaultEvent>,
+    /// Probability a message attempt is lost in flight.
+    pub loss_rate: f64,
+    /// Probability a delivered message is duplicated.
+    pub dup_rate: f64,
+    /// Probability a delivered message is delayed by [`FaultPlan::delay_s`].
+    pub delay_rate: f64,
+    /// Extra in-flight delay applied to delayed messages, seconds.
+    pub delay_s: f64,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Adds a shard/node crash at the start of `epoch`.
+    pub fn crash_shard(mut self, shard: u32, epoch: u64) -> Self {
+        self.events.push(FaultEvent::ShardCrash { shard, epoch });
+        self
+    }
+
+    /// Adds a transient slowdown window on `node`.
+    pub fn slow_node(mut self, node: u32, start: f64, duration: f64, factor: f64) -> Self {
+        self.events.push(FaultEvent::Slowdown {
+            node,
+            start,
+            duration,
+            factor,
+        });
+        self
+    }
+
+    /// Sets the message loss rate.
+    pub fn with_loss_rate(mut self, rate: f64) -> Self {
+        self.loss_rate = rate;
+        self
+    }
+
+    /// Sets the message duplication rate.
+    pub fn with_dup_rate(mut self, rate: f64) -> Self {
+        self.dup_rate = rate;
+        self
+    }
+
+    /// Sets the message delay rate and the per-message extra delay.
+    pub fn with_delay(mut self, rate: f64, delay_s: f64) -> Self {
+        self.delay_rate = rate;
+        self.delay_s = delay_s;
+        self
+    }
+
+    /// The `--faults <seed>,<rate>` plan of the figure binaries:
+    /// message loss at `rate` with everything else clean.
+    pub fn from_seed_rate(seed: u64, rate: f64) -> Self {
+        FaultPlan::new(seed).with_loss_rate(rate)
+    }
+
+    /// A seeded single-shard crash for a machine of `num_shards`
+    /// shards: the crashing shard and the crash epoch (in
+    /// `1..=max_epoch`) are both drawn from the seed. Used by the
+    /// `REGENT_FAULT_SEED` CI smoke path.
+    pub fn seeded_crash(seed: u64, num_shards: usize, max_epoch: u64) -> Self {
+        let h1 = splitmix64(seed ^ 0xC2B2_AE3D_27D4_EB4F);
+        let h2 = splitmix64(h1);
+        let shard = (h1 % num_shards.max(1) as u64) as u32;
+        let epoch = 1 + h2 % max_epoch.max(1);
+        FaultPlan::new(seed).crash_shard(shard, epoch)
+    }
+
+    /// Reads `REGENT_FAULT_SEED` from the environment: `Some(seed)`
+    /// when set to a valid integer, `None` otherwise. Consumers use the
+    /// seed to derive an injection plan so that plain test runs
+    /// exercise the recovery paths in CI.
+    pub fn seed_from_env() -> Option<u64> {
+        std::env::var("REGENT_FAULT_SEED").ok()?.parse().ok()
+    }
+
+    /// True when the plan can do anything at all.
+    pub fn is_active(&self) -> bool {
+        !self.events.is_empty()
+            || self.loss_rate > 0.0
+            || self.dup_rate > 0.0
+            || self.delay_rate > 0.0
+    }
+
+    /// True when the plan schedules at least one crash.
+    pub fn has_crashes(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::ShardCrash { .. }))
+    }
+
+    /// All crash events `(shard, epoch)`, sorted by epoch then shard —
+    /// the deterministic order consumers process them in.
+    pub fn crash_schedule(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::ShardCrash { shard, epoch } => Some((shard, epoch)),
+                _ => None,
+            })
+            .collect();
+        v.sort_by_key(|&(s, e)| (e, s));
+        v
+    }
+
+    /// Combined slowdown factor for work starting at virtual time `t`
+    /// on `node` (1.0 when no window applies; overlapping windows
+    /// multiply).
+    pub fn slowdown_factor(&self, node: u32, t: f64) -> f64 {
+        let mut f = 1.0;
+        for e in &self.events {
+            if let FaultEvent::Slowdown {
+                node: n,
+                start,
+                duration,
+                factor,
+            } = *e
+            {
+                if n == node && t >= start && t < start + duration {
+                    f *= factor;
+                }
+            }
+        }
+        f
+    }
+
+    /// Decides the fate of delivery attempt `attempt` of the message
+    /// identified by `key`. Pure function of `(seed, key, attempt)` —
+    /// identical across runs and independent of scheduling order.
+    pub fn message_fate(&self, key: u64, attempt: u32) -> MessageFate {
+        if self.loss_rate == 0.0 && self.dup_rate == 0.0 && self.delay_rate == 0.0 {
+            return MessageFate::Deliver;
+        }
+        let h = splitmix64(self.seed ^ splitmix64(key ^ ((attempt as u64) << 48)));
+        let u = unit_f64(h);
+        if u < self.loss_rate {
+            MessageFate::Lose
+        } else if u < self.loss_rate + self.dup_rate {
+            MessageFate::Duplicate
+        } else if u < self.loss_rate + self.dup_rate + self.delay_rate {
+            MessageFate::Delay
+        } else {
+            MessageFate::Deliver
+        }
+    }
+}
+
+/// Stable identity of a simulated or real message, for
+/// [`FaultPlan::message_fate`]. Built from scheduling-order-independent
+/// coordinates (kind/node/step/occurrence, or copy/pair/occurrence) so
+/// that permuting construction order does not re-roll the dice.
+pub fn message_key(a: u64, b: u64, c: u64, d: u64) -> u64 {
+    splitmix64(a ^ splitmix64(b ^ splitmix64(c ^ splitmix64(d))))
+}
+
+/// What a fault-injected run actually experienced.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultStats {
+    /// Message attempts lost in flight (each triggers a retransmit).
+    pub messages_lost: u64,
+    /// Messages delivered twice.
+    pub messages_duplicated: u64,
+    /// Messages delivered late.
+    pub messages_delayed: u64,
+    /// Retransmissions performed.
+    pub retries: u64,
+    /// Deliveries forced through after exhausting
+    /// [`RetryPolicy::max_attempts`].
+    pub forced_deliveries: u64,
+    /// Total backoff time spent waiting for retransmits, seconds.
+    pub total_backoff_s: f64,
+    /// Crashes injected.
+    pub crashes: u64,
+    /// Epochs / time steps re-executed during recovery.
+    pub epochs_replayed: u64,
+    /// Time spent in recovery (detection + state re-distribution),
+    /// seconds of virtual time (simulator only).
+    pub recovery_time_s: f64,
+}
+
+impl FaultStats {
+    /// Accumulates another record into this one.
+    pub fn merge(&mut self, o: &FaultStats) {
+        self.messages_lost += o.messages_lost;
+        self.messages_duplicated += o.messages_duplicated;
+        self.messages_delayed += o.messages_delayed;
+        self.retries += o.retries;
+        self.forced_deliveries += o.forced_deliveries;
+        self.total_backoff_s += o.total_backoff_s;
+        self.crashes += o.crashes;
+        self.epochs_replayed += o.epochs_replayed;
+        self.recovery_time_s += o.recovery_time_s;
+    }
+}
+
+/// SplitMix64 — the workspace's standard dependency-free mixer.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` from a hash.
+fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_fate_is_deterministic() {
+        let p = FaultPlan::new(7).with_loss_rate(0.3).with_dup_rate(0.1);
+        for key in 0..200u64 {
+            for attempt in 0..4 {
+                assert_eq!(
+                    p.message_fate(key, attempt),
+                    p.message_fate(key, attempt),
+                    "key {key} attempt {attempt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honored() {
+        let p = FaultPlan::new(42).with_loss_rate(0.25);
+        let n = 20_000;
+        let lost = (0..n)
+            .filter(|&k| p.message_fate(k, 0) == MessageFate::Lose)
+            .count();
+        let frac = lost as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "observed loss rate {frac}");
+    }
+
+    #[test]
+    fn different_seeds_different_fates() {
+        let a = FaultPlan::new(1).with_loss_rate(0.5);
+        let b = FaultPlan::new(2).with_loss_rate(0.5);
+        let diff = (0..1000u64)
+            .filter(|&k| a.message_fate(k, 0) != b.message_fate(k, 0))
+            .count();
+        assert!(diff > 200, "seeds barely changed the plan: {diff}");
+    }
+
+    #[test]
+    fn attempts_reroll() {
+        // A lost first attempt must not doom every retry: with 50%
+        // loss, some messages lost at attempt 0 succeed at attempt 1.
+        let p = FaultPlan::new(3).with_loss_rate(0.5);
+        let recovered = (0..1000u64)
+            .filter(|&k| {
+                p.message_fate(k, 0) == MessageFate::Lose
+                    && p.message_fate(k, 1) == MessageFate::Deliver
+            })
+            .count();
+        assert!(recovered > 50, "retries never recover: {recovered}");
+    }
+
+    #[test]
+    fn slowdown_windows() {
+        let p = FaultPlan::new(0).slow_node(2, 1.0, 2.0, 3.0);
+        assert_eq!(p.slowdown_factor(2, 0.5), 1.0);
+        assert_eq!(p.slowdown_factor(2, 1.0), 3.0);
+        assert_eq!(p.slowdown_factor(2, 2.9), 3.0);
+        assert_eq!(p.slowdown_factor(2, 3.0), 1.0);
+        assert_eq!(p.slowdown_factor(1, 1.5), 1.0);
+        // Overlapping windows compound.
+        let p = p.slow_node(2, 0.0, 10.0, 2.0);
+        assert_eq!(p.slowdown_factor(2, 1.5), 6.0);
+    }
+
+    #[test]
+    fn crash_schedule_sorted() {
+        let p = FaultPlan::new(0)
+            .crash_shard(3, 9)
+            .crash_shard(1, 2)
+            .crash_shard(0, 9);
+        assert_eq!(p.crash_schedule(), vec![(1, 2), (0, 9), (3, 9)]);
+        assert!(p.has_crashes());
+        assert!(p.is_active());
+    }
+
+    #[test]
+    fn seeded_crash_in_bounds() {
+        for seed in 0..50 {
+            let p = FaultPlan::seeded_crash(seed, 4, 3);
+            let sched = p.crash_schedule();
+            assert_eq!(sched.len(), 1);
+            let (shard, epoch) = sched[0];
+            assert!(shard < 4);
+            assert!((1..=3).contains(&epoch));
+        }
+        // Different seeds hit different shards eventually.
+        let shards: std::collections::HashSet<u32> = (0..50)
+            .map(|s| FaultPlan::seeded_crash(s, 4, 3).crash_schedule()[0].0)
+            .collect();
+        assert!(shards.len() > 1);
+    }
+
+    #[test]
+    fn retry_backoff_grows() {
+        let r = RetryPolicy::default();
+        assert!(r.backoff_delay(1) > r.backoff_delay(0));
+        assert_eq!(r.backoff_delay(0), r.timeout);
+        assert_eq!(r.backoff_delay(2), r.timeout * 4.0);
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let p = FaultPlan::new(99);
+        assert!(!p.is_active());
+        assert_eq!(p.message_fate(123, 0), MessageFate::Deliver);
+        assert_eq!(p.slowdown_factor(0, 5.0), 1.0);
+        assert!(p.crash_schedule().is_empty());
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = FaultStats {
+            messages_lost: 1,
+            retries: 2,
+            crashes: 1,
+            epochs_replayed: 3,
+            ..FaultStats::default()
+        };
+        let b = FaultStats {
+            messages_lost: 4,
+            total_backoff_s: 0.5,
+            ..FaultStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.messages_lost, 5);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.total_backoff_s, 0.5);
+    }
+}

@@ -17,9 +17,10 @@
 //! trace nanoseconds 1:1e9, so the Chrome exporter renders simulated
 //! timelines exactly like real ones.
 
+use regent_fault::{FaultPlan, FaultStats, MessageFate, RetryPolicy};
 use regent_trace::{EventKind as TraceEventKind, SimKind, TraceBuf, Tracer};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Identifier of a sim-task.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -58,6 +59,15 @@ pub struct Sim {
     resources: Vec<Resource>,
     /// Trace tags parallel to `tasks`: (kind, node, step).
     meta: Vec<(SimKind, u32, u32)>,
+    /// Stable per-task message keys, parallel to `tasks` — a pure
+    /// function of the task's `(kind, node, step)` tag plus its
+    /// occurrence number within that tag, so fault decisions do not
+    /// depend on construction order.
+    keys: Vec<u64>,
+    /// Occurrence counters behind `keys`.
+    occurrence: HashMap<(u8, u32, u32), u64>,
+    /// Active fault plan, if any.
+    faults: Option<(FaultPlan, RetryPolicy)>,
 }
 
 /// Results of a simulation run.
@@ -69,13 +79,20 @@ pub struct SimResult {
     pub finish_times: Vec<f64>,
     /// Total busy time per resource, seconds (for utilization studies).
     pub busy_time: Vec<f64>,
+    /// What the fault plan actually did (all-zero without one).
+    pub faults: FaultStats,
 }
 
 #[derive(PartialEq)]
 struct Event {
     time: f64,
     kind: EventKind,
-    /// Tie-break for determinism.
+    /// Primary tie-break: the subject task's stable order key (tag
+    /// hash for tagged tasks, insertion index for untagged ones), so
+    /// same-time event ordering — and thus FIFO queue order under
+    /// contention — does not depend on construction order.
+    order: u64,
+    /// Last-resort tie-break for determinism.
     seq: u64,
 }
 
@@ -100,6 +117,7 @@ impl Ord for Event {
         self.time
             .partial_cmp(&other.time)
             .unwrap()
+            .then(self.order.cmp(&other.order))
             .then(self.seq.cmp(&other.seq))
     }
 }
@@ -117,7 +135,18 @@ impl Sim {
             tasks: Vec::new(),
             resources: Vec::new(),
             meta: Vec::new(),
+            keys: Vec::new(),
+            occurrence: HashMap::new(),
+            faults: None,
         }
+    }
+
+    /// Arms a fault plan: slowdown windows stretch service times,
+    /// and `Copy`-tagged tasks are subject to seeded loss (timeout +
+    /// exponential-backoff retransmit under `retry`), duplication, and
+    /// delay. Without this call the simulation is perfectly reliable.
+    pub fn set_faults(&mut self, plan: FaultPlan, retry: RetryPolicy) {
+        self.faults = Some((plan, retry));
     }
 
     /// Adds a resource with `servers` parallel servers.
@@ -151,12 +180,30 @@ impl Sim {
             num_deps: 0,
         });
         self.meta.push((SimKind::Other, 0, 0));
+        let key = self.stable_key(SimKind::Other, 0, 0);
+        self.keys.push(key);
         id
     }
 
-    /// Tags a task with its model-level meaning for tracing.
+    /// Tags a task with its model-level meaning for tracing, and keys
+    /// it for fault decisions.
     pub fn tag(&mut self, t: SimTaskId, kind: SimKind, node: u32, step: u32) {
         self.meta[t.0 as usize] = (kind, node, step);
+        self.keys[t.0 as usize] = self.stable_key(kind, node, step);
+    }
+
+    /// Message key from a tag plus its occurrence count within that
+    /// tag: the k-th Copy on (node, step) gets the same key no matter
+    /// in which order the workload builder created the tasks.
+    fn stable_key(&mut self, kind: SimKind, node: u32, step: u32) -> u64 {
+        let occ = self
+            .occurrence
+            .entry((sim_kind_code(kind), node, step))
+            .or_insert(0);
+        let k =
+            regent_fault::message_key(sim_kind_code(kind) as u64, node as u64, step as u64, *occ);
+        *occ += 1;
+        k
     }
 
     /// Declares that `after` cannot start before `before` completes.
@@ -185,13 +232,36 @@ impl Sim {
     /// into `tb` (virtual seconds × 1e9 → trace nanoseconds).
     pub fn run_traced(mut self, tb: &mut TraceBuf) -> SimResult {
         let n = self.tasks.len();
+        let faults = self.faults.take();
+        let mut fstats = FaultStats::default();
+        let mut attempts: Vec<u32> = vec![0; n];
         let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
         let mut seq = 0u64;
+        // Stable same-time ordering: tagged tasks order by their tag
+        // key (construction-order independent), untagged ones by
+        // insertion index (plain FIFO).
+        let order: Vec<u64> = self
+            .meta
+            .iter()
+            .zip(&self.keys)
+            .enumerate()
+            .map(|(i, (&(kind, _, _), &key))| {
+                if kind == SimKind::Other {
+                    i as u64
+                } else {
+                    key
+                }
+            })
+            .collect();
         let push = |heap: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, time, kind| {
+            let tid = match kind {
+                EventKind::Ready(t) | EventKind::ServerDone(_, t) | EventKind::Complete(t) => t,
+            };
             *seq += 1;
             heap.push(Reverse(Event {
                 time,
                 kind,
+                order: order[tid.0 as usize],
                 seq: *seq,
             }));
         };
@@ -225,7 +295,7 @@ impl Sim {
                     let r = self.tasks[tid.0 as usize].resource;
                     if free[r.0 as usize] > 0 {
                         free[r.0 as usize] -= 1;
-                        let d = self.tasks[tid.0 as usize].duration;
+                        let d = effective_duration(&self.tasks, &self.meta, &faults, tid, now);
                         busy_time[r.0 as usize] += d;
                         record_service(tb, &self.meta, tid, now, d);
                         push(&mut heap, &mut seq, now + d, EventKind::ServerDone(r, tid));
@@ -237,14 +307,51 @@ impl Sim {
                     // Free the server (possibly starting the next queued
                     // task), then schedule completion after the delay.
                     if let Some(next) = queues[r.0 as usize].pop_front() {
-                        let d = self.tasks[next.0 as usize].duration;
+                        let d = effective_duration(&self.tasks, &self.meta, &faults, next, now);
                         busy_time[r.0 as usize] += d;
                         record_service(tb, &self.meta, next, now, d);
                         push(&mut heap, &mut seq, now + d, EventKind::ServerDone(r, next));
                     } else {
                         free[r.0 as usize] += 1;
                     }
-                    let delay = self.tasks[tid.0 as usize].completion_delay;
+                    // Decide the delivery fate of Copy-tagged tasks
+                    // under the fault plan: a lost message re-queues on
+                    // its resource after a backoff (retransmission pays
+                    // the NIC again), a duplicate charges the NIC a
+                    // second serialization, a delayed one completes
+                    // late.
+                    let mut delay = self.tasks[tid.0 as usize].completion_delay;
+                    if let Some((plan, retry)) = &faults {
+                        if self.meta[tid.0 as usize].0 == SimKind::Copy {
+                            let att = attempts[tid.0 as usize];
+                            match plan.message_fate(self.keys[tid.0 as usize], att) {
+                                MessageFate::Lose if att < retry.max_attempts => {
+                                    let backoff = retry.backoff_delay(att);
+                                    fstats.messages_lost += 1;
+                                    fstats.retries += 1;
+                                    fstats.total_backoff_s += backoff;
+                                    attempts[tid.0 as usize] = att + 1;
+                                    push(&mut heap, &mut seq, now + backoff, EventKind::Ready(tid));
+                                    continue;
+                                }
+                                MessageFate::Lose => {
+                                    // Out of retries: force the message
+                                    // through so the run terminates (a
+                                    // real transport would escalate).
+                                    fstats.forced_deliveries += 1;
+                                }
+                                MessageFate::Duplicate => {
+                                    fstats.messages_duplicated += 1;
+                                    busy_time[r.0 as usize] += self.tasks[tid.0 as usize].duration;
+                                }
+                                MessageFate::Delay => {
+                                    fstats.messages_delayed += 1;
+                                    delay += plan.delay_s;
+                                }
+                                MessageFate::Deliver => {}
+                            }
+                        }
+                    }
                     if delay == 0.0 {
                         push(&mut heap, &mut seq, now, EventKind::Complete(tid));
                     } else {
@@ -273,7 +380,36 @@ impl Sim {
             makespan,
             finish_times: finish,
             busy_time,
+            faults: fstats,
         }
+    }
+}
+
+/// Service time of `tid` starting at `now`: the base duration
+/// stretched by any slowdown window covering the node at that moment.
+fn effective_duration(
+    tasks: &[SimTask],
+    meta: &[(SimKind, u32, u32)],
+    faults: &Option<(FaultPlan, RetryPolicy)>,
+    tid: SimTaskId,
+    now: f64,
+) -> f64 {
+    let d = tasks[tid.0 as usize].duration;
+    match faults {
+        Some((plan, _)) => d * plan.slowdown_factor(meta[tid.0 as usize].1, now),
+        None => d,
+    }
+}
+
+/// Stable small code per [`SimKind`] for occurrence bucketing.
+fn sim_kind_code(k: SimKind) -> u8 {
+    match k {
+        SimKind::Launch => 0,
+        SimKind::Analysis => 1,
+        SimKind::Compute => 2,
+        SimKind::Copy => 3,
+        SimKind::Collective => 4,
+        SimKind::Other => 5,
     }
 }
 
@@ -409,6 +545,84 @@ mod tests {
             }
             ref k => panic!("unexpected event {k:?}"),
         }
+    }
+
+    #[test]
+    fn slowdown_window_stretches_service() {
+        let build = || {
+            let mut sim = Sim::new();
+            let r = sim.add_resource(1);
+            let a = sim.add_task(r, 1.0);
+            let b = sim.add_task(r, 1.0);
+            sim.add_dep(a, b);
+            sim.tag(a, SimKind::Compute, 2, 0);
+            sim.tag(b, SimKind::Compute, 2, 1);
+            (sim, a, b)
+        };
+        // Fault-free: back-to-back unit tasks.
+        let (sim, _, _) = build();
+        assert_eq!(sim.run().makespan, 2.0);
+        // Node 2 is 3× slower during [0.5, 1.5): task a starts at 0
+        // (outside the window, unaffected — windows apply at service
+        // start), b starts at 1.0 inside it and takes 3s.
+        let (mut sim, a, b) = build();
+        sim.set_faults(
+            FaultPlan::new(1).slow_node(2, 0.5, 1.0, 3.0),
+            RetryPolicy::default(),
+        );
+        let res = sim.run();
+        assert_eq!(res.finish_times[a.0 as usize], 1.0);
+        assert_eq!(res.finish_times[b.0 as usize], 4.0);
+    }
+
+    #[test]
+    fn lost_copies_retry_and_complete() {
+        let mut sim = Sim::new();
+        let nic = sim.add_resource(1);
+        let core = sim.add_resource(1);
+        let mut copies = Vec::new();
+        for i in 0..50 {
+            let c = sim.add_task_delayed(nic, 1e-6, 1e-6);
+            sim.tag(c, SimKind::Copy, 0, i);
+            let w = sim.add_task(core, 1e-6);
+            sim.add_dep(c, w);
+            copies.push(c);
+        }
+        sim.set_faults(
+            FaultPlan::new(7).with_loss_rate(0.4),
+            RetryPolicy::default(),
+        );
+        let res = sim.run();
+        assert!(res.faults.messages_lost > 5, "{:?}", res.faults);
+        assert_eq!(res.faults.retries, res.faults.messages_lost);
+        assert!(res.faults.total_backoff_s > 0.0);
+        // Every copy completed despite losses, and retransmissions
+        // made the run strictly slower than the fault-free one.
+        assert!(res.finish_times.iter().all(|t| !t.is_nan()));
+    }
+
+    #[test]
+    fn delayed_and_duplicated_copies() {
+        let build = |plan: Option<FaultPlan>| {
+            let mut sim = Sim::new();
+            let nic = sim.add_resource(4);
+            for i in 0..100 {
+                let c = sim.add_task_delayed(nic, 1e-6, 1e-6);
+                sim.tag(c, SimKind::Copy, 0, i);
+            }
+            if let Some(p) = plan {
+                sim.set_faults(p, RetryPolicy::default());
+            }
+            sim.run()
+        };
+        let clean = build(None);
+        let delayed = build(Some(FaultPlan::new(5).with_delay(0.5, 1e-3)));
+        assert!(delayed.faults.messages_delayed > 10);
+        assert!(delayed.makespan > clean.makespan);
+        let duped = build(Some(FaultPlan::new(5).with_dup_rate(0.5)));
+        assert!(duped.faults.messages_duplicated > 10);
+        // Duplicates charge the NIC a second serialization.
+        assert!(duped.busy_time[0] > clean.busy_time[0]);
     }
 
     #[test]

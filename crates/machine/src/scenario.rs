@@ -23,6 +23,7 @@
 
 use crate::des::{ResourceId, Sim, SimTaskId};
 use crate::model::{noise_multiplier, MachineConfig, TimestepSpec};
+use regent_fault::{FaultPlan, FaultStats, RetryPolicy};
 use regent_trace::{SimKind, TraceBuf, Tracer};
 
 /// Result of simulating one configuration.
@@ -30,10 +31,17 @@ use regent_trace::{SimKind, TraceBuf, Tracer};
 pub struct ScenarioResult {
     /// Simulated wall time for all steps, seconds.
     pub makespan: f64,
-    /// Application elements processed per second per node.
+    /// Application elements processed per second per node, counting
+    /// *all* executed work (replayed epochs included).
     pub throughput_per_node: f64,
+    /// Application elements per second per node counting only *useful*
+    /// work — equal to `throughput_per_node` in a fault-free run,
+    /// strictly lower when crashes force epochs to be re-executed.
+    pub goodput_per_node: f64,
     /// Sim-tasks in the generated graph (diagnostics).
     pub graph_size: usize,
+    /// Fault-injection outcome (all-zero without an active plan).
+    pub faults: FaultStats,
 }
 
 fn finish(sim: Sim, spec: &TimestepSpec, steps: u64, tb: &mut TraceBuf) -> ScenarioResult {
@@ -43,7 +51,9 @@ fn finish(sim: Sim, spec: &TimestepSpec, steps: u64, tb: &mut TraceBuf) -> Scena
     ScenarioResult {
         makespan: res.makespan,
         throughput_per_node: throughput,
+        goodput_per_node: throughput,
         graph_size,
+        faults: res.faults,
     }
 }
 
@@ -60,93 +70,322 @@ pub fn simulate_cr_traced(
     steps: u64,
     tb: &mut TraceBuf,
 ) -> ScenarioResult {
-    let n = spec.num_nodes;
-    let mut sim = Sim::new();
-    let compute: Vec<ResourceId> = (0..n)
-        .map(|_| sim.add_resource(machine.regent_compute_cores()))
-        .collect();
-    let control: Vec<ResourceId> = (0..n).map(|_| sim.add_resource(1)).collect();
-    let nic: Vec<ResourceId> = (0..n).map(|_| sim.add_resource(1)).collect();
+    simulate_cr_faulted(machine, spec, steps, &FaultPlan::default(), tb)
+}
 
-    // Per node: the tail of the shard's serial launch chain.
-    let mut last_launch: Vec<Option<SimTaskId>> = vec![None; n];
-    // Tasks of the previous phase per node, and copies inbound per node.
-    let mut prev_tasks: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
-    let mut inbound: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
-    // A collective that gates the next phase everywhere (if any).
-    let mut pending_collective: Option<SimTaskId> = None;
-
-    let mut noise_key = 0u64;
+/// [`simulate_cr_traced`] under message-level faults: the plan's loss /
+/// duplication / delay rates and slowdown windows apply to the copy
+/// traffic and service times (crash events are ignored here — use
+/// [`simulate_cr_resilient`] for the crash + checkpoint model).
+pub fn simulate_cr_faulted(
+    machine: &MachineConfig,
+    spec: &TimestepSpec,
+    steps: u64,
+    plan: &FaultPlan,
+    tb: &mut TraceBuf,
+) -> ScenarioResult {
+    let mut b = CrBuilder::new(machine, spec);
     for step in 0..steps {
-        for phase in &spec.phases {
+        b.step(step);
+    }
+    if plan.is_active() {
+        b.sim.set_faults(plan.clone(), RetryPolicy::default());
+    }
+    finish(b.sim, spec, steps, tb)
+}
+
+/// Fault + recovery configuration of [`simulate_cr_resilient`].
+#[derive(Clone, Debug, Default)]
+pub struct ResilienceSpec {
+    /// The faults to inject: crash events fire at step boundaries,
+    /// message rates apply throughout.
+    pub plan: FaultPlan,
+    /// Checkpoint every K steps (0 = no checkpoints: a crash replays
+    /// everything since step 0).
+    pub ckpt_interval: u64,
+}
+
+/// Failure-detection timeout charged when a node crashes, seconds.
+/// Survivors only learn of the death after their point-to-point waits
+/// time out (§3.4 has no global failure detector).
+const DETECTION_TIMEOUT_S: f64 = 1.0e-3;
+
+/// Bytes of checkpoint state per application element (the region
+/// fields snapshotted at a checkpoint boundary).
+const CKPT_BYTES_PER_ELEMENT: f64 = 8.0;
+
+/// Simulates CR under the full fault model with checkpoint–restart:
+/// every `ckpt_interval` steps each shard snapshots its region slice;
+/// a scheduled node crash remaps the dead node's shard onto the
+/// least-loaded survivor (graceful degradation), pays a detection
+/// timeout plus a checkpoint state transfer, and replays every step
+/// since the last checkpoint. `goodput_per_node` counts only useful
+/// (non-replayed) work; `faults` reports crashes, replays, and
+/// recovery time.
+pub fn simulate_cr_resilient(
+    machine: &MachineConfig,
+    spec: &TimestepSpec,
+    steps: u64,
+    rspec: &ResilienceSpec,
+) -> ScenarioResult {
+    let tracer = Tracer::disabled();
+    simulate_cr_resilient_traced(machine, spec, steps, rspec, &mut tracer.buffer("sim"))
+}
+
+/// [`simulate_cr_resilient`] recording the simulated schedule into `tb`.
+pub fn simulate_cr_resilient_traced(
+    machine: &MachineConfig,
+    spec: &TimestepSpec,
+    steps: u64,
+    rspec: &ResilienceSpec,
+    tb: &mut TraceBuf,
+) -> ScenarioResult {
+    let mut b = CrBuilder::new(machine, spec);
+    let crashes = rspec.plan.crash_schedule();
+    let mut ci = 0;
+    let mut fstats = FaultStats::default();
+    let mut replayed = 0u64;
+    let mut last_ckpt = 0u64;
+    for step in 0..steps {
+        if rspec.ckpt_interval > 0 && step % rspec.ckpt_interval == 0 {
+            b.checkpoint(step);
+            last_ckpt = step;
+        }
+        // Crashes scheduled for this step boundary: all work since the
+        // last checkpoint is lost and must be replayed on the remapped
+        // shard assignment.
+        while ci < crashes.len() && crashes[ci].1 == step {
+            let (node, _) = crashes[ci];
+            ci += 1;
+            if b.crash(node as usize, step) {
+                fstats.crashes += 1;
+                for s in last_ckpt..step {
+                    b.step(s);
+                    replayed += 1;
+                }
+            }
+        }
+        b.step(step);
+    }
+    fstats.epochs_replayed = replayed;
+    fstats.recovery_time_s = b.recovery_time_s;
+    if rspec.plan.is_active() {
+        b.sim.set_faults(rspec.plan.clone(), RetryPolicy::default());
+    }
+    let graph_size = b.sim.num_tasks();
+    let res = b.sim.run_traced(tb);
+    fstats.merge(&res.faults);
+    let useful = spec.elements_per_node as f64 * steps as f64;
+    let executed = spec.elements_per_node as f64 * (steps + replayed) as f64;
+    ScenarioResult {
+        makespan: res.makespan,
+        throughput_per_node: executed / res.makespan,
+        goodput_per_node: useful / res.makespan,
+        graph_size,
+        faults: fstats,
+    }
+}
+
+/// Task-graph builder for the CR execution model. One long-lived shard
+/// per *slot*; `owner[slot]` is the physical node currently hosting it
+/// — identity until [`CrBuilder::crash`] remaps a dead node's slot
+/// onto a survivor.
+struct CrBuilder<'a> {
+    sim: Sim,
+    machine: &'a MachineConfig,
+    spec: &'a TimestepSpec,
+    compute: Vec<ResourceId>,
+    control: Vec<ResourceId>,
+    nic: Vec<ResourceId>,
+    owner: Vec<usize>,
+    alive: Vec<bool>,
+    /// Per slot: the tail of the shard's serial launch chain.
+    last_launch: Vec<Option<SimTaskId>>,
+    /// Tasks of the previous phase per slot, and copies inbound per slot.
+    prev_tasks: Vec<Vec<SimTaskId>>,
+    inbound: Vec<Vec<SimTaskId>>,
+    /// A collective that gates the next consuming phase (if any).
+    pending_collective: Option<SimTaskId>,
+    /// A recovery gate every slot's next launch must wait behind.
+    gate: Option<SimTaskId>,
+    noise_key: u64,
+    /// Accumulated detection + state-transfer time, virtual seconds.
+    recovery_time_s: f64,
+}
+
+impl<'a> CrBuilder<'a> {
+    fn new(machine: &'a MachineConfig, spec: &'a TimestepSpec) -> Self {
+        let n = spec.num_nodes;
+        let mut sim = Sim::new();
+        let compute: Vec<ResourceId> = (0..n)
+            .map(|_| sim.add_resource(machine.regent_compute_cores()))
+            .collect();
+        let control: Vec<ResourceId> = (0..n).map(|_| sim.add_resource(1)).collect();
+        let nic: Vec<ResourceId> = (0..n).map(|_| sim.add_resource(1)).collect();
+        CrBuilder {
+            sim,
+            machine,
+            spec,
+            compute,
+            control,
+            nic,
+            owner: (0..n).collect(),
+            alive: vec![true; n],
+            last_launch: vec![None; n],
+            prev_tasks: vec![Vec::new(); n],
+            inbound: vec![Vec::new(); n],
+            pending_collective: None,
+            gate: None,
+            noise_key: 0,
+            recovery_time_s: 0.0,
+        }
+    }
+
+    /// Emits one time step: per slot, the launch chain + point tasks,
+    /// then the point-to-point exchanges and any dynamic collective.
+    fn step(&mut self, step: u64) {
+        let n = self.spec.num_nodes;
+        let machine = self.machine;
+        for phase in &self.spec.phases {
             let mut cur_tasks: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
-            for node in 0..n {
+            for (slot, slot_tasks) in cur_tasks.iter_mut().enumerate() {
+                let node = self.owner[slot];
                 for _ in 0..phase.tasks_per_node {
                     // The shard's launch op (serial per shard, cheap).
                     // Deferred execution: collectives never block the
                     // shard's control flow (§3.4).
-                    let op = sim.add_task(control[node], machine.shard_launch_time);
-                    sim.tag(op, SimKind::Launch, node as u32, step as u32);
-                    if let Some(prev) = last_launch[node] {
-                        sim.add_dep(prev, op);
+                    let op = self
+                        .sim
+                        .add_task(self.control[node], machine.shard_launch_time);
+                    self.sim.tag(op, SimKind::Launch, node as u32, step as u32);
+                    if let Some(prev) = self.last_launch[slot] {
+                        self.sim.add_dep(prev, op);
                     }
-                    last_launch[node] = Some(op);
+                    if let Some(g) = self.gate {
+                        self.sim.add_dep(g, op);
+                    }
+                    self.last_launch[slot] = Some(op);
                     // The point task (OS noise stretches the duration).
-                    noise_key += 1;
-                    let dur =
-                        phase.task_compute_s * noise_multiplier(machine.noise_fraction, noise_key);
-                    let t = sim.add_task(compute[node], dur);
-                    sim.tag(t, SimKind::Compute, node as u32, step as u32);
-                    sim.add_dep(op, t);
-                    for &p in &prev_tasks[node] {
-                        sim.add_dep(p, t);
+                    self.noise_key += 1;
+                    let dur = phase.task_compute_s
+                        * noise_multiplier(machine.noise_fraction, self.noise_key);
+                    let t = self.sim.add_task(self.compute[node], dur);
+                    self.sim.tag(t, SimKind::Compute, node as u32, step as u32);
+                    self.sim.add_dep(op, t);
+                    for &p in &self.prev_tasks[slot] {
+                        self.sim.add_dep(p, t);
                     }
-                    for &c in &inbound[node] {
-                        sim.add_dep(c, t);
+                    for &c in &self.inbound[slot] {
+                        self.sim.add_dep(c, t);
                     }
                     // Only the phase that actually reads the reduced
                     // scalar waits for the collective — every other
                     // phase overlaps its latency.
                     if phase.consumes_collective {
-                        if let Some(c) = pending_collective {
-                            sim.add_dep(c, t);
+                        if let Some(c) = self.pending_collective {
+                            self.sim.add_dep(c, t);
                         }
                     }
-                    cur_tasks[node].push(t);
+                    slot_tasks.push(t);
                 }
             }
             // Point-to-point exchanges (§3.4): producers send after
-            // their phase tasks; only the destination node waits.
+            // their phase tasks; only the destination slot waits.
             let mut new_inbound: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
             for e in &phase.copies {
-                let c = sim.add_task_delayed(
-                    nic[e.src as usize],
+                let src = self.owner[e.src as usize];
+                let c = self.sim.add_task_delayed(
+                    self.nic[src],
                     machine.message_overhead + e.bytes / machine.network_bandwidth,
                     machine.network_latency,
                 );
-                sim.tag(c, SimKind::Copy, e.src, step as u32);
+                self.sim.tag(c, SimKind::Copy, src as u32, step as u32);
                 for &t in &cur_tasks[e.src as usize] {
-                    sim.add_dep(t, c);
+                    self.sim.add_dep(t, c);
                 }
                 new_inbound[e.dst as usize].push(c);
             }
             // Dynamic collective (§4.4): the result stays pending until
             // a consuming phase picks it up.
             if phase.collective {
-                let j = sim.add_task_delayed(control[0], 0.0, machine.collective_latency(n));
-                sim.tag(j, SimKind::Collective, 0, step as u32);
+                let root = self.control[self.owner[0]];
+                let j = self
+                    .sim
+                    .add_task_delayed(root, 0.0, machine.collective_latency(n));
+                self.sim
+                    .tag(j, SimKind::Collective, self.owner[0] as u32, step as u32);
                 for tasks in &cur_tasks {
                     for &t in tasks {
-                        sim.add_dep(t, j);
+                        self.sim.add_dep(t, j);
                     }
                 }
-                pending_collective = Some(j);
+                self.pending_collective = Some(j);
             }
-            prev_tasks = cur_tasks;
-            inbound = new_inbound;
+            self.prev_tasks = cur_tasks;
+            self.inbound = new_inbound;
+        }
+        self.gate = None;
+    }
+
+    /// Bytes each shard snapshots at a checkpoint boundary.
+    fn ckpt_bytes(&self) -> f64 {
+        self.spec.elements_per_node as f64 * CKPT_BYTES_PER_ELEMENT
+    }
+
+    /// Emits a coordinated checkpoint: each shard streams its region
+    /// slice out through its NIC; the shard's next step waits on it.
+    fn checkpoint(&mut self, step: u64) {
+        let dur = self.ckpt_bytes() / self.machine.network_bandwidth;
+        for slot in 0..self.spec.num_nodes {
+            let node = self.owner[slot];
+            let c = self.sim.add_task(self.nic[node], dur);
+            self.sim.tag(c, SimKind::Other, node as u32, step as u32);
+            for &p in &self.prev_tasks[slot] {
+                self.sim.add_dep(p, c);
+            }
+            if let Some(l) = self.last_launch[slot] {
+                self.sim.add_dep(l, c);
+            }
+            self.inbound[slot].push(c);
         }
     }
-    finish(sim, spec, steps, tb)
+
+    /// Kills `node` at the start of `step`: its slots remap onto the
+    /// least-loaded survivor, and a recovery gate (detection timeout +
+    /// checkpoint state transfer) blocks all subsequent launches.
+    /// Returns false when the node is out of range, already dead, or
+    /// the last one standing.
+    fn crash(&mut self, node: usize, step: u64) -> bool {
+        let n = self.spec.num_nodes;
+        if node >= n || !self.alive[node] || self.alive.iter().filter(|a| **a).count() <= 1 {
+            return false;
+        }
+        self.alive[node] = false;
+        let survivor = (0..n)
+            .filter(|&i| self.alive[i])
+            .min_by_key(|&i| self.owner.iter().filter(|&&o| o == i).count())
+            .expect("at least one survivor");
+        for o in self.owner.iter_mut().filter(|o| **o == node) {
+            *o = survivor;
+        }
+        // Detection (point-to-point waits time out) + the survivor
+        // pulling the dead shard's checkpoint slice over the network.
+        let recovery = DETECTION_TIMEOUT_S + self.ckpt_bytes() / self.machine.network_bandwidth;
+        self.recovery_time_s += recovery;
+        let g = self.sim.add_task(self.control[survivor], recovery);
+        self.sim
+            .tag(g, SimKind::Other, survivor as u32, step as u32);
+        for slot in 0..n {
+            if let Some(l) = self.last_launch[slot] {
+                self.sim.add_dep(l, g);
+            }
+            for &p in &self.prev_tasks[slot] {
+                self.sim.add_dep(p, g);
+            }
+        }
+        self.gate = Some(g);
+        true
+    }
 }
 
 /// Simulates Regent **without** control replication: one control
@@ -168,6 +407,18 @@ pub fn simulate_implicit_traced(
     machine: &MachineConfig,
     spec: &TimestepSpec,
     steps: u64,
+    tb: &mut TraceBuf,
+) -> ScenarioResult {
+    simulate_implicit_faulted(machine, spec, steps, &FaultPlan::default(), tb)
+}
+
+/// [`simulate_implicit_traced`] under message-level faults (loss /
+/// duplication / delay rates and slowdown windows).
+pub fn simulate_implicit_faulted(
+    machine: &MachineConfig,
+    spec: &TimestepSpec,
+    steps: u64,
+    plan: &FaultPlan,
     tb: &mut TraceBuf,
 ) -> ScenarioResult {
     let n = spec.num_nodes;
@@ -253,6 +504,9 @@ pub fn simulate_implicit_traced(
             inbound = new_inbound;
         }
     }
+    if plan.is_active() {
+        sim.set_faults(plan.clone(), RetryPolicy::default());
+    }
     finish(sim, spec, steps, tb)
 }
 
@@ -313,6 +567,19 @@ pub fn simulate_mpi_traced(
     spec: &TimestepSpec,
     steps: u64,
     variant: MpiVariant,
+    tb: &mut TraceBuf,
+) -> ScenarioResult {
+    simulate_mpi_faulted(machine, spec, steps, variant, &FaultPlan::default(), tb)
+}
+
+/// [`simulate_mpi_traced`] under message-level faults (loss /
+/// duplication / delay rates and slowdown windows).
+pub fn simulate_mpi_faulted(
+    machine: &MachineConfig,
+    spec: &TimestepSpec,
+    steps: u64,
+    variant: MpiVariant,
+    plan: &FaultPlan,
     tb: &mut TraceBuf,
 ) -> ScenarioResult {
     let n = spec.num_nodes;
@@ -390,6 +657,9 @@ pub fn simulate_mpi_traced(
             }
             prev_barrier = barrier_next;
         }
+    }
+    if plan.is_active() {
+        sim.set_faults(plan.clone(), RetryPolicy::default());
     }
     finish(sim, spec, steps, tb)
 }
@@ -496,6 +766,125 @@ mod tests {
         let a = simulate_cr(&machine, &spec, 3);
         let b = simulate_cr(&machine, &spec, 3);
         assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn message_loss_slows_cr_down() {
+        let machine = MachineConfig::piz_daint(16);
+        let spec = ring_spec(16);
+        let tracer = Tracer::disabled();
+        let clean = simulate_cr(&machine, &spec, 3);
+        let lossy = simulate_cr_faulted(
+            &machine,
+            &spec,
+            3,
+            &FaultPlan::from_seed_rate(42, 0.2),
+            &mut tracer.buffer("sim"),
+        );
+        assert!(lossy.faults.messages_lost > 0);
+        assert!(
+            lossy.makespan > clean.makespan,
+            "retransmits must cost time: {} vs {}",
+            lossy.makespan,
+            clean.makespan
+        );
+        assert_eq!(clean.faults, FaultStats::default());
+    }
+
+    #[test]
+    fn node_crash_degrades_gracefully() {
+        let machine = MachineConfig::piz_daint(8);
+        let spec = ring_spec(8);
+        let steps = 8;
+        let clean = simulate_cr(&machine, &spec, steps);
+        let rspec = ResilienceSpec {
+            plan: FaultPlan::new(1).crash_shard(3, 4),
+            ckpt_interval: 2,
+        };
+        let crashed = simulate_cr_resilient(&machine, &spec, steps, &rspec);
+        assert_eq!(crashed.faults.crashes, 1);
+        // Crash at step 4 with checkpoints at 0/2/4 (the step-4
+        // checkpoint lands before the crash fires): nothing to replay
+        // beyond the current epoch? No — the checkpoint at 4 happens
+        // first, so the replay window `4..4` is empty. Use the stats
+        // to pin the exact behaviour.
+        assert_eq!(crashed.faults.epochs_replayed, 0);
+        assert!(crashed.faults.recovery_time_s > 0.0);
+        // Degraded but live: slower than fault-free, goodput equals
+        // throughput (no replayed work), both finite.
+        assert!(crashed.makespan > clean.makespan);
+        assert_eq!(crashed.goodput_per_node, crashed.throughput_per_node);
+
+        // With the crash *between* checkpoints, the lost step replays.
+        let rspec = ResilienceSpec {
+            plan: FaultPlan::new(1).crash_shard(3, 3),
+            ckpt_interval: 2,
+        };
+        let replayed = simulate_cr_resilient(&machine, &spec, steps, &rspec);
+        assert_eq!(replayed.faults.epochs_replayed, 1);
+        assert!(
+            replayed.goodput_per_node < replayed.throughput_per_node,
+            "replayed work is not goodput"
+        );
+    }
+
+    #[test]
+    fn shorter_checkpoint_interval_replays_less() {
+        let machine = MachineConfig::piz_daint(4);
+        let spec = ring_spec(4);
+        let plan = FaultPlan::new(9).crash_shard(1, 7);
+        let run = |k| {
+            simulate_cr_resilient(
+                &machine,
+                &spec,
+                8,
+                &ResilienceSpec {
+                    plan: plan.clone(),
+                    ckpt_interval: k,
+                },
+            )
+        };
+        let tight = run(1);
+        let loose = run(0); // no checkpoints: replay everything
+        assert_eq!(tight.faults.epochs_replayed, 0);
+        assert_eq!(loose.faults.epochs_replayed, 7);
+        assert!(loose.makespan > tight.makespan);
+    }
+
+    #[test]
+    fn resilient_without_faults_matches_plain_cr() {
+        let machine = MachineConfig::piz_daint(8);
+        let spec = ring_spec(8);
+        let plain = simulate_cr(&machine, &spec, 4);
+        let resilient = simulate_cr_resilient(
+            &machine,
+            &spec,
+            4,
+            &ResilienceSpec {
+                plan: FaultPlan::default(),
+                ckpt_interval: 0,
+            },
+        );
+        assert_eq!(plain.makespan, resilient.makespan);
+        assert_eq!(plain.goodput_per_node, resilient.goodput_per_node);
+    }
+
+    #[test]
+    fn slowdown_window_hurts_whole_machine() {
+        // Point-to-point CR still waits on the slow node's halos each
+        // step, so a single straggler stretches the makespan.
+        let machine = MachineConfig::piz_daint(8);
+        let spec = ring_spec(8);
+        let tracer = Tracer::disabled();
+        let clean = simulate_cr(&machine, &spec, 3);
+        let slowed = simulate_cr_faulted(
+            &machine,
+            &spec,
+            3,
+            &FaultPlan::new(0).slow_node(2, 0.0, 1e9, 2.0),
+            &mut tracer.buffer("sim"),
+        );
+        assert!(slowed.makespan > 1.5 * clean.makespan);
     }
 }
 

@@ -15,6 +15,19 @@
 
 use regent_region::ReductionOp;
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// How long a blocking wait (barrier, collective, copy receive) may
+/// stall before the executor declares a likely deadlock and panics
+/// with a diagnostic instead of hanging a CI job for hours. Override
+/// with `REGENT_HANG_TIMEOUT_MS`.
+pub fn hang_timeout() -> Duration {
+    let ms = std::env::var("REGENT_HANG_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30_000u64);
+    Duration::from_millis(ms)
+}
 
 struct CollectiveState {
     generation: u64,
@@ -23,6 +36,9 @@ struct CollectiveState {
     /// shard order when complete, for determinism).
     contributions: Vec<Option<f64>>,
     result: f64,
+    /// Set when a participant died: every current and future waiter
+    /// unwinds with a diagnostic instead of blocking forever.
+    poisoned: bool,
 }
 
 /// A reusable all-reduce over `n` participants.
@@ -43,9 +59,19 @@ impl DynamicCollective {
                 arrived: 0,
                 contributions: vec![None; n],
                 result: 0.0,
+                poisoned: false,
             }),
             cv: Condvar::new(),
         }
+    }
+
+    /// Marks the collective dead — called when a participating shard
+    /// panics so the survivors unwind instead of waiting forever on a
+    /// contribution that will never arrive.
+    pub fn poison(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.poisoned = true;
+        self.cv.notify_all();
     }
 
     /// Contributes `value` for `shard` and blocks until every
@@ -58,7 +84,12 @@ impl DynamicCollective {
     /// Like [`DynamicCollective::reduce`], also returning the
     /// generation number this contribution belonged to.
     pub fn reduce_counted(&self, shard: usize, value: f64, op: ReductionOp) -> (f64, u64) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.poisoned {
+            panic!(
+                "dynamic collective poisoned: a participating shard died (shard {shard} unwinding)"
+            );
+        }
         let my_gen = st.generation;
         debug_assert!(st.contributions[shard].is_none(), "double contribution");
         st.contributions[shard] = Some(value);
@@ -77,7 +108,22 @@ impl DynamicCollective {
             return (acc, my_gen);
         }
         while st.generation == my_gen {
-            st = self.cv.wait(st).unwrap();
+            let (guard, timeout) = self
+                .cv
+                .wait_timeout(st, hang_timeout())
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+            if st.poisoned {
+                panic!("dynamic collective poisoned: a participating shard died (shard {shard} unwinding at generation {my_gen})");
+            }
+            if timeout.timed_out() && st.generation == my_gen {
+                panic!(
+                    "likely deadlock: shard {shard} waited {:?} on collective generation {my_gen} ({}/{} contributions arrived)",
+                    hang_timeout(),
+                    st.arrived,
+                    self.n
+                );
+            }
         }
         (st.result, my_gen)
     }
@@ -86,6 +132,7 @@ impl DynamicCollective {
 struct BarrierState {
     generation: u64,
     arrived: usize,
+    poisoned: bool,
 }
 
 /// A reusable barrier over `n` participants.
@@ -104,9 +151,19 @@ impl ShardBarrier {
             state: Mutex::new(BarrierState {
                 generation: 0,
                 arrived: 0,
+                poisoned: false,
             }),
             cv: Condvar::new(),
         }
+    }
+
+    /// Marks the barrier dead — called when a participating shard
+    /// panics so the survivors unwind with a diagnostic instead of
+    /// waiting forever for an arrival that will never come.
+    pub fn poison(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.poisoned = true;
+        self.cv.notify_all();
     }
 
     /// Blocks until all `n` participants have arrived.
@@ -117,7 +174,10 @@ impl ShardBarrier {
     /// Like [`ShardBarrier::wait`], returning the generation number
     /// this arrival belonged to.
     pub fn wait_counted(&self) -> u64 {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.poisoned {
+            panic!("shard barrier poisoned: a participating shard died");
+        }
         let my_gen = st.generation;
         st.arrived += 1;
         if st.arrived == self.n {
@@ -127,7 +187,24 @@ impl ShardBarrier {
             return my_gen;
         }
         while st.generation == my_gen {
-            st = self.cv.wait(st).unwrap();
+            let (guard, timeout) = self
+                .cv
+                .wait_timeout(st, hang_timeout())
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+            if st.poisoned {
+                panic!(
+                    "shard barrier poisoned: a participating shard died (unwinding at generation {my_gen})"
+                );
+            }
+            if timeout.timed_out() && st.generation == my_gen {
+                panic!(
+                    "likely deadlock: waited {:?} at barrier generation {my_gen} ({}/{} arrived)",
+                    hang_timeout(),
+                    st.arrived,
+                    self.n
+                );
+            }
         }
         my_gen
     }
@@ -185,6 +262,46 @@ mod tests {
         let c = DynamicCollective::new(1);
         assert_eq!(c.reduce(0, 5.0, ReductionOp::Min), 5.0);
         assert_eq!(c.reduce(0, -2.0, ReductionOp::Min), -2.0);
+    }
+
+    fn panic_msg(err: Box<dyn std::any::Any + Send>) -> String {
+        err.downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .expect("panic payload should be a message")
+    }
+
+    #[test]
+    fn poisoned_barrier_unwinds_waiters() {
+        let b = Arc::new(ShardBarrier::new(3));
+        let waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || b.wait())
+            })
+            .collect();
+        // The "third shard" dies instead of arriving.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        b.poison();
+        for h in waiters {
+            let msg = panic_msg(h.join().expect_err("waiter should unwind"));
+            assert!(msg.contains("poisoned"), "diagnostic: {msg}");
+        }
+        // Late arrivals also unwind immediately.
+        let b2 = Arc::clone(&b);
+        let late = std::thread::spawn(move || b2.wait());
+        assert!(late.join().is_err());
+    }
+
+    #[test]
+    fn poisoned_collective_unwinds_waiters() {
+        let c = Arc::new(DynamicCollective::new(2));
+        let c2 = Arc::clone(&c);
+        let waiter = std::thread::spawn(move || c2.reduce(0, 1.0, ReductionOp::Add));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c.poison();
+        let msg = panic_msg(waiter.join().expect_err("waiter should unwind"));
+        assert!(msg.contains("poisoned"), "diagnostic: {msg}");
     }
 
     #[test]

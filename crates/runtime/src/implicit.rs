@@ -138,7 +138,18 @@ impl Pool {
     fn wait_drained(&self) {
         let mut n = self.outstanding.lock().unwrap();
         while *n > 0 {
-            n = self.drained.wait(n).unwrap();
+            let (guard, timeout) = self
+                .drained
+                .wait_timeout(n, crate::collective::hang_timeout())
+                .unwrap();
+            n = guard;
+            if timeout.timed_out() && *n > 0 {
+                panic!(
+                    "likely deadlock: control thread waited {:?} for the worker pool to drain ({} tasks still outstanding)",
+                    crate::collective::hang_timeout(),
+                    *n
+                );
+            }
         }
     }
 }
@@ -278,8 +289,20 @@ pub fn execute_implicit(
             let tracer = Arc::clone(&opts.tracer);
             scope.spawn(move || {
                 let mut tb = tracer.buffer(&format!("worker-{w}"));
-                while let Ok(Some(job)) = rx.recv() {
-                    run_job(&job, tasks, pool, &mut tb);
+                // Bounded waits: a worker starved past the hang
+                // timeout keeps polling (the control thread may just
+                // be slow), but a disconnected channel or poison pill
+                // ends the loop. The timeout exists so a worker stuck
+                // on a job someone else deadlocked behind surfaces in
+                // thread dumps at a known cadence rather than parking
+                // forever in an unbounded recv().
+                loop {
+                    match rx.recv_timeout(crate::collective::hang_timeout()) {
+                        Ok(Some(job)) => run_job(&job, tasks, pool, &mut tb),
+                        Ok(None) => break,
+                        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+                        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
                 }
             });
         }

@@ -35,12 +35,14 @@ pub mod mapper;
 pub mod plan;
 pub mod spmd_exec;
 
-pub use collective::{DynamicCollective, ShardBarrier};
+pub use collective::{hang_timeout, DynamicCollective, ShardBarrier};
 pub use hybrid_exec::{execute_hybrid, execute_hybrid_traced, HybridRunResult};
 pub use implicit::{execute_implicit, ImplicitOptions, ImplicitStats};
 pub use mapper::{DefaultMapper, Mapper, SingleWorkerMapper, TaskKindMapper};
 pub use plan::{build_exchange_plan, ExchangePlan, InstKey, PairPlan, SetupStats};
+pub use regent_fault::{FaultPlan, RetryPolicy};
 pub use spmd_exec::{
-    execute_spmd, execute_spmd_traced, execute_spmd_with_env, execute_spmd_with_env_traced,
-    ShardStats, SpmdRunResult,
+    execute_spmd, execute_spmd_resilient, execute_spmd_resilient_traced, execute_spmd_traced,
+    execute_spmd_with_env, execute_spmd_with_env_traced, ResilienceOptions, ShardStats,
+    SpmdRunResult,
 };

@@ -21,18 +21,39 @@
 //! generations on its own track — enough for the `regent-trace` Spy
 //! validator to reconstruct the execution's happens-before graph and
 //! certify every cross-shard dependence.
+//!
+//! ## Resilience (checkpoint–restart)
+//!
+//! [`execute_spmd_resilient`] runs the same program under a
+//! deterministic [`FaultPlan`]: every shard snapshots its instances
+//! and scalar environment at epoch boundaries (an *epoch* is one
+//! outermost-loop iteration), and when the plan schedules a shard
+//! crash, all shards roll back to the last snapshot together and
+//! replay. This is *coordinated replicated rollback*: because control
+//! flow is replicated and the fault plan is shared, every shard
+//! independently reaches the same crash decision at the same epoch, so
+//! no recovery messages are needed — exactly the property that makes
+//! control-replicated programs cheap to checkpoint. Channels are
+//! provably empty at epoch boundaries (each copy's sends are consumed
+//! by the matching receives within the same iteration on both sides),
+//! so replay re-sends and re-receives in lockstep. Recovered results
+//! are bit-identical to a fault-free run; trace identities
+//! (`launch_seq`, copy occurrences) are *not* rolled back, so replayed
+//! work gets fresh identities and the Spy validator certifies the
+//! recovered trace like any other.
 
-use crate::collective::{DynamicCollective, ShardBarrier};
+use crate::collective::{hang_timeout, DynamicCollective, ShardBarrier};
 use crate::plan::{build_exchange_plan, ExchangePlan, InstKey, PairPlan, SetupStats};
 use regent_cr::spmd::block_range;
 use regent_cr::{CopyId, CopyStmt, SpmdArg, SpmdLaunch, SpmdProgram, SpmdStmt, TempId, UseBase};
+use regent_fault::FaultPlan;
 use regent_geometry::{Domain, DynPoint};
 use regent_ir::{ArgSlot, Store, TaskCtx};
 use regent_region::{copy_fields, ColumnData, FieldId, Instance, ReductionOp, RegionId};
 use regent_trace::{fields_mask, EventKind, TraceBuf, Tracer};
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 
 /// One field's payload within a copy message, in the canonical element
@@ -51,6 +72,12 @@ struct CopyMsg {
 }
 
 /// Per-shard execution statistics.
+///
+/// The work counters (tasks, copies, messages, collectives) count
+/// *useful* work only: epochs re-executed after a rollback are
+/// excluded, so a recovered resilient run reports the same work
+/// numbers as a fault-free run. The replayed volume is reported
+/// separately (`restores`, `epochs_replayed`).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ShardStats {
     /// Point tasks executed by this shard.
@@ -63,6 +90,12 @@ pub struct ShardStats {
     pub elements_sent: u64,
     /// Scalar collectives participated in.
     pub collectives: u64,
+    /// Epoch-boundary checkpoints taken (resilient mode).
+    pub checkpoints: u64,
+    /// Rollback restores performed after an injected crash.
+    pub restores: u64,
+    /// Outermost-loop epochs re-executed because of rollbacks.
+    pub epochs_replayed: u64,
 }
 
 impl ShardStats {
@@ -77,6 +110,37 @@ impl ShardStats {
         self.messages_sent += o.messages_sent;
         self.elements_sent += o.elements_sent;
         self.collectives += o.collectives;
+        self.checkpoints += o.checkpoints;
+        self.restores += o.restores;
+        self.epochs_replayed += o.epochs_replayed;
+    }
+}
+
+/// Configuration of a resilient SPMD run: a deterministic fault plan
+/// (only its shard-crash events apply to the real executor — loss and
+/// slowdown are machine-model concerns) plus the checkpoint cadence.
+#[derive(Clone, Debug, Default)]
+pub struct ResilienceOptions {
+    /// Take a snapshot every `checkpoint_interval` epochs (0 ⇒ only
+    /// the mandatory epoch-0 snapshot, so every crash replays from the
+    /// start of the loop).
+    pub checkpoint_interval: u64,
+    /// The seeded fault plan; crashes fire at its scheduled epochs.
+    pub plan: FaultPlan,
+}
+
+impl ResilienceOptions {
+    /// Builds options from `REGENT_FAULT_SEED` when set: a seeded
+    /// single-crash plan over the program's shards with a short
+    /// checkpoint interval. This is the CI fault-smoke hook — because
+    /// recovery is bit-identical, the entire test suite must still
+    /// pass with the variable exported.
+    pub fn from_env(num_shards: usize) -> Option<ResilienceOptions> {
+        let seed = FaultPlan::seed_from_env()?;
+        Some(ResilienceOptions {
+            checkpoint_interval: 2,
+            plan: FaultPlan::seeded_crash(seed, num_shards, 4),
+        })
     }
 }
 
@@ -127,6 +191,45 @@ pub fn execute_spmd_with_env_traced(
     initial_env: Vec<f64>,
     tracer: &Arc<Tracer>,
 ) -> SpmdRunResult {
+    // CI fault smoke: REGENT_FAULT_SEED upgrades every plain run to a
+    // resilient one with a seeded crash; results stay bit-identical.
+    let env_opts = ResilienceOptions::from_env(spmd.num_shards);
+    execute_spmd_inner(spmd, store, initial_env, tracer, env_opts.as_ref())
+}
+
+/// Executes a control-replicated program under a deterministic fault
+/// plan with epoch-based checkpoint–restart (see the module docs).
+/// Region contents and scalars come out bit-identical to a fault-free
+/// run; `stats` additionally reports checkpoints, restores, and
+/// replayed epochs.
+pub fn execute_spmd_resilient(
+    spmd: &SpmdProgram,
+    store: &mut Store,
+    opts: &ResilienceOptions,
+) -> SpmdRunResult {
+    execute_spmd_resilient_traced(spmd, store, opts, &Tracer::disabled())
+}
+
+/// [`execute_spmd_resilient`] recording events into `tracer` —
+/// including `CheckpointSave`, `ShardCrash`, and `CheckpointRestore`
+/// marks on each shard's track.
+pub fn execute_spmd_resilient_traced(
+    spmd: &SpmdProgram,
+    store: &mut Store,
+    opts: &ResilienceOptions,
+    tracer: &Arc<Tracer>,
+) -> SpmdRunResult {
+    let env: Vec<f64> = spmd.scalars.iter().map(|s| s.init).collect();
+    execute_spmd_inner(spmd, store, env, tracer, Some(opts))
+}
+
+fn execute_spmd_inner(
+    spmd: &SpmdProgram,
+    store: &mut Store,
+    initial_env: Vec<f64>,
+    tracer: &Arc<Tracer>,
+    resilience: Option<&ResilienceOptions>,
+) -> SpmdRunResult {
     let plan = build_exchange_plan(spmd);
     let ns = spmd.num_shards;
     let collective = DynamicCollective::new(ns);
@@ -154,8 +257,10 @@ pub fn execute_spmd_with_env_traced(
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(ns);
-        for (shard, rx_row) in receivers.into_iter().enumerate() {
-            let tx_all: Vec<Vec<Sender<CopyMsg>>> = senders.clone();
+        // Each shard takes ownership of exactly its sender row: when a
+        // shard dies, its senders drop and every peer blocked on a
+        // receive from it unwinds immediately instead of timing out.
+        for (shard, (rx_row, tx_row)) in receivers.into_iter().zip(senders).enumerate() {
             let plan = &plan;
             let collective = &collective;
             let barrier = &barrier;
@@ -163,13 +268,21 @@ pub fn execute_spmd_with_env_traced(
             let init_env = &initial_env;
             let tracer = Arc::clone(tracer);
             handles.push(scope.spawn(move || {
+                // If this shard panics (e.g. a kernel bug), poison the
+                // shared primitives on the way out so peers blocked in
+                // a barrier or collective unwind with a diagnostic
+                // rather than deadlocking.
+                let _guard = PanicGuard {
+                    barrier,
+                    collective,
+                };
                 let mut shard_exec = ShardExec {
                     spmd,
                     plan,
                     shard,
                     data: allocate_shard_data(spmd, shard, store_ref),
                     env: init_env.clone(),
-                    tx: tx_all[shard].clone(),
+                    tx: tx_row,
                     rx: rx_row,
                     collective,
                     barrier,
@@ -180,14 +293,34 @@ pub fn execute_spmd_with_env_traced(
                     launch_seq: 0,
                     loop_depth: 0,
                     copy_occurrence: HashMap::new(),
+                    epoch: 0,
+                    replay_until: 0,
+                    resilience: resilience.map(Resilience::new),
                 };
                 shard_exec.run_stmts(&spmd.body);
                 shard_exec.tb.flush();
                 (shard_exec.env, shard_exec.stats, shard_exec.data)
             }));
         }
+        // Join every shard before reporting a failure: panicking while
+        // the scope still holds unjoined (also-panicking) handles would
+        // double-panic and abort the process.
+        let mut failures: Vec<(usize, String)> = Vec::new();
         for (shard, h) in handles.into_iter().enumerate() {
-            results[shard] = Some(h.join().expect("shard thread panicked"));
+            match h.join() {
+                Ok(r) => results[shard] = Some(r),
+                Err(e) => failures.push((shard, panic_message(&*e))),
+            }
+        }
+        if let Some((shard, msg)) = failures.first() {
+            panic!(
+                "shard {shard} panicked: {msg}{}",
+                if failures.len() > 1 {
+                    format!(" ({} shards failed in total)", failures.len())
+                } else {
+                    String::new()
+                }
+            );
         }
     });
 
@@ -231,6 +364,68 @@ pub fn execute_spmd_with_env_traced(
         stats: agg,
         per_shard,
     }
+}
+
+/// Poisons the shared synchronization primitives when a shard thread
+/// unwinds, so surviving shards fail fast with a diagnostic instead of
+/// waiting forever on an arrival that will never come.
+struct PanicGuard<'a> {
+    barrier: &'a ShardBarrier,
+    collective: &'a DynamicCollective,
+}
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.barrier.poison();
+            self.collective.poison();
+        }
+    }
+}
+
+/// Renders a panic payload (`&str` or `String`) for the aggregated
+/// shard-failure diagnostic.
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    e.downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| e.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
+/// Per-shard checkpoint–restart state for a resilient run.
+struct Resilience {
+    /// Crash schedule as (epoch, shard), sorted; `cursor` advances once
+    /// per event so each injected crash fires exactly once.
+    schedule: Vec<(u64, u32)>,
+    cursor: usize,
+    interval: u64,
+    snapshot: Option<Snapshot>,
+}
+
+impl Resilience {
+    fn new(opts: &ResilienceOptions) -> Resilience {
+        Resilience {
+            schedule: opts
+                .plan
+                .crash_schedule()
+                .into_iter()
+                .map(|(shard, epoch)| (epoch, shard))
+                .collect(),
+            cursor: 0,
+            interval: opts.checkpoint_interval,
+            snapshot: None,
+        }
+    }
+}
+
+/// An epoch-boundary snapshot: everything a shard must restore to
+/// deterministically replay from that boundary. Trace identities and
+/// statistics are deliberately excluded (see the module docs).
+struct Snapshot {
+    it: u64,
+    epoch: u64,
+    insts: HashMap<InstKey, Instance>,
+    env: Vec<f64>,
 }
 
 /// Stable identity hash of a shard-local physical instance (the `inst`
@@ -334,6 +529,16 @@ struct ShardExec<'a> {
     /// Dynamic occurrence counters per (copy id, pair index), matching
     /// producer and consumer counts by replicated control flow.
     copy_occurrence: HashMap<(u32, u32), u32>,
+    /// Global epoch counter: increments once per outermost-loop
+    /// iteration, across all outermost loops of the program.
+    epoch: u64,
+    /// Epochs below this are replays of already-counted work: the
+    /// useful-work statistics are suppressed for them, so a recovered
+    /// run reports the *same* stats as a fault-free run (the replayed
+    /// volume is visible through `epochs_replayed` instead).
+    replay_until: u64,
+    /// Checkpoint–restart state; `None` for plain (non-resilient) runs.
+    resilience: Option<Resilience>,
 }
 
 impl<'a> ShardExec<'a> {
@@ -349,7 +554,9 @@ impl<'a> ShardExec<'a> {
                     let (folded, generation) =
                         self.collective.reduce_counted(self.shard, local, *op);
                     self.env[var.0 as usize] = folded;
-                    self.stats.collectives += 1;
+                    if self.useful_work() {
+                        self.stats.collectives += 1;
+                    }
                     if self.tb.is_enabled() {
                         // Arrival is stamped at the pre-wait time: the
                         // contribution was available from t0 on.
@@ -363,24 +570,40 @@ impl<'a> ShardExec<'a> {
                 }
                 SpmdStmt::For { count, body } => {
                     let n = count.eval(&self.env).max(0.0) as u64;
-                    for it in 0..n {
+                    let mut it = 0u64;
+                    while it < n {
                         if self.loop_depth == 0 {
+                            if let Some(restored_it) = self.epoch_boundary(it) {
+                                it = restored_it;
+                                continue;
+                            }
                             self.tb.instant(EventKind::StepBegin { step: it });
                         }
                         self.loop_depth += 1;
                         self.run_stmts(body);
                         self.loop_depth -= 1;
+                        if self.loop_depth == 0 {
+                            self.epoch += 1;
+                        }
+                        it += 1;
                     }
                 }
                 SpmdStmt::While { cond, body } => {
                     let mut it = 0u64;
                     while cond.eval(&self.env) != 0.0 {
                         if self.loop_depth == 0 {
+                            if let Some(restored_it) = self.epoch_boundary(it) {
+                                it = restored_it;
+                                continue;
+                            }
                             self.tb.instant(EventKind::StepBegin { step: it });
                         }
                         self.loop_depth += 1;
                         self.run_stmts(body);
                         self.loop_depth -= 1;
+                        if self.loop_depth == 0 {
+                            self.epoch += 1;
+                        }
                         it += 1;
                     }
                 }
@@ -482,7 +705,9 @@ impl<'a> ShardExec<'a> {
                     task: l.task.0,
                 },
             );
-            self.stats.tasks_executed += 1;
+            if self.useful_work() {
+                self.stats.tasks_executed += 1;
+            }
             if let Some((_, op)) = l.reduce_result {
                 let v = ctx
                     .return_value
@@ -564,7 +789,9 @@ impl<'a> ShardExec<'a> {
     }
 
     fn run_copy(&mut self, c: &CopyStmt) {
-        self.stats.copies_executed += 1;
+        if self.useful_work() {
+            self.stats.copies_executed += 1;
+        }
         let pairs: &[PairPlan] = &self.plan.pairs[c.intersection.0 as usize];
         let traced = self.tb.is_enabled();
         let copy_fields_mask = if traced {
@@ -612,8 +839,10 @@ impl<'a> ShardExec<'a> {
                         chunks,
                     })
                     .expect("copy channel closed");
-                self.stats.messages_sent += 1;
-                self.stats.elements_sent += p.elements.volume();
+                if self.useful_work() {
+                    self.stats.messages_sent += 1;
+                    self.stats.elements_sent += p.elements.volume();
+                }
             }
         }
         // Consumer phase: apply in the global deterministic order (the
@@ -628,7 +857,21 @@ impl<'a> ShardExec<'a> {
                     .remove(&(c.id.0, seq as u32))
                     .expect("missing local copy payload")
             } else {
-                let msg = self.rx[p.src_owner].recv().expect("copy channel closed");
+                let msg = match self.rx[p.src_owner].recv_timeout(hang_timeout()) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Timeout) => panic!(
+                        "likely deadlock: shard {} waited {:?} on copy {} pair {} from shard {}",
+                        self.shard,
+                        hang_timeout(),
+                        c.id.0,
+                        seq,
+                        p.src_owner
+                    ),
+                    Err(RecvTimeoutError::Disconnected) => panic!(
+                        "copy channel closed: producer shard {} died before sending copy {} pair {} to shard {}",
+                        p.src_owner, c.id.0, seq, self.shard
+                    ),
+                };
                 debug_assert_eq!(msg.copy, c.id, "copy protocol out of sync");
                 debug_assert_eq!(msg.pair_seq, seq as u32, "pair order out of sync");
                 msg.chunks
@@ -662,6 +905,79 @@ impl<'a> ShardExec<'a> {
                 );
             }
         }
+    }
+
+    /// Whether the current epoch is first-time (useful) work rather
+    /// than a post-rollback replay. Work counters only advance for
+    /// useful epochs, keeping recovered and fault-free stats equal.
+    fn useful_work(&self) -> bool {
+        self.epoch >= self.replay_until
+    }
+
+    /// Epoch boundary of a resilient run, called at the top of every
+    /// outermost-loop iteration: takes a snapshot when one is due, then
+    /// fires a scheduled crash by rolling back to the last snapshot.
+    /// Returns `Some(restored_it)` when a rollback happened — the
+    /// caller restarts the loop from that iteration; `None` otherwise
+    /// (including for plain runs). Every shard makes the same decision
+    /// at the same epoch (replicated control flow + shared plan), which
+    /// is what keeps the recovery coordination-free.
+    fn epoch_boundary(&mut self, it: u64) -> Option<u64> {
+        self.resilience.as_ref()?;
+        let epoch = self.epoch;
+        let r = self.resilience.as_ref().unwrap();
+        // Snapshot at the first epoch of each loop and every `interval`
+        // epochs after — but not twice at the same epoch (a rollback
+        // lands us back on a boundary whose snapshot is already live).
+        let due = (it == 0 || (r.interval > 0 && epoch.is_multiple_of(r.interval)))
+            && r.snapshot.as_ref().is_none_or(|s| s.epoch != epoch);
+        if due {
+            let t0 = self.tb.now();
+            let snap = Snapshot {
+                it,
+                epoch,
+                insts: self.data.insts.clone(),
+                env: self.env.clone(),
+            };
+            self.resilience.as_mut().unwrap().snapshot = Some(snap);
+            self.stats.checkpoints += 1;
+            self.tb.span_since(t0, EventKind::CheckpointSave { epoch });
+        }
+        let r = self.resilience.as_mut().unwrap();
+        let crashed_shard = match r.schedule.get(r.cursor) {
+            Some(&(e, s)) if e == epoch => Some(s),
+            _ => None,
+        }?;
+        r.cursor += 1;
+        let snap = r
+            .snapshot
+            .as_ref()
+            .expect("crash before any snapshot (epoch 0 always checkpoints)");
+        let (snap_it, snap_epoch) = (snap.it, snap.epoch);
+        let insts = snap.insts.clone();
+        let env = snap.env.clone();
+        if crashed_shard as usize == self.shard {
+            self.tb.instant(EventKind::ShardCrash {
+                shard: crashed_shard,
+                epoch,
+            });
+        }
+        let t0 = self.tb.now();
+        self.data.insts = insts;
+        self.env = env;
+        self.epoch = snap_epoch;
+        // Everything below the crashed epoch was already counted once.
+        self.replay_until = self.replay_until.max(epoch);
+        self.stats.restores += 1;
+        self.stats.epochs_replayed += epoch - snap_epoch;
+        self.tb.span_since(
+            t0,
+            EventKind::CheckpointRestore {
+                epoch,
+                to_epoch: snap_epoch,
+            },
+        );
+        Some(snap_it)
     }
 
     /// Next dynamic occurrence number of a (copy, pair) on one side.

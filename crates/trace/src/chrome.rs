@@ -111,6 +111,11 @@ fn kind_name(k: &EventKind) -> String {
         EventKind::CollectiveArrive { .. } => "collective arrive".into(),
         EventKind::CollectiveLeave { .. } => "collective leave".into(),
         EventKind::StepBegin { step } => format!("step {step}"),
+        EventKind::CheckpointSave { epoch } => format!("checkpoint save e{epoch}"),
+        EventKind::CheckpointRestore { epoch, to_epoch } => {
+            format!("restore e{epoch}->e{to_epoch}")
+        }
+        EventKind::ShardCrash { shard, epoch } => format!("crash s{shard} e{epoch}"),
         EventKind::Pass { name } => format!("pass {name}"),
         EventKind::SimTask { kind, step, .. } => {
             format!("{} s{step}", sim_kind_name(*kind))

@@ -194,6 +194,28 @@ pub enum EventKind {
         /// Zero-based timestep number.
         step: u64,
     },
+    /// A shard snapshotted its region instances for checkpoint–restart
+    /// (span covers the state clone).
+    CheckpointSave {
+        /// Epoch (outermost-loop iteration) the snapshot captures the
+        /// start of.
+        epoch: u64,
+    },
+    /// A shard rolled back to its latest snapshot after an injected
+    /// failure (span covers the state restore).
+    CheckpointRestore {
+        /// Epoch the shard was in when the rollback triggered.
+        epoch: u64,
+        /// Epoch execution resumes from (the snapshot's epoch).
+        to_epoch: u64,
+    },
+    /// An injected shard failure fired (instant).
+    ShardCrash {
+        /// The shard the fault plan killed.
+        shard: u32,
+        /// Epoch at whose start the crash was injected.
+        epoch: u64,
+    },
     /// A compiler pass of the CR pipeline (span).
     Pass {
         /// Pass name.
