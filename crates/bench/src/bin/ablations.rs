@@ -8,13 +8,19 @@
 //!    redundancy and dead-copy passes.
 //! 4. **Synchronization** (§3.4): wall time of real SPMD execution
 //!    under point-to-point vs. global-barrier synchronization.
+//! 5. **Region-tree hierarchy** (§4.5): flat vs private/ghost
+//!    hierarchical intersection inputs.
+//! 6. **Epoch-trace memoization**: real implicit execution of the
+//!    stencil with and without template capture/replay — dependence
+//!    checks, per-epoch analysis cost, and the steady-state hit rate.
 
 use regent_apps::{circuit, stencil};
 use regent_cr::{control_replicate, CrOptions, SyncMode};
 use regent_ir::Store;
 use regent_region::intersect::{shallow_intersections_naive, shallow_intersections_of};
 use regent_region::{ops, Color, Domain, FieldSpace, RegionForest};
-use regent_runtime::execute_spmd;
+use regent_runtime::{execute_implicit, execute_spmd, ImplicitOptions, MemoCache};
+use regent_trace::{memo_summary, Tracer};
 use std::time::Instant;
 
 fn ablation_intersections() {
@@ -187,9 +193,47 @@ fn ablation_hierarchy() {
     println!();
 }
 
+fn ablation_memo() {
+    println!("--- Ablation 6: epoch-trace memoization (real implicit execution) ---");
+    let cfg = stencil::StencilConfig {
+        n: 256,
+        ntx: 4,
+        nty: 2,
+        radius: 2,
+        steps: 10,
+    };
+    for memoized in [false, true] {
+        let (prog, h) = stencil::stencil_program(cfg);
+        let mut store = Store::new(&prog);
+        stencil::init_stencil(&prog, &mut store, &h);
+        let tracer = Tracer::enabled();
+        let mut opts = ImplicitOptions {
+            tracer: tracer.clone(),
+            ..ImplicitOptions::with_workers(8)
+        };
+        if memoized {
+            opts = opts.with_memo(MemoCache::shared());
+        }
+        let t0 = Instant::now();
+        let (_, stats) = execute_implicit(&prog, &mut store, opts);
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        let summary = memo_summary(&tracer.take(), "control");
+        let label = if memoized { "memoized" } else { "plain" };
+        println!(
+            "  {label:<10} {dt:>8.1} ms  {:>8} checks  first epoch {:>8.1} µs, steady {:>8.1} µs, hit rate {:>5.1}%",
+            stats.dependence_checks,
+            summary.first_epoch_analysis_ns as f64 / 1e3,
+            summary.steady_state_analysis_ns / 1e3,
+            summary.steady_state_hit_rate() * 100.0
+        );
+    }
+    println!();
+}
+
 fn main() {
     ablation_intersections();
     ablation_copies();
     ablation_sync();
     ablation_hierarchy();
+    ablation_memo();
 }

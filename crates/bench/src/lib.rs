@@ -24,8 +24,8 @@
 #![warn(missing_docs)]
 
 use regent_machine::{
-    simulate_cr_faulted, simulate_implicit_faulted, simulate_mpi_faulted, FaultPlan, MachineConfig,
-    MpiVariant, ScalingSeries, TimestepSpec,
+    simulate_cr_faulted, simulate_implicit_faulted, simulate_implicit_memo_faulted,
+    simulate_mpi_faulted, FaultPlan, MachineConfig, MpiVariant, ScalingSeries, TimestepSpec,
 };
 use regent_trace::{export_chrome, mean_step_cost, sim_control_cost_per_step, Trace, Tracer};
 
@@ -49,6 +49,11 @@ pub struct FigureRunner {
     /// (`--faults <seed>,<rate>`: seeded message loss at the given
     /// rate), so the figures show degraded-network behavior.
     pub faults: Option<FaultPlan>,
+    /// When set (`--memo`), add a "Regent (w/o CR, memo)" series: the
+    /// implicit model with epoch-trace memoization (full analysis on
+    /// step 0 only, replay after), as the ablation between a naive
+    /// single control thread and full control replication.
+    pub memo: bool,
 }
 
 impl Default for FigureRunner {
@@ -59,6 +64,7 @@ impl Default for FigureRunner {
             machine_mod: |_| {},
             trace_path: None,
             faults: None,
+            memo: false,
         }
     }
 }
@@ -90,6 +96,9 @@ impl FigureRunner {
         };
         let mut cr = ScalingSeries::new("Regent (with CR)");
         let mut nocr = ScalingSeries::new("Regent (w/o CR)");
+        let mut memo = self
+            .memo
+            .then(|| ScalingSeries::new("Regent (w/o CR, memo)"));
         let mut mpis: Vec<ScalingSeries> = mpi_variants
             .iter()
             .map(|(label, _)| ScalingSeries::new(label))
@@ -111,6 +120,14 @@ impl FigureRunner {
                 simulate_implicit_faulted(&machine, &spec, self.steps, &plan, &mut tb),
             );
             tb.flush();
+            if let Some(memo) = memo.as_mut() {
+                let mut tb = tracer.buffer(&format!("implicit-memo/n{nodes}"));
+                memo.push(
+                    nodes,
+                    simulate_implicit_memo_faulted(&machine, &spec, self.steps, &plan, &mut tb),
+                );
+                tb.flush();
+            }
             for ((_, mk), series) in mpi_variants.iter().zip(&mut mpis) {
                 // MPI references are never traced (as before).
                 let mut tb = Tracer::disabled().buffer("mpi");
@@ -121,6 +138,7 @@ impl FigureRunner {
             }
         }
         let mut out = vec![cr, nocr];
+        out.extend(memo);
         out.extend(mpis);
         regent_machine::trace_series(&out, &tracer);
         (out, tracer.take())
@@ -134,12 +152,20 @@ impl FigureRunner {
 pub fn control_cost_table(trace: &Trace, max_nodes: usize, steps: u64) -> String {
     use std::fmt::Write;
     let mut out = String::new();
-    writeln!(
+    // The memo column appears whenever memoized tracks were recorded.
+    let has_memo = regent_machine::node_counts_to(max_nodes)
+        .into_iter()
+        .any(|n| trace.track(&format!("implicit-memo/n{n}")).is_some());
+    write!(
         out,
         "{:>6}  {:>22}  {:>22}",
         "nodes", "w/o CR ctl µs/step", "with CR ctl µs/step"
     )
     .unwrap();
+    if has_memo {
+        write!(out, "  {:>22}", "memo ctl µs/step").unwrap();
+    }
+    writeln!(out).unwrap();
     let _ = steps;
     for nodes in regent_machine::node_counts_to(max_nodes) {
         let imp = mean_step_cost(&sim_control_cost_per_step(
@@ -147,7 +173,7 @@ pub fn control_cost_table(trace: &Trace, max_nodes: usize, steps: u64) -> String
             &format!("implicit/n{nodes}"),
         ));
         let cr = mean_step_cost(&sim_control_cost_per_step(trace, &format!("cr/n{nodes}")));
-        writeln!(
+        write!(
             out,
             "{:>6}  {:>22.1}  {:>22.1}",
             nodes,
@@ -155,6 +181,14 @@ pub fn control_cost_table(trace: &Trace, max_nodes: usize, steps: u64) -> String
             cr / 1000.0
         )
         .unwrap();
+        if has_memo {
+            let memo = mean_step_cost(&sim_control_cost_per_step(
+                trace,
+                &format!("implicit-memo/n{nodes}"),
+            ));
+            write!(out, "  {:>22.1}", memo / 1000.0).unwrap();
+        }
+        writeln!(out).unwrap();
     }
     out
 }
@@ -210,9 +244,10 @@ pub fn run_figure(
 }
 
 /// Shared CLI handling: `--max-nodes N`, `--steps S`, `--trace <path>`
-/// (write a Chrome trace of the simulated schedules), and
+/// (write a Chrome trace of the simulated schedules),
 /// `--faults <seed>,<rate>` (run every model under seeded message loss
-/// at the given rate).
+/// at the given rate), and `--memo` (add the memoized-implicit
+/// ablation series).
 pub fn parse_args() -> FigureRunner {
     let mut runner = FigureRunner::default();
     let args: Vec<String> = std::env::args().collect();
@@ -230,6 +265,10 @@ pub fn parse_args() -> FigureRunner {
             "--trace" => {
                 runner.trace_path = Some(args.get(i + 1).expect("--trace <path>").clone());
                 i += 2;
+            }
+            "--memo" => {
+                runner.memo = true;
+                i += 1;
             }
             "--faults" => {
                 let spec = args.get(i + 1).expect("--faults <seed>,<rate>");
@@ -266,6 +305,40 @@ mod tests {
         let nocr_eff = series[1].efficiency_at(32).unwrap();
         assert!(cr_eff > 0.9, "CR efficiency {cr_eff}");
         assert!(nocr_eff < cr_eff, "no-CR must trail CR");
+    }
+
+    #[test]
+    fn memo_ablation_sits_between_implicit_and_cr() {
+        let runner = FigureRunner {
+            max_nodes: 32,
+            steps: 4,
+            trace_path: Some("unused".into()),
+            memo: true,
+            ..Default::default()
+        };
+        let (series, trace) = runner.run_collecting(stencil_spec, &[]);
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[2].label, "Regent (w/o CR, memo)");
+        let cr_eff = series[0].efficiency_at(32).unwrap();
+        let nocr_eff = series[1].efficiency_at(32).unwrap();
+        let memo_eff = series[2].efficiency_at(32).unwrap();
+        // Memoization can only remove control cost: at small scales the
+        // stencil hides analysis behind compute (efficiencies tie), at
+        // large scales it pulls ahead — but it never loses to plain
+        // implicit and never beats CR.
+        assert!(
+            memo_eff >= nocr_eff - 1e-12 && memo_eff <= cr_eff + 1e-9,
+            "memo {memo_eff} should land between no-CR {nocr_eff} and CR {cr_eff}"
+        );
+        // The steady-state memo control cost sits well under the plain
+        // implicit cost, and the table grows the extra column.
+        let imp = mean_step_cost(&sim_control_cost_per_step(&trace, "implicit/n32"));
+        let memo = mean_step_cost(&sim_control_cost_per_step(&trace, "implicit-memo/n32"));
+        assert!(
+            memo < imp / 2.0,
+            "memo control cost {memo} vs implicit {imp}"
+        );
+        assert!(control_cost_table(&trace, 32, 4).contains("memo ctl µs/step"));
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //!   single control thread on node 0 pays the dynamic-analysis cost
 //!   for *every* task in the machine (§1's O(N) control overhead), with
 //!   deferred execution pipelining the launches.
+//! * [`simulate_implicit_memo`] — the same single control thread with
+//!   epoch-trace memoization: full analysis only on the first step
+//!   (template capture), replay cost on every later step. The control
+//!   thread stays serial, so this amortizes the O(N) analysis without
+//!   replicating control.
 //! * [`simulate_mpi`] — hand-written SPMD references (MPI,
 //!   MPI+OpenMP, MPI+Kokkos): no runtime overhead, all cores compute,
 //!   bulk-synchronous neighbor exchanges.
@@ -421,6 +426,56 @@ pub fn simulate_implicit_faulted(
     plan: &FaultPlan,
     tb: &mut TraceBuf,
 ) -> ScenarioResult {
+    simulate_implicit_model(machine, spec, steps, plan, false, tb)
+}
+
+/// Simulates Regent without control replication but **with epoch-trace
+/// memoization**: the control thread pays full dynamic analysis only
+/// for the first time step (template capture); every later step replays
+/// the captured schedule at a per-task cost equal to a CR shard's
+/// launch cost. The control thread remains a single serial resource —
+/// memoization amortizes the analysis, it does not replicate control.
+pub fn simulate_implicit_memo(
+    machine: &MachineConfig,
+    spec: &TimestepSpec,
+    steps: u64,
+) -> ScenarioResult {
+    let tracer = Tracer::disabled();
+    simulate_implicit_memo_traced(machine, spec, steps, &mut tracer.buffer("sim"))
+}
+
+/// [`simulate_implicit_memo`] recording the simulated schedule into
+/// `tb`: step 0's per-task spans are tagged `Analysis`, the replayed
+/// steps' spans `Launch`, so the per-step control-cost profile shows
+/// the amortization curve.
+pub fn simulate_implicit_memo_traced(
+    machine: &MachineConfig,
+    spec: &TimestepSpec,
+    steps: u64,
+    tb: &mut TraceBuf,
+) -> ScenarioResult {
+    simulate_implicit_memo_faulted(machine, spec, steps, &FaultPlan::default(), tb)
+}
+
+/// [`simulate_implicit_memo_traced`] under message-level faults.
+pub fn simulate_implicit_memo_faulted(
+    machine: &MachineConfig,
+    spec: &TimestepSpec,
+    steps: u64,
+    plan: &FaultPlan,
+    tb: &mut TraceBuf,
+) -> ScenarioResult {
+    simulate_implicit_model(machine, spec, steps, plan, true, tb)
+}
+
+fn simulate_implicit_model(
+    machine: &MachineConfig,
+    spec: &TimestepSpec,
+    steps: u64,
+    plan: &FaultPlan,
+    memo: bool,
+    tb: &mut TraceBuf,
+) -> ScenarioResult {
     let n = spec.num_nodes;
     let mut sim = Sim::new();
     let compute: Vec<ResourceId> = (0..n)
@@ -445,13 +500,27 @@ pub fn simulate_implicit_faulted(
                     // then ships to its node (deferred execution — the
                     // control thread does not wait for the task). The
                     // cost grows with the in-flight window (one step's
-                    // tasks across the whole machine).
+                    // tasks across the whole machine). With
+                    // memoization, only step 0 pays it (template
+                    // capture); replayed steps issue each task at a
+                    // shard-launch cost.
                     let in_flight = n as f64 * phase.tasks_per_node as f64;
-                    let analysis =
-                        machine.task_analysis_time + machine.task_analysis_window_cost * in_flight;
-                    let op = sim.add_task_delayed(control, analysis, machine.network_latency);
-                    // Analysis happens on the control thread (node 0).
-                    sim.tag(op, SimKind::Analysis, 0, step as u32);
+                    let op = if memo && step > 0 {
+                        let op = sim.add_task_delayed(
+                            control,
+                            machine.shard_launch_time,
+                            machine.network_latency,
+                        );
+                        sim.tag(op, SimKind::Launch, 0, step as u32);
+                        op
+                    } else {
+                        let analysis = machine.task_analysis_time
+                            + machine.task_analysis_window_cost * in_flight;
+                        let op = sim.add_task_delayed(control, analysis, machine.network_latency);
+                        // Analysis happens on the control thread (node 0).
+                        sim.tag(op, SimKind::Analysis, 0, step as u32);
+                        op
+                    };
                     if let Some(prev) = last_launch {
                         sim.add_dep(prev, op);
                     }
@@ -729,6 +798,41 @@ mod tests {
         // At one node the two are comparable.
         let ratio = im1.throughput_per_node / cr1.throughput_per_node;
         assert!(ratio > 0.7 && ratio < 1.3, "single node ratio {ratio}");
+    }
+
+    #[test]
+    fn memoization_amortizes_implicit_analysis() {
+        let machine = MachineConfig::piz_daint(64);
+        let spec = ring_spec(64);
+        let steps = 5;
+        let plain = simulate_implicit(&machine, &spec, steps);
+        let memo = simulate_implicit_memo(&machine, &spec, steps);
+        // Replayed steps skip the O(N) analysis: memoization must beat
+        // the plain implicit run at scale, but a single serial control
+        // thread still launches every task, so it cannot beat CR.
+        assert!(
+            memo.makespan < plain.makespan,
+            "memo {} vs plain {}",
+            memo.makespan,
+            plain.makespan
+        );
+        let cr = simulate_cr(&machine, &spec, steps);
+        assert!(memo.makespan >= cr.makespan * 0.99);
+
+        // The traced profile shows the amortization curve: step 0 pays
+        // the analysis cost, steady-state steps read far cheaper.
+        let tracer = Tracer::enabled();
+        simulate_implicit_memo_traced(&machine, &spec, steps, &mut tracer.buffer("sim"));
+        let trace = tracer.take();
+        let per_step = regent_trace::sim_control_cost_per_step(&trace, "sim");
+        assert_eq!(per_step.len(), steps as usize);
+        let first = per_step[0].1 as f64;
+        for &(_, c) in &per_step[1..] {
+            assert!(
+                (c as f64) < first / 5.0,
+                "steady-state step cost {c} should be well under the capture cost {first}"
+            );
+        }
     }
 
     #[test]

@@ -121,6 +121,11 @@ pub struct RegionForest {
     /// Field space of each tree root (indexed in lockstep with the root's
     /// position in `roots`).
     root_fs: HashMap<RegionId, usize>,
+    /// Mutation counter, bumped by every structural change (region or
+    /// partition creation). Consumers that cache derived schedules —
+    /// the epoch-trace memoizer in `regent-runtime` — compare versions
+    /// to detect that a cached analysis went stale.
+    version: u64,
 }
 
 impl RegionForest {
@@ -143,7 +148,16 @@ impl RegionForest {
         let fs_idx = self.field_spaces.len();
         self.field_spaces.push(fields);
         self.root_fs.insert(id, fs_idx);
+        self.version += 1;
         id
+    }
+
+    /// The forest's structural version: incremented by every region or
+    /// partition creation. Equal versions on the same forest value mean
+    /// no region-tree mutation happened in between (the memoization
+    /// precondition of the implicit executor's epoch templates).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Creates a partition of `parent` from explicit `(color, domain)`
@@ -187,6 +201,7 @@ impl RegionForest {
             child_index,
         });
         self.regions[parent.0 as usize].partitions.push(pid);
+        self.version += 1;
         pid
     }
 
@@ -497,6 +512,25 @@ mod tests {
         );
         let s = f.subregion_i(p, 0);
         assert_eq!(f.domain(s).volume(), 5); // [5,9]
+    }
+
+    #[test]
+    fn version_tracks_structural_mutations() {
+        let mut f = RegionForest::new();
+        assert_eq!(f.version(), 0);
+        let r = f.create_region(Domain::range(10), FieldSpace::new());
+        let v1 = f.version();
+        assert!(v1 > 0);
+        f.create_partition(
+            r,
+            Disjointness::Disjoint,
+            vec![(DynPoint::from(0), Domain::range(5))],
+        );
+        assert!(f.version() > v1, "partition creation must bump the version");
+        // Clones carry the version; queries do not perturb it.
+        let snap = f.clone();
+        let _ = f.provably_disjoint(r, r);
+        assert_eq!(snap.version(), f.version());
     }
 
     #[test]

@@ -24,8 +24,24 @@
 //! than staged through temporaries), which keeps fold order identical
 //! to program order — executions are bit-identical to the sequential
 //! interpreter, which the test suite exploits.
+//!
+//! ## Epoch-trace memoization
+//!
+//! With [`ImplicitOptions::memo`] set, the control thread memoizes one
+//! epoch's (outermost-loop iteration's) dependence analysis as a
+//! template and replays it on subsequent structurally identical epochs
+//! (see [`crate::memo`]). A replayed epoch begins with a pool drain —
+//! the trace fence that orders everything older before it — and then
+//! issues each launch with the template's intra-epoch edges instead of
+//! scanning the window. Each replayed launch still resolves its region
+//! arguments and consults the [`Mapper`], so mapping decisions are
+//! honored identically with and without replay; only the analysis is
+//! skipped. Any divergence from the predicted template falls back to
+//! full analysis mid-epoch, so memoization never changes results —
+//! executions stay bit-identical to the interpreter.
 
 use crate::mapper::{DefaultMapper, Mapper};
+use crate::memo::{self, EpochTemplate, MemoCache};
 use regent_geometry::{Domain, DynPoint};
 use regent_ir::{interp::resolve_arg, ArgSlot, Privilege, Program, Stmt, Store, TaskCtx, TaskId};
 use regent_region::{Instance, RegionId};
@@ -43,17 +59,29 @@ pub struct ImplicitOptions {
     pub mapper: Arc<dyn Mapper>,
     /// Event recorder; [`Tracer::disabled`] makes recording free.
     pub tracer: Arc<Tracer>,
+    /// Epoch-trace memoization cache; `None` runs every epoch through
+    /// full dependence analysis. Share one cache
+    /// ([`MemoCache::shared`]) across executions to replay from the
+    /// very first epoch of a re-run.
+    pub memo: Option<Arc<Mutex<MemoCache>>>,
 }
 
 impl ImplicitOptions {
-    /// `num_workers` workers with the default round-robin mapper and
-    /// tracing off.
+    /// `num_workers` workers with the default round-robin mapper,
+    /// tracing off, and memoization off.
     pub fn with_workers(num_workers: usize) -> Self {
         ImplicitOptions {
             num_workers,
             mapper: Arc::new(DefaultMapper),
             tracer: Tracer::disabled(),
+            memo: None,
         }
+    }
+
+    /// Enables epoch-trace memoization backed by `cache`.
+    pub fn with_memo(mut self, cache: Arc<Mutex<MemoCache>>) -> Self {
+        self.memo = Some(cache);
+        self
     }
 }
 
@@ -76,6 +104,16 @@ pub struct ImplicitStats {
     pub dependence_edges: u64,
     /// Peak size of the in-flight task window.
     pub max_window: usize,
+    /// Epochs captured as reusable memoization templates.
+    pub memo_captures: u64,
+    /// Epochs fully replayed from a template (no analysis ran).
+    pub memo_hits: u64,
+    /// Replay attempts that diverged back to full analysis.
+    pub memo_misses: u64,
+    /// Template-cache invalidations observed (region-forest changes).
+    pub memo_invalidations: u64,
+    /// Point tasks issued by replay, without a window scan.
+    pub memo_replayed_tasks: u64,
 }
 
 /// Raw instance pointer made sendable; exclusivity is guaranteed by the
@@ -210,12 +248,14 @@ impl Window {
 }
 
 /// Control-thread bookkeeping threaded through statement execution:
-/// statistics, the event recorder, and the trace identity counters.
+/// statistics, the event recorder, the trace identity counters, and
+/// the memoization state.
 struct Ctl {
     stats: ImplicitStats,
     tb: TraceBuf,
     launch_seq: u32,
     loop_depth: u32,
+    memo: Option<MemoRt>,
 }
 
 impl Ctl {
@@ -224,6 +264,169 @@ impl Ctl {
     fn drained(&mut self) {
         self.tb.instant(EventKind::Drain);
     }
+}
+
+/// Memoization runtime state: the shared template cache plus the epoch
+/// currently being recorded or replayed.
+struct MemoRt {
+    cache: Arc<Mutex<MemoCache>>,
+    /// Open while the control flow is inside an outermost-loop
+    /// iteration.
+    epoch: Option<EpochRec>,
+}
+
+/// Recording/replay state of one open epoch.
+struct EpochRec {
+    /// Outermost-loop iteration number (trace identity).
+    step: u64,
+    /// Region-forest version the epoch runs against (stamped into any
+    /// template captured from it).
+    forest_version: u64,
+    /// Launch signatures in issue order.
+    sigs: Vec<u64>,
+    /// Intra-epoch predecessor indices per launch — the template
+    /// payload. Kept parallel to `sigs` in both modes.
+    edges: Vec<Vec<u32>>,
+    /// Job handles by epoch index (replay edge targets).
+    jobs: Vec<Arc<Job>>,
+    /// Job identity (`Arc` pointer) → epoch index, for recognizing
+    /// intra-epoch predecessors during capture.
+    index_of: std::collections::HashMap<usize, u32>,
+    /// The template being replayed; `None` in capture mode or after a
+    /// divergence.
+    replay: Option<EpochTemplate>,
+    /// Next template position to match during replay.
+    cursor: usize,
+    /// A replay diverged somewhere in this epoch.
+    missed: bool,
+    /// The window overflowed mid-epoch and was pruned; the recorded
+    /// edges may be incomplete, so no template may be stored.
+    poisoned: bool,
+    /// Pairwise dependence checks paid inside this epoch.
+    checks: u64,
+    /// Tasks issued via replay in this epoch.
+    replayed: u64,
+}
+
+/// Opens a new epoch at an outermost-loop iteration boundary: closes
+/// the previous epoch, validates the template cache against the region
+/// forest, and decides between replay (fence + template) and capture.
+fn memo_begin_epoch(program: &Program, pool: &Pool, window: &mut Window, ctl: &mut Ctl, step: u64) {
+    if ctl.memo.is_none() {
+        return;
+    }
+    memo_end_epoch(ctl);
+    let version = program.forest.version();
+    let (replay, invalidated) = {
+        let m = ctl.memo.as_ref().unwrap();
+        let mut cache = m.cache.lock().unwrap();
+        let dropped = cache.validate_forest(version);
+        (
+            cache
+                .predicted_template()
+                .filter(|t| !t.is_empty())
+                .cloned(),
+            dropped,
+        )
+    };
+    if invalidated > 0 {
+        ctl.tb.instant(EventKind::MemoInvalidate {
+            templates: invalidated as u32,
+        });
+        ctl.stats.memo_invalidations += 1;
+    }
+    if replay.is_some() {
+        // Trace fence: quiesce the pool so everything issued before
+        // this epoch happens-before everything inside it. The
+        // template's intra-epoch edges then cover every ordering the
+        // epoch needs, so no cross-epoch analysis is required.
+        pool.wait_drained();
+        ctl.drained();
+        window.records.clear();
+    }
+    let m = ctl.memo.as_mut().unwrap();
+    m.epoch = Some(EpochRec {
+        step,
+        forest_version: version,
+        sigs: Vec::new(),
+        edges: Vec::new(),
+        jobs: Vec::new(),
+        index_of: std::collections::HashMap::new(),
+        replay,
+        cursor: 0,
+        missed: false,
+        poisoned: false,
+        checks: 0,
+        replayed: 0,
+    });
+}
+
+/// Closes the open epoch, if any: classifies it as a hit, miss, or
+/// capture, updates the template cache, and records the epoch's key as
+/// the replay prediction for the next epoch.
+fn memo_end_epoch(ctl: &mut Ctl) {
+    let Some(m) = ctl.memo.as_mut() else { return };
+    let Some(ep) = m.epoch.take() else { return };
+    let key = memo::epoch_key(&ep.sigs);
+    let tasks = ep.sigs.len() as u32;
+    let mut cache = m.cache.lock().unwrap();
+    cache.stats.replayed_tasks += ep.replayed;
+    let storable = !ep.poisoned && !ep.sigs.is_empty();
+    let template = |ep: &EpochRec| EpochTemplate {
+        key,
+        launch_sigs: ep.sigs.clone(),
+        edges: ep.edges.clone(),
+        forest_version: ep.forest_version,
+        capture_checks: ep.checks,
+    };
+    match (&ep.replay, ep.missed) {
+        (Some(t), _) if ep.cursor == t.len() => {
+            // Full replay (a divergence would have cleared `replay`).
+            ctl.tb.instant(EventKind::MemoHit {
+                epoch: ep.step,
+                key,
+                tasks,
+            });
+            ctl.stats.memo_hits += 1;
+            cache.stats.hits += 1;
+        }
+        (Some(_), _) => {
+            // The epoch ended while the template expected more
+            // launches: a divergence at the epoch boundary.
+            ctl.tb.instant(EventKind::MemoMiss {
+                epoch: ep.step,
+                at: ep.cursor as u32,
+            });
+            ctl.stats.memo_misses += 1;
+            cache.stats.misses += 1;
+            if storable {
+                cache.insert(template(&ep));
+            }
+        }
+        (None, true) => {
+            // Diverged mid-epoch (the miss event was emitted at the
+            // divergence point). Keep the freshly analyzed shape so a
+            // stable new pattern replays from its next occurrence.
+            cache.stats.misses += 1;
+            if storable {
+                cache.insert(template(&ep));
+            }
+        }
+        (None, false) => {
+            // Analyzed end to end: capture (first occurrence wins).
+            if storable && cache.get(key).is_none() {
+                cache.insert(template(&ep));
+                ctl.tb.instant(EventKind::MemoCapture {
+                    epoch: ep.step,
+                    key,
+                    tasks,
+                });
+                ctl.stats.memo_captures += 1;
+                cache.stats.captures += 1;
+            }
+        }
+    }
+    cache.set_predicted(key);
 }
 
 /// Maps an IR privilege to its trace-event code (shared with the SPMD
@@ -280,6 +483,10 @@ pub fn execute_implicit(
         tb: opts.tracer.buffer("control"),
         launch_seq: 0,
         loop_depth: 0,
+        memo: opts.memo.as_ref().map(|c| MemoRt {
+            cache: Arc::clone(c),
+            epoch: None,
+        }),
     };
 
     std::thread::scope(|scope| {
@@ -324,6 +531,7 @@ pub fn execute_implicit(
             &mut window,
             &mut ctl,
         );
+        memo_end_epoch(&mut ctl);
         pool.wait_drained();
         ctl.drained();
         // Poison pills: one per worker so every thread exits recv().
@@ -431,10 +639,14 @@ fn exec_stmts(
                 for it in 0..n {
                     if ctl.loop_depth == 0 {
                         ctl.tb.instant(EventKind::StepBegin { step: it });
+                        memo_begin_epoch(program, pool, window, ctl, it);
                     }
                     ctl.loop_depth += 1;
                     exec_stmts(program, body, env, inst_ptrs, pool, route, window, ctl);
                     ctl.loop_depth -= 1;
+                }
+                if ctl.loop_depth == 0 {
+                    memo_end_epoch(ctl);
                 }
             }
             Stmt::While { cond, body } => {
@@ -442,11 +654,15 @@ fn exec_stmts(
                 while cond.eval(env) != 0.0 {
                     if ctl.loop_depth == 0 {
                         ctl.tb.instant(EventKind::StepBegin { step: it });
+                        memo_begin_epoch(program, pool, window, ctl, it);
                     }
                     ctl.loop_depth += 1;
                     exec_stmts(program, body, env, inst_ptrs, pool, route, window, ctl);
                     ctl.loop_depth -= 1;
                     it += 1;
+                }
+                if ctl.loop_depth == 0 {
+                    memo_end_epoch(ctl);
                 }
             }
             Stmt::If {
@@ -544,66 +760,137 @@ fn issue_task(
         done: AtomicBool::new(false),
     });
 
-    // Dependence analysis (the per-task control overhead).
-    let analysis_start = ctl.tb.now();
-    let checks_before = ctl.stats.dependence_checks;
-    let mut n_deps = 0usize;
-    for (prev_acc, prev_job) in &window.records {
-        let mut conflict = false;
-        for &(r1, p1) in prev_acc {
-            for &(r2, p2) in &accesses {
-                ctl.stats.dependence_checks += 1;
-                if !needs_edge(p1, p2) {
-                    continue;
+    // Epoch-trace memoization: while an epoch is open every launch gets
+    // a structural signature; a predicted epoch replays template edges
+    // instead of scanning the window.
+    let sig = match &ctl.memo {
+        Some(m) if m.epoch.is_some() => Some(memo::launch_sig(task.0, &point, &accesses)),
+        _ => None,
+    };
+    let mut replayed = false;
+    if let Some(sig) = sig {
+        let ep = ctl.memo.as_mut().unwrap().epoch.as_mut().unwrap();
+        if let Some(t) = &ep.replay {
+            if ep.cursor < t.len() && t.launch_sigs[ep.cursor] == sig {
+                // Replay: apply the template's intra-epoch predecessors
+                // directly — no window scan, no analysis span.
+                let preds = t.edges[ep.cursor].clone();
+                let mut n_deps = 0usize;
+                for &p in &preds {
+                    let prev_job = &ep.jobs[p as usize];
+                    ctl.tb.instant(EventKind::DepEdge {
+                        from_launch: prev_job.launch,
+                        from_pos: prev_job.pos,
+                        to_launch: launch,
+                        to_pos: pos,
+                    });
+                    let mut deps = prev_job.dependents.lock().unwrap();
+                    if !prev_job.done.load(Ordering::SeqCst) {
+                        job.remaining.fetch_add(1, Ordering::SeqCst);
+                        deps.push(Arc::clone(&job));
+                        n_deps += 1;
+                    }
                 }
-                if program.forest.root_of(r1) != program.forest.root_of(r2) {
-                    continue;
+                ep.edges.push(preds);
+                ep.cursor += 1;
+                ep.replayed += 1;
+                ctl.stats.memo_replayed_tasks += 1;
+                ctl.stats.dependence_edges += n_deps as u64;
+                replayed = true;
+            } else {
+                // Divergence: this epoch stopped matching the predicted
+                // template. Fall back to full analysis for the rest of
+                // the epoch — sound, because the replayed prefix sits
+                // in the window and the pre-epoch fence ordered
+                // everything older.
+                ctl.tb.instant(EventKind::MemoMiss {
+                    epoch: ep.step,
+                    at: ep.cursor as u32,
+                });
+                ctl.stats.memo_misses += 1;
+                ep.missed = true;
+                ep.replay = None;
+            }
+        }
+    }
+
+    if !replayed {
+        // Dependence analysis (the per-task control overhead).
+        let analysis_start = ctl.tb.now();
+        let checks_before = ctl.stats.dependence_checks;
+        let mut n_deps = 0usize;
+        let mut epoch_preds: Vec<u32> = Vec::new();
+        for (prev_acc, prev_job) in &window.records {
+            let mut conflict = false;
+            for &(r1, p1) in prev_acc {
+                for &(r2, p2) in &accesses {
+                    ctl.stats.dependence_checks += 1;
+                    if !needs_edge(p1, p2) {
+                        continue;
+                    }
+                    if program.forest.root_of(r1) != program.forest.root_of(r2) {
+                        continue;
+                    }
+                    if program.forest.provably_disjoint(r1, r2) {
+                        continue;
+                    }
+                    if program
+                        .forest
+                        .domain(r1)
+                        .overlaps(program.forest.domain(r2))
+                    {
+                        conflict = true;
+                        break;
+                    }
                 }
-                if program.forest.provably_disjoint(r1, r2) {
-                    continue;
-                }
-                if program
-                    .forest
-                    .domain(r1)
-                    .overlaps(program.forest.domain(r2))
-                {
-                    conflict = true;
+                if conflict {
                     break;
                 }
             }
             if conflict {
-                break;
+                // The edge is recorded even when the predecessor already
+                // finished: its completion happened-before this launch, so
+                // the ordering is real either way (the trace validator
+                // relies on it).
+                ctl.tb.instant(EventKind::DepEdge {
+                    from_launch: prev_job.launch,
+                    from_pos: prev_job.pos,
+                    to_launch: launch,
+                    to_pos: pos,
+                });
+                // Intra-epoch conflicts feed the template being captured.
+                if let Some(m) = &ctl.memo {
+                    if let Some(ep) = &m.epoch {
+                        if let Some(&idx) = ep.index_of.get(&(Arc::as_ptr(prev_job) as usize)) {
+                            epoch_preds.push(idx);
+                        }
+                    }
+                }
+                // Register the edge unless the predecessor already finished.
+                let mut deps = prev_job.dependents.lock().unwrap();
+                if !prev_job.done.load(Ordering::SeqCst) {
+                    job.remaining.fetch_add(1, Ordering::SeqCst);
+                    deps.push(Arc::clone(&job));
+                    n_deps += 1;
+                }
             }
         }
-        if conflict {
-            // The edge is recorded even when the predecessor already
-            // finished: its completion happened-before this launch, so
-            // the ordering is real either way (the trace validator
-            // relies on it).
-            ctl.tb.instant(EventKind::DepEdge {
-                from_launch: prev_job.launch,
-                from_pos: prev_job.pos,
-                to_launch: launch,
-                to_pos: pos,
-            });
-            // Register the edge unless the predecessor already finished.
-            let mut deps = prev_job.dependents.lock().unwrap();
-            if !prev_job.done.load(Ordering::SeqCst) {
-                job.remaining.fetch_add(1, Ordering::SeqCst);
-                deps.push(Arc::clone(&job));
-                n_deps += 1;
-            }
+        let checks = ctl.stats.dependence_checks - checks_before;
+        ctl.tb.span_since(
+            analysis_start,
+            EventKind::DepAnalysis {
+                launch,
+                pos,
+                checks: checks as u32,
+            },
+        );
+        ctl.stats.dependence_edges += n_deps as u64;
+        if sig.is_some() {
+            let ep = ctl.memo.as_mut().unwrap().epoch.as_mut().unwrap();
+            ep.edges.push(epoch_preds);
+            ep.checks += checks;
         }
     }
-    ctl.tb.span_since(
-        analysis_start,
-        EventKind::DepAnalysis {
-            launch,
-            pos,
-            checks: (ctl.stats.dependence_checks - checks_before) as u32,
-        },
-    );
-    ctl.stats.dependence_edges += n_deps as u64;
     ctl.stats.tasks_launched += 1;
     pool.register();
     // Release the sentinel; submit if no edges remain.
@@ -612,8 +899,27 @@ fn issue_task(
     }
     window.records.push((accesses, Arc::clone(&job)));
     ctl.stats.max_window = ctl.stats.max_window.max(window.records.len());
+    // Record the launch in the open epoch (both modes), keeping `sigs`
+    // parallel to the `edges` entry pushed above.
+    if let Some(sig) = sig {
+        let ep = ctl.memo.as_mut().unwrap().epoch.as_mut().unwrap();
+        ep.index_of
+            .insert(Arc::as_ptr(&job) as usize, ep.sigs.len() as u32);
+        ep.sigs.push(sig);
+        ep.jobs.push(Arc::clone(&job));
+    }
     if window.records.len() > 4096 {
-        window.prune();
+        if sig.is_none() {
+            window.prune();
+        } else if window.records.len() > 65536 {
+            // Pruning mid-epoch can drop a completed intra-epoch
+            // predecessor and leave the captured template missing an
+            // edge, so while an epoch is open the window only shrinks
+            // past a hard cap — and the epoch is poisoned (no template
+            // stored).
+            ctl.memo.as_mut().unwrap().epoch.as_mut().unwrap().poisoned = true;
+            window.prune();
+        }
     }
     job
 }

@@ -15,6 +15,10 @@
 //!   shallow/complete timings of Table 1.
 //! * [`collective`] — the scalar dynamic collective (§4.4) and a
 //!   reusable barrier (Fig. 4c mode).
+//! * [`memo`] — epoch-trace memoization for the implicit executor:
+//!   capture one epoch's dependence analysis as a template, replay it
+//!   on structurally identical epochs, invalidate on region-forest
+//!   changes.
 //!
 //! Both executors are tested to produce results bit-identical to the
 //! sequential reference interpreter in `regent-ir`.
@@ -32,6 +36,7 @@ pub mod collective;
 pub mod hybrid_exec;
 pub mod implicit;
 pub mod mapper;
+pub mod memo;
 pub mod plan;
 pub mod spmd_exec;
 
@@ -39,6 +44,7 @@ pub use collective::{hang_timeout, DynamicCollective, ShardBarrier};
 pub use hybrid_exec::{execute_hybrid, execute_hybrid_traced, HybridRunResult};
 pub use implicit::{execute_implicit, ImplicitOptions, ImplicitStats};
 pub use mapper::{DefaultMapper, Mapper, SingleWorkerMapper, TaskKindMapper};
+pub use memo::{epoch_key, launch_sig, EpochTemplate, MemoCache, MemoStats};
 pub use plan::{build_exchange_plan, ExchangePlan, InstKey, PairPlan, SetupStats};
 pub use regent_fault::{FaultPlan, RetryPolicy};
 pub use spmd_exec::{

@@ -116,6 +116,10 @@ fn kind_name(k: &EventKind) -> String {
             format!("restore e{epoch}->e{to_epoch}")
         }
         EventKind::ShardCrash { shard, epoch } => format!("crash s{shard} e{epoch}"),
+        EventKind::MemoCapture { epoch, .. } => format!("memo capture e{epoch}"),
+        EventKind::MemoHit { epoch, .. } => format!("memo hit e{epoch}"),
+        EventKind::MemoMiss { epoch, at } => format!("memo miss e{epoch}@{at}"),
+        EventKind::MemoInvalidate { templates } => format!("memo invalidate ({templates})"),
         EventKind::Pass { name } => format!("pass {name}"),
         EventKind::SimTask { kind, step, .. } => {
             format!("{} s{step}", sim_kind_name(*kind))
@@ -165,6 +169,9 @@ fn kind_args(k: &EventKind) -> String {
         | EventKind::CollectiveArrive { generation }
         | EventKind::CollectiveLeave { generation } => format!("\"generation\":{generation}"),
         EventKind::SimTask { node, step, .. } => format!("\"node\":{node},\"step\":{step}"),
+        EventKind::MemoCapture { key, tasks, .. } | EventKind::MemoHit { key, tasks, .. } => {
+            format!("\"key\":{key},\"tasks\":{tasks}")
+        }
         _ => String::new(),
     }
 }

@@ -216,6 +216,46 @@ pub enum EventKind {
         /// Epoch at whose start the crash was injected.
         epoch: u64,
     },
+    /// The implicit executor captured an epoch's dependence analysis as
+    /// a reusable template (trace memoization). Emitted at the epoch
+    /// boundary where the template was stored.
+    MemoCapture {
+        /// Epoch (outermost-loop iteration) the template was captured
+        /// from.
+        epoch: u64,
+        /// Structural hash of the epoch's launch sequence (the cache
+        /// key).
+        key: u64,
+        /// Point tasks covered by the template.
+        tasks: u32,
+    },
+    /// A whole epoch replayed from a memoized template: every launch
+    /// matched the template and no dependence analysis ran.
+    MemoHit {
+        /// Epoch that replayed.
+        epoch: u64,
+        /// Cache key of the replayed template.
+        key: u64,
+        /// Point tasks replayed.
+        tasks: u32,
+    },
+    /// A replay attempt aborted: the epoch's launch sequence diverged
+    /// from the predicted template and the executor fell back to full
+    /// dependence analysis for the remainder of the epoch.
+    MemoMiss {
+        /// Epoch in which the divergence was observed.
+        epoch: u64,
+        /// Launch index (within the epoch) where the template stopped
+        /// matching.
+        at: u32,
+    },
+    /// The template cache was invalidated: the region forest's version
+    /// changed since capture (a partition or region was created), so
+    /// every memoized schedule went stale.
+    MemoInvalidate {
+        /// Templates dropped from the cache.
+        templates: u32,
+    },
     /// A compiler pass of the CR pipeline (span).
     Pass {
         /// Pass name.

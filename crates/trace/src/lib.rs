@@ -48,7 +48,10 @@ pub use ascii::ascii_timeline;
 pub use chrome::export_chrome;
 pub use event::{fields_mask, Event, EventKind, PrivCode, SimKind};
 pub use graph::{build_graph, EventGraph};
-pub use prof::{control_cost_per_step, mean_step_cost, sim_control_cost_per_step, ProfReport};
+pub use prof::{
+    control_cost_per_step, mean_step_cost, memo_summary, sim_control_cost_per_step, MemoSummary,
+    ProfReport,
+};
 pub use ring::Ring;
 pub use spy::{validate, AllOverlap, OverlapOracle, SpyReport, Violation};
 pub use tracer::{Trace, TraceBuf, Tracer, Track};

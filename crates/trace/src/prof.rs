@@ -194,6 +194,77 @@ pub fn sim_control_cost_per_step(trace: &Trace, track: &str) -> Vec<(u64, u64)> 
     out
 }
 
+/// Epoch-trace memoization summary of one executor track: how many
+/// epochs captured/replayed/diverged, and how the per-epoch dependence
+/// analysis cost amortized (the runtime-level answer to the paper's
+/// O(N)-per-step control overhead).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MemoSummary {
+    /// Epochs whose analysis was captured as a template.
+    pub captures: u64,
+    /// Epochs fully replayed from a template (no analysis ran).
+    pub hits: u64,
+    /// Replay attempts that diverged and fell back to analysis.
+    pub misses: u64,
+    /// Cache invalidations (region-forest version changes).
+    pub invalidations: u64,
+    /// Point tasks replayed without analysis.
+    pub replayed_tasks: u64,
+    /// Dependence-analysis span time (ns) attributed to the first
+    /// observed epoch (capture cost).
+    pub first_epoch_analysis_ns: u64,
+    /// Mean dependence-analysis span time (ns) per epoch over every
+    /// epoch after the first (0 when there is at most one epoch).
+    pub steady_state_analysis_ns: f64,
+}
+
+impl MemoSummary {
+    /// Hit rate over the steady-state epochs: replays divided by every
+    /// epoch after the first capture opportunity. 1.0 when every
+    /// post-capture epoch replayed; 0 when no epochs were observed.
+    pub fn steady_state_hit_rate(&self) -> f64 {
+        let steady = self.captures + self.hits + self.misses;
+        if steady <= 1 {
+            return 0.0;
+        }
+        self.hits as f64 / (steady - 1) as f64
+    }
+}
+
+/// Summarizes epoch-trace memoization on one executor track: counts the
+/// memo events and splits the per-step analysis cost (from
+/// [`control_cost_per_step`]) into the first epoch vs the steady state.
+pub fn memo_summary(trace: &Trace, track: &str) -> MemoSummary {
+    let mut s = MemoSummary::default();
+    if let Some(t) = trace.track(track) {
+        for e in &t.events {
+            match e.kind {
+                EventKind::MemoCapture { tasks, .. } => {
+                    s.captures += 1;
+                    let _ = tasks;
+                }
+                EventKind::MemoHit { tasks, .. } => {
+                    s.hits += 1;
+                    s.replayed_tasks += tasks as u64;
+                }
+                EventKind::MemoMiss { .. } => s.misses += 1,
+                EventKind::MemoInvalidate { .. } => s.invalidations += 1,
+                _ => {}
+            }
+        }
+    }
+    let per_step = control_cost_per_step(trace, track);
+    if let Some(&(_, first)) = per_step.first() {
+        s.first_epoch_analysis_ns = first;
+        let rest = &per_step[1..];
+        if !rest.is_empty() {
+            s.steady_state_analysis_ns =
+                rest.iter().map(|(_, c)| *c as f64).sum::<f64>() / rest.len() as f64;
+        }
+    }
+    s
+}
+
 /// Mean of the cost column of a per-step series (0 when empty).
 pub fn mean_step_cost(series: &[(u64, u64)]) -> f64 {
     if series.is_empty() {
@@ -269,6 +340,65 @@ mod tests {
             vec![(0, 15), (1, 7)]
         );
         assert!(control_cost_per_step(&trace, "absent").is_empty());
+    }
+
+    #[test]
+    fn memo_summary_counts_and_amortization() {
+        let dep = |d: u64| Event {
+            ts: 0,
+            dur: d,
+            kind: EventKind::DepAnalysis {
+                launch: 0,
+                pos: 0,
+                checks: 1,
+            },
+        };
+        let step = |s: u64| Event {
+            ts: 0,
+            dur: 0,
+            kind: EventKind::StepBegin { step: s },
+        };
+        let instant = |kind| Event {
+            ts: 0,
+            dur: 0,
+            kind,
+        };
+        let trace = Trace {
+            tracks: vec![track(
+                "control",
+                vec![
+                    step(0),
+                    dep(100),
+                    dep(50),
+                    instant(EventKind::MemoCapture {
+                        epoch: 0,
+                        key: 7,
+                        tasks: 2,
+                    }),
+                    step(1),
+                    instant(EventKind::MemoHit {
+                        epoch: 1,
+                        key: 7,
+                        tasks: 2,
+                    }),
+                    step(2),
+                    instant(EventKind::MemoHit {
+                        epoch: 2,
+                        key: 7,
+                        tasks: 2,
+                    }),
+                ],
+            )],
+        };
+        let s = memo_summary(&trace, "control");
+        assert_eq!(s.captures, 1);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.replayed_tasks, 4);
+        assert_eq!(s.first_epoch_analysis_ns, 150);
+        assert_eq!(s.steady_state_analysis_ns, 0.0);
+        assert_eq!(s.steady_state_hit_rate(), 1.0);
+        assert_eq!(memo_summary(&trace, "absent"), MemoSummary::default());
     }
 
     #[test]
