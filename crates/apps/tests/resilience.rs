@@ -135,6 +135,7 @@ fn stencil_recovers_bit_identical() {
     let opts = ResilienceOptions {
         checkpoint_interval: 2,
         plan: FaultPlan::new(7).crash_shard(1, 3),
+        ..Default::default()
     };
     let res = assert_recovers(mk, 3, &opts);
     assert_eq!(res.per_shard[0].restores, 1);
@@ -162,6 +163,7 @@ fn circuit_recovers_bit_identical() {
     let opts = ResilienceOptions {
         checkpoint_interval: 2,
         plan: FaultPlan::new(13).crash_shard(2, 3),
+        ..Default::default()
     };
     let res = assert_recovers(mk, 3, &opts);
     assert!(res.per_shard[0].restores > 0);
@@ -187,6 +189,7 @@ fn miniaero_recovers_bit_identical() {
     let opts = ResilienceOptions {
         checkpoint_interval: 2,
         plan: FaultPlan::new(21).crash_shard(0, 2),
+        ..Default::default()
     };
     let res = assert_recovers(mk, 3, &opts);
     assert!(res.per_shard[0].restores > 0);
@@ -214,6 +217,7 @@ fn pennant_recovers_bit_identical() {
     let opts = ResilienceOptions {
         checkpoint_interval: 2,
         plan: FaultPlan::new(33).crash_shard(1, 2),
+        ..Default::default()
     };
     assert_recovers(mk, 3, &opts);
 }
@@ -239,6 +243,7 @@ fn stencil_seeded_plan_recovers() {
         let opts = ResilienceOptions {
             checkpoint_interval: 2,
             plan: FaultPlan::seeded_crash(seed, 4, 4),
+            ..Default::default()
         };
         assert_recovers(mk, 4, &opts);
     }

@@ -24,8 +24,9 @@
 #![warn(missing_docs)]
 
 use regent_machine::{
-    simulate_cr_faulted, simulate_implicit_faulted, simulate_implicit_memo_faulted,
-    simulate_mpi_faulted, FaultPlan, MachineConfig, MpiVariant, ScalingSeries, TimestepSpec,
+    parse_corrupt_spec, simulate_cr_faulted, simulate_implicit_faulted,
+    simulate_implicit_memo_faulted, simulate_mpi_faulted, FaultPlan, FaultStats, MachineConfig,
+    MpiVariant, ScalingSeries, TimestepSpec,
 };
 use regent_trace::{export_chrome, mean_step_cost, sim_control_cost_per_step, Trace, Tracer};
 
@@ -49,6 +50,12 @@ pub struct FigureRunner {
     /// (`--faults <seed>,<rate>`: seeded message loss at the given
     /// rate), so the figures show degraded-network behavior.
     pub faults: Option<FaultPlan>,
+    /// When set (`--corrupt <seed>,<rate>`), copy payloads are silently
+    /// bit-flipped at the given rate; receivers detect the checksum
+    /// mismatch and repair by retransmission. Composes with `faults`
+    /// (the corruption rate folds into the loss plan) and prints a
+    /// per-model corruption summary after the figure.
+    pub corrupt: Option<(u64, f64)>,
     /// When set (`--memo`), add a "Regent (w/o CR, memo)" series: the
     /// implicit model with epoch-trace memoization (full analysis on
     /// step 0 only, replay after), as the ablation between a naive
@@ -64,6 +71,7 @@ impl Default for FigureRunner {
             machine_mod: |_| {},
             trace_path: None,
             faults: None,
+            corrupt: None,
             memo: false,
         }
     }
@@ -103,22 +111,24 @@ impl FigureRunner {
             .iter()
             .map(|(label, _)| ScalingSeries::new(label))
             .collect();
-        let plan = self.faults.clone().unwrap_or_default();
+        let plan = self.plan();
+        // Aggregated fault outcome per model, for the corruption
+        // summary printed under `--corrupt`.
+        let mut cr_faults = FaultStats::default();
+        let mut nocr_faults = FaultStats::default();
         for nodes in regent_machine::node_counts_to(self.max_nodes) {
             let mut machine = MachineConfig::piz_daint(nodes);
             (self.machine_mod)(&mut machine);
             let spec = spec_of(nodes, &machine);
             let mut tb = tracer.buffer(&format!("cr/n{nodes}"));
-            cr.push(
-                nodes,
-                simulate_cr_faulted(&machine, &spec, self.steps, &plan, &mut tb),
-            );
+            let r = simulate_cr_faulted(&machine, &spec, self.steps, &plan, &mut tb);
+            cr_faults.merge(&r.faults);
+            cr.push(nodes, r);
             tb.flush();
             let mut tb = tracer.buffer(&format!("implicit/n{nodes}"));
-            nocr.push(
-                nodes,
-                simulate_implicit_faulted(&machine, &spec, self.steps, &plan, &mut tb),
-            );
+            let r = simulate_implicit_faulted(&machine, &spec, self.steps, &plan, &mut tb);
+            nocr_faults.merge(&r.faults);
+            nocr.push(nodes, r);
             tb.flush();
             if let Some(memo) = memo.as_mut() {
                 let mut tb = tracer.buffer(&format!("implicit-memo/n{nodes}"));
@@ -141,7 +151,42 @@ impl FigureRunner {
         out.extend(memo);
         out.extend(mpis);
         regent_machine::trace_series(&out, &tracer);
+        if let Some((seed, rate)) = self.corrupt {
+            println!("--- corruption summary (seed {seed}, rate {rate}) ---");
+            for (label, f) in [
+                ("Regent (with CR)", &cr_faults),
+                ("Regent (w/o CR)", &nocr_faults),
+            ] {
+                println!(
+                    "{label:>20}: injected {} detected {} repaired {} escalated {}",
+                    f.corruptions_injected,
+                    f.corruptions_detected,
+                    f.corruptions_repaired,
+                    f.corruptions_escalated,
+                );
+                assert_eq!(
+                    f.corruptions_injected, f.corruptions_detected,
+                    "every injected corruption must be caught by a checksum"
+                );
+            }
+            println!();
+        }
         (out, tracer.take())
+    }
+
+    /// The effective fault plan: the `--faults` loss plan (if any) with
+    /// the `--corrupt` rate folded in. With only `--corrupt`, a
+    /// crash/loss-free plan seeded from the corruption seed.
+    pub fn plan(&self) -> FaultPlan {
+        let base = match (&self.faults, self.corrupt) {
+            (Some(p), _) => p.clone(),
+            (None, Some((seed, _))) => FaultPlan::new(seed),
+            (None, None) => FaultPlan::default(),
+        };
+        match self.corrupt {
+            Some((_, rate)) => base.with_corrupt_rate(rate),
+            None => base,
+        }
     }
 }
 
@@ -246,8 +291,10 @@ pub fn run_figure(
 /// Shared CLI handling: `--max-nodes N`, `--steps S`, `--trace <path>`
 /// (write a Chrome trace of the simulated schedules),
 /// `--faults <seed>,<rate>` (run every model under seeded message loss
-/// at the given rate), and `--memo` (add the memoized-implicit
-/// ablation series).
+/// at the given rate), `--corrupt <seed>,<rate>` (silent payload
+/// corruption detected by checksums and repaired by retransmission,
+/// with a summary printed after the figure), and `--memo` (add the
+/// memoized-implicit ablation series).
 pub fn parse_args() -> FigureRunner {
     let mut runner = FigureRunner::default();
     let args: Vec<String> = std::env::args().collect();
@@ -279,6 +326,13 @@ pub fn parse_args() -> FigureRunner {
                     seed.trim().parse().expect("fault seed must be an integer"),
                     rate.trim().parse().expect("fault rate must be a float"),
                 ));
+                i += 2;
+            }
+            "--corrupt" => {
+                let spec = args.get(i + 1).expect("--corrupt <seed>,<rate>");
+                runner.corrupt = Some(parse_corrupt_spec(spec).unwrap_or_else(|| {
+                    panic!("--corrupt <seed>,<rate> with rate in [0,1] (got {spec:?})")
+                }));
                 i += 2;
             }
             other => panic!("unknown argument {other}"),
@@ -339,6 +393,43 @@ mod tests {
             "memo control cost {memo} vs implicit {imp}"
         );
         assert!(control_cost_table(&trace, 32, 4).contains("memo ctl µs/step"));
+    }
+
+    #[test]
+    fn corruption_flag_repairs_and_reports() {
+        let runner = FigureRunner {
+            max_nodes: 16,
+            steps: 3,
+            corrupt: Some((11, 0.05)),
+            ..Default::default()
+        };
+        let plan = runner.plan();
+        assert_eq!(plan.corrupt_rate, 0.05);
+        assert_eq!(plan.loss_rate, 0.0, "corrupt alone adds no loss");
+        // The sweep completes (the summary's injected==detected assert
+        // runs inside) and corruption slows the figure down slightly.
+        let series = runner.run(stencil_spec, &[]);
+        let clean = FigureRunner {
+            max_nodes: 16,
+            steps: 3,
+            ..Default::default()
+        }
+        .run(stencil_spec, &[]);
+        let eff = series[0].efficiency_at(16).unwrap();
+        let clean_eff = clean[0].efficiency_at(16).unwrap();
+        assert!(
+            eff <= clean_eff + 1e-9,
+            "repair retransmits cannot speed the run up: {eff} vs {clean_eff}"
+        );
+        // Composed with a loss plan, both rates survive.
+        let both = FigureRunner {
+            faults: Some(FaultPlan::from_seed_rate(7, 0.01)),
+            corrupt: Some((11, 0.05)),
+            ..Default::default()
+        }
+        .plan();
+        assert_eq!(both.loss_rate, 0.01);
+        assert_eq!(both.corrupt_rate, 0.05);
     }
 
     #[test]

@@ -17,9 +17,15 @@
 //!   every run regardless of thread or event interleaving.
 //! * **[`RetryPolicy`]** — per-copy timeout with exponential backoff,
 //!   the recovery half of the message-loss model.
+//! * **Silent data corruption** — seeded bit-flip injection into
+//!   resident instance buffers and in-flight exchange payloads
+//!   ([`FaultPlan::with_corrupt_rate`]), decided by pure hashes of the
+//!   message / epoch identity so that injection, detection, and repair
+//!   are reproducible and every SPMD shard reaches the same rollback
+//!   decision without communicating.
 //! * **[`FaultStats`]** — what actually happened (losses, retries,
-//!   crashes, replayed epochs), accumulated by the consumers and
-//!   surfaced in `SimResult` / bench output.
+//!   crashes, corruptions, replayed epochs), accumulated by the
+//!   consumers and surfaced in `SimResult` / bench output.
 //!
 //! Determinism is the whole point: the test suites assert that a run
 //! under an active fault plan is reproducible (same seed ⇒ same
@@ -118,6 +124,10 @@ pub struct FaultPlan {
     pub delay_rate: f64,
     /// Extra in-flight delay applied to delayed messages, seconds.
     pub delay_s: f64,
+    /// Probability of a silent bit flip: per delivery attempt for
+    /// exchange payloads ([`FaultPlan::payload_corruption`]), per epoch
+    /// for resident instances ([`FaultPlan::resident_corruption`]).
+    pub corrupt_rate: f64,
 }
 
 impl FaultPlan {
@@ -165,6 +175,12 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the silent-data-corruption rate.
+    pub fn with_corrupt_rate(mut self, rate: f64) -> Self {
+        self.corrupt_rate = rate;
+        self
+    }
+
     /// The `--faults <seed>,<rate>` plan of the figure binaries:
     /// message loss at `rate` with everything else clean.
     pub fn from_seed_rate(seed: u64, rate: f64) -> Self {
@@ -188,7 +204,14 @@ impl FaultPlan {
     /// seed to derive an injection plan so that plain test runs
     /// exercise the recovery paths in CI.
     pub fn seed_from_env() -> Option<u64> {
-        std::env::var("REGENT_FAULT_SEED").ok()?.parse().ok()
+        parse_seed(&std::env::var("REGENT_FAULT_SEED").ok()?)
+    }
+
+    /// Reads `REGENT_CORRUPT` (format `<seed>,<rate>`) from the
+    /// environment. Any malformed or out-of-range value falls back to
+    /// `None` — corruption injection is never half-enabled.
+    pub fn corrupt_from_env() -> Option<(u64, f64)> {
+        parse_corrupt_spec(&std::env::var("REGENT_CORRUPT").ok()?)
     }
 
     /// True when the plan can do anything at all.
@@ -197,6 +220,7 @@ impl FaultPlan {
             || self.loss_rate > 0.0
             || self.dup_rate > 0.0
             || self.delay_rate > 0.0
+            || self.corrupt_rate > 0.0
     }
 
     /// True when the plan schedules at least one crash.
@@ -261,6 +285,67 @@ impl FaultPlan {
             MessageFate::Deliver
         }
     }
+
+    /// Decides whether delivery attempt `attempt` of the exchange
+    /// payload identified by `key` (see [`message_key`]) suffers a
+    /// silent bit flip in flight. Returns the flip entropy when it
+    /// does. Pure function of `(seed, key, attempt)`: sender and
+    /// receiver — and a replayed epoch after rollback — all see the
+    /// same corruption stream. Salted separately from
+    /// [`FaultPlan::message_fate`] so corruption and loss decisions for
+    /// the same attempt are independent.
+    pub fn payload_corruption(&self, key: u64, attempt: u32) -> Option<u64> {
+        if self.corrupt_rate <= 0.0 {
+            return None;
+        }
+        let h = splitmix64(
+            self.seed ^ CORRUPT_PAYLOAD_SALT ^ splitmix64(key ^ ((attempt as u64) << 48)),
+        );
+        (unit_f64(h) < self.corrupt_rate).then(|| splitmix64(h))
+    }
+
+    /// Decides whether a resident instance is silently corrupted during
+    /// `epoch`: `Some((victim_shard, entropy))` when one is. Pure
+    /// function of `(seed, epoch, num_shards)`, so every shard in a
+    /// control-replicated run independently reaches the same rollback
+    /// decision — the victim flips a bit and detects the stale seal,
+    /// while its peers roll back in lockstep without any message.
+    pub fn resident_corruption(&self, epoch: u64, num_shards: usize) -> Option<(u32, u64)> {
+        if self.corrupt_rate <= 0.0 || num_shards == 0 {
+            return None;
+        }
+        let h = splitmix64(self.seed ^ CORRUPT_RESIDENT_SALT ^ splitmix64(epoch));
+        if unit_f64(h) < self.corrupt_rate {
+            let h2 = splitmix64(h);
+            Some(((h2 % num_shards as u64) as u32, splitmix64(h2)))
+        } else {
+            None
+        }
+    }
+}
+
+/// Domain-separation salt for in-flight payload corruption decisions.
+const CORRUPT_PAYLOAD_SALT: u64 = 0x5DEE_CE66_D10C_E1A5;
+/// Domain-separation salt for resident-instance corruption decisions.
+const CORRUPT_RESIDENT_SALT: u64 = 0x27BB_2EE6_87B0_B0FD;
+
+/// Parses a `REGENT_FAULT_SEED`-style value: a bare unsigned integer,
+/// surrounding whitespace tolerated. `None` on anything else (empty,
+/// signed, non-numeric, overflow) — callers fall back to a fault-free
+/// run instead of panicking.
+pub fn parse_seed(s: &str) -> Option<u64> {
+    s.trim().parse().ok()
+}
+
+/// Parses a `REGENT_CORRUPT` / `--corrupt` spec: `<seed>,<rate>` where
+/// `seed` is an unsigned integer and `rate` a probability in
+/// `[0.0, 1.0]`. Rejects (returns `None`) on a missing comma, empty or
+/// malformed components, non-finite rates, and rates outside `[0, 1]`.
+pub fn parse_corrupt_spec(s: &str) -> Option<(u64, f64)> {
+    let (seed, rate) = s.split_once(',')?;
+    let seed = parse_seed(seed)?;
+    let rate: f64 = rate.trim().parse().ok()?;
+    (rate.is_finite() && (0.0..=1.0).contains(&rate)).then_some((seed, rate))
 }
 
 /// Stable identity of a simulated or real message, for
@@ -289,6 +374,15 @@ pub struct FaultStats {
     pub total_backoff_s: f64,
     /// Crashes injected.
     pub crashes: u64,
+    /// Silent bit flips injected (payload or resident).
+    pub corruptions_injected: u64,
+    /// Checksum mismatches detected at a verification point.
+    pub corruptions_detected: u64,
+    /// Corruptions repaired locally (payload retransmit).
+    pub corruptions_repaired: u64,
+    /// Corruptions escalated to coordinated checkpoint rollback
+    /// (resident) or reported as a failed run (retry exhaustion).
+    pub corruptions_escalated: u64,
     /// Epochs / time steps re-executed during recovery.
     pub epochs_replayed: u64,
     /// Time spent in recovery (detection + state re-distribution),
@@ -306,6 +400,10 @@ impl FaultStats {
         self.forced_deliveries += o.forced_deliveries;
         self.total_backoff_s += o.total_backoff_s;
         self.crashes += o.crashes;
+        self.corruptions_injected += o.corruptions_injected;
+        self.corruptions_detected += o.corruptions_detected;
+        self.corruptions_repaired += o.corruptions_repaired;
+        self.corruptions_escalated += o.corruptions_escalated;
         self.epochs_replayed += o.epochs_replayed;
         self.recovery_time_s += o.recovery_time_s;
     }
@@ -433,6 +531,143 @@ mod tests {
         assert_eq!(p.message_fate(123, 0), MessageFate::Deliver);
         assert_eq!(p.slowdown_factor(0, 5.0), 1.0);
         assert!(p.crash_schedule().is_empty());
+    }
+
+    /// Satellite: golden determinism. The seeded streams are pure
+    /// integer arithmetic and must produce byte-identical schedules on
+    /// every platform; these committed values catch any drift in the
+    /// SplitMix64 mixing or the fate thresholds.
+    #[test]
+    fn golden_crash_schedules() {
+        let golden: &[(u64, u32, u64)] = &[
+            (0, 0, 4),
+            (1, 1, 3),
+            (7, 1, 4),
+            (42, 3, 2),
+            (12345, 2, 3),
+            (u64::MAX, 0, 3),
+        ];
+        for &(seed, shard, epoch) in golden {
+            let sched = FaultPlan::seeded_crash(seed, 4, 4).crash_schedule();
+            assert_eq!(
+                sched,
+                vec![(shard, epoch)],
+                "seeded_crash({seed}, 4, 4) drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn golden_message_fates() {
+        use MessageFate::{Delay, Deliver, Duplicate, Lose};
+        let p = FaultPlan::new(7)
+            .with_loss_rate(0.3)
+            .with_dup_rate(0.2)
+            .with_delay(0.1, 1e-6);
+        let fates: Vec<MessageFate> = (0..8u64)
+            .flat_map(|k| (0..2u32).map(move |a| (k, a)))
+            .map(|(k, a)| p.message_fate(message_key(1, k, a as u64, 0), a))
+            .collect();
+        let golden = vec![
+            Deliver, Deliver, Duplicate, Duplicate, Deliver, Lose, Deliver, Delay, Duplicate,
+            Delay, Deliver, Deliver, Delay, Deliver, Lose, Duplicate,
+        ];
+        assert_eq!(fates, golden, "seeded fate stream drifted");
+    }
+
+    #[test]
+    fn golden_corruption_stream() {
+        let p = FaultPlan::new(11).with_corrupt_rate(0.25);
+        let hits: Vec<u32> = (0..32u64)
+            .filter(|&k| p.payload_corruption(message_key(2, k, 0, 0), 0).is_some())
+            .map(|k| k as u32)
+            .collect();
+        assert_eq!(
+            hits,
+            vec![10, 18, 23, 28],
+            "payload corruption stream drifted"
+        );
+        let residents: Vec<(u64, u32)> = (0..32u64)
+            .filter_map(|e| p.resident_corruption(e, 4).map(|(s, _)| (e, s)))
+            .collect();
+        assert_eq!(
+            residents,
+            vec![(1, 2), (19, 0), (24, 1), (28, 1)],
+            "resident corruption stream drifted"
+        );
+    }
+
+    #[test]
+    fn payload_corruption_is_pure_and_rerolls() {
+        let p = FaultPlan::new(5).with_corrupt_rate(0.5);
+        let mut hit = 0;
+        let mut recovered = 0;
+        for k in 0..1000u64 {
+            assert_eq!(p.payload_corruption(k, 0), p.payload_corruption(k, 0));
+            if p.payload_corruption(k, 0).is_some() {
+                hit += 1;
+                if p.payload_corruption(k, 1).is_none() {
+                    recovered += 1;
+                }
+            }
+        }
+        assert!((400..600).contains(&hit), "rate not honored: {hit}");
+        assert!(recovered > 100, "retransmits never come back clean");
+        // Corruption is independent of the loss fate for the same key.
+        let q = p.clone().with_loss_rate(0.5);
+        assert_eq!(p.payload_corruption(77, 0), q.payload_corruption(77, 0));
+    }
+
+    #[test]
+    fn resident_corruption_bounds() {
+        let p = FaultPlan::new(9).with_corrupt_rate(1.0);
+        for e in 0..50 {
+            let (shard, _) = p.resident_corruption(e, 3).expect("rate 1.0 always fires");
+            assert!(shard < 3);
+        }
+        assert_eq!(
+            p.resident_corruption(0, 0),
+            None,
+            "zero shards must not panic"
+        );
+        let clean = FaultPlan::new(9);
+        assert_eq!(clean.resident_corruption(5, 3), None);
+        assert_eq!(clean.payload_corruption(5, 0), None);
+        assert!(p.is_active(), "corrupt rate alone activates the plan");
+    }
+
+    /// Satellite: env-spec parsing must fall back cleanly, never panic.
+    #[test]
+    fn parse_seed_edge_cases() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed(" 42\n"), Some(42));
+        assert_eq!(parse_seed(&u64::MAX.to_string()), Some(u64::MAX));
+        for bad in ["", " ", "abc", "-1", "1.5", "0x10", "18446744073709551616"] {
+            assert_eq!(parse_seed(bad), None, "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn parse_corrupt_spec_edge_cases() {
+        assert_eq!(parse_corrupt_spec("7,0.01"), Some((7, 0.01)));
+        assert_eq!(parse_corrupt_spec("0,0"), Some((0, 0.0)));
+        assert_eq!(parse_corrupt_spec(" 3 , 1.0 "), Some((3, 1.0)));
+        for bad in [
+            "", ",", "7", "7,", ",0.5", "abc,0.5", "7,abc", "7,-0.1", "7,1.5", "7,NaN", "7,inf",
+            "-1,0.5", "7,0.5,9",
+        ] {
+            assert_eq!(parse_corrupt_spec(bad), None, "{bad:?} should be rejected");
+        }
+    }
+
+    /// Zero-shard machines must produce a degenerate but valid plan.
+    #[test]
+    fn seeded_crash_zero_shards() {
+        let p = FaultPlan::seeded_crash(1, 0, 0);
+        let sched = p.crash_schedule();
+        assert_eq!(sched.len(), 1);
+        assert_eq!(sched[0].0, 0, "zero shards clamps to shard 0");
+        assert!(sched[0].1 >= 1);
     }
 
     #[test]

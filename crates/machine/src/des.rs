@@ -81,6 +81,13 @@ pub struct SimResult {
     pub busy_time: Vec<f64>,
     /// What the fault plan actually did (all-zero without one).
     pub faults: FaultStats,
+    /// True when the run completed only because some message was
+    /// forced through after exhausting [`RetryPolicy::max_attempts`]
+    /// (persistent loss) or delivered corrupt with the retry budget
+    /// spent. The makespan is still well-defined — the retry loop is
+    /// bounded, so even a 100% loss or corruption rate terminates —
+    /// but a real transport would have reported the run failed.
+    pub failed: bool,
 }
 
 #[derive(PartialEq)]
@@ -143,8 +150,12 @@ impl Sim {
 
     /// Arms a fault plan: slowdown windows stretch service times,
     /// and `Copy`-tagged tasks are subject to seeded loss (timeout +
-    /// exponential-backoff retransmit under `retry`), duplication, and
-    /// delay. Without this call the simulation is perfectly reliable.
+    /// exponential-backoff retransmit under `retry`), duplication,
+    /// delay, and — when the plan has a
+    /// [`corrupt rate`](FaultPlan::with_corrupt_rate) — silent payload
+    /// corruption detected by the receiver's checksum and repaired by
+    /// retransmission under the same bounded attempt budget. Without
+    /// this call the simulation is perfectly reliable.
     pub fn set_faults(&mut self, plan: FaultPlan, retry: RetryPolicy) {
         self.faults = Some((plan, retry));
     }
@@ -235,6 +246,9 @@ impl Sim {
         let faults = self.faults.take();
         let mut fstats = FaultStats::default();
         let mut attempts: Vec<u32> = vec![0; n];
+        // Per-task count of corrupt deliveries so far, to credit one
+        // `corruptions_repaired` when a clean copy finally lands.
+        let mut corrupt_tries: Vec<u32> = vec![0; n];
         let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
         let mut seq = 0u64;
         // Stable same-time ordering: tagged tasks order by their tag
@@ -350,6 +364,36 @@ impl Sim {
                                 }
                                 MessageFate::Deliver => {}
                             }
+                            // Independently of the transport fate, the
+                            // payload of a delivered message may arrive
+                            // bit-flipped; the receiver detects the
+                            // checksum mismatch and asks for a
+                            // retransmission. Corrupt retransmits share
+                            // the loss retries' attempt budget (so a
+                            // 100% corruption rate still terminates) but
+                            // are counted separately — they are repairs,
+                            // not losses.
+                            if plan
+                                .payload_corruption(self.keys[tid.0 as usize], att)
+                                .is_some()
+                            {
+                                fstats.corruptions_injected += 1;
+                                fstats.corruptions_detected += 1;
+                                if att < retry.max_attempts {
+                                    let backoff = retry.backoff_delay(att);
+                                    fstats.total_backoff_s += backoff;
+                                    attempts[tid.0 as usize] = att + 1;
+                                    corrupt_tries[tid.0 as usize] += 1;
+                                    push(&mut heap, &mut seq, now + backoff, EventKind::Ready(tid));
+                                    continue;
+                                }
+                                // Out of retries: accept the corrupted
+                                // payload so the run terminates, and
+                                // escalate — the result reports failure.
+                                fstats.corruptions_escalated += 1;
+                            } else if corrupt_tries[tid.0 as usize] > 0 {
+                                fstats.corruptions_repaired += 1;
+                            }
                         }
                     }
                     if delay == 0.0 {
@@ -376,11 +420,13 @@ impl Sim {
             completed, n,
             "simulation deadlocked: dependence graph is cyclic"
         );
+        let failed = fstats.forced_deliveries > 0 || fstats.corruptions_escalated > 0;
         SimResult {
             makespan,
             finish_times: finish,
             busy_time,
             faults: fstats,
+            failed,
         }
     }
 }
@@ -598,6 +644,68 @@ mod tests {
         assert!(res.faults.total_backoff_s > 0.0);
         // Every copy completed despite losses, and retransmissions
         // made the run strictly slower than the fault-free one.
+        assert!(res.finish_times.iter().all(|t| !t.is_nan()));
+        assert!(!res.failed, "no retry budget exhausted at rate 0.4");
+    }
+
+    #[test]
+    fn total_loss_terminates_bounded_and_reports_failure() {
+        // Loss rate 1.0: every transmission is lost. The retry loop
+        // must stop at `max_attempts` per message and force the
+        // delivery — reporting a failed run — instead of livelocking.
+        let retry = RetryPolicy::default();
+        let mut sim = Sim::new();
+        let nic = sim.add_resource(1);
+        for i in 0..4 {
+            let c = sim.add_task(nic, 1e-6);
+            sim.tag(c, SimKind::Copy, 0, i);
+        }
+        sim.set_faults(FaultPlan::new(3).with_loss_rate(1.0), retry);
+        let res = sim.run();
+        assert!(res.failed, "exhausted retries must mark the run failed");
+        assert_eq!(res.faults.forced_deliveries, 4);
+        assert_eq!(res.faults.retries, 4 * retry.max_attempts as u64);
+        assert_eq!(res.faults.retries, res.faults.messages_lost);
+        assert!(res.finish_times.iter().all(|t| !t.is_nan()));
+        assert!(res.makespan.is_finite());
+    }
+
+    #[test]
+    fn corrupt_copies_retransmit_and_repair() {
+        let build = |rate: f64| {
+            let mut sim = Sim::new();
+            let nic = sim.add_resource(2);
+            for i in 0..60 {
+                let c = sim.add_task_delayed(nic, 1e-6, 1e-6);
+                sim.tag(c, SimKind::Copy, 0, i);
+            }
+            sim.set_faults(
+                FaultPlan::new(9).with_corrupt_rate(rate),
+                RetryPolicy::default(),
+            );
+            sim.run()
+        };
+        let res = build(0.3);
+        assert!(res.faults.corruptions_injected > 5, "{:?}", res.faults);
+        assert_eq!(
+            res.faults.corruptions_injected,
+            res.faults.corruptions_detected
+        );
+        assert_eq!(
+            res.faults.corruptions_escalated, 0,
+            "rate 0.3 never exhausts the retry budget"
+        );
+        assert!(res.faults.corruptions_repaired > 0);
+        // Corruption retransmits never masquerade as losses.
+        assert_eq!(res.faults.messages_lost, 0);
+        assert_eq!(res.faults.retries, 0);
+        assert!(!res.failed);
+        // Rate 1.0: every attempt is corrupt; each copy burns its
+        // budget, escalates, and the run reports failure — bounded.
+        let res = build(1.0);
+        assert!(res.failed);
+        assert_eq!(res.faults.corruptions_escalated, 60);
+        assert_eq!(res.faults.corruptions_repaired, 0);
         assert!(res.finish_times.iter().all(|t| !t.is_nan()));
     }
 

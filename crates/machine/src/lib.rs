@@ -30,7 +30,7 @@ pub use metrics::{
     format_resilience_table, format_table, node_counts_to, trace_series, ScalePoint, ScalingSeries,
 };
 pub use model::{CopyEdge, MachineConfig, PhaseSpec, TimestepSpec};
-pub use regent_fault::{FaultPlan, FaultStats, RetryPolicy};
+pub use regent_fault::{parse_corrupt_spec, FaultPlan, FaultStats, RetryPolicy};
 pub use scenario::{
     simulate_cr, simulate_cr_faulted, simulate_cr_resilient, simulate_cr_resilient_traced,
     simulate_cr_traced, simulate_implicit, simulate_implicit_faulted, simulate_implicit_memo,

@@ -1,0 +1,53 @@
+//! FNV-1a checksums over 64-bit words.
+//!
+//! The integrity layer frames every physical instance and every SPMD
+//! exchange payload with a checksum so that silent bit flips are caught
+//! at the dataflow boundaries where the compiler inserts copies and
+//! synchronization (§3.4, §4). FNV-1a over the raw bit patterns is
+//! cheap (one xor-multiply per word), dependency-free, and — because it
+//! hashes `to_bits()` rather than values — distinguishes every distinct
+//! f64 representation, including NaN payloads and signed zeros, which
+//! is exactly the bit-identity the differential harness demands.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one 64-bit word into a running FNV-1a hash.
+#[inline]
+pub fn fnv1a_mix(h: u64, word: u64) -> u64 {
+    (h ^ word).wrapping_mul(FNV_PRIME)
+}
+
+/// FNV-1a hash of a word stream.
+pub fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    words.into_iter().fold(FNV_OFFSET, fnv1a_mix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        let a = fnv1a([1u64, 2, 3]);
+        assert_eq!(a, fnv1a([1u64, 2, 3]));
+        assert_ne!(a, fnv1a([1u64, 2, 4]));
+        assert_ne!(a, fnv1a([2u64, 1, 3]), "order matters");
+        assert_ne!(fnv1a([]), fnv1a([0u64]), "length matters");
+    }
+
+    #[test]
+    fn single_bit_flip_changes_hash() {
+        let words = [0x1234_5678_9abc_def0u64, 42, u64::MAX];
+        let base = fnv1a(words);
+        for i in 0..words.len() {
+            for bit in [0u32, 31, 63] {
+                let mut w = words;
+                w[i] ^= 1u64 << bit;
+                assert_ne!(base, fnv1a(w), "flip word {i} bit {bit} undetected");
+            }
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! one instance per subregion per shard and moves data with
 //! [`copy_fields`] / [`reduce_fields`].
 
+use crate::checksum::{fnv1a_mix, FNV_OFFSET};
 use crate::field::{FieldId, FieldSpace, FieldType};
 use regent_geometry::{Domain, DynPoint, DynRect};
 
@@ -151,11 +152,20 @@ impl ReductionOp {
 }
 
 /// Concrete storage for one domain × one field space.
+///
+/// Instances optionally carry an FNV-1a **seal**: a checksum of every
+/// column's bit contents, taken at a quiescent point (task completion,
+/// copy application). Any mutation through the public API invalidates
+/// the seal; the integrity layer re-seals at its write-completion
+/// points and verifies seals at epoch boundaries to detect silent data
+/// corruption. Unsealed instances (`seal_value() == None`) verify
+/// trivially, so the checksum machinery costs nothing unless enabled.
 #[derive(Clone, Debug)]
 pub struct Instance {
     domain: Domain,
     indexer: DomainIndexer,
     columns: Vec<ColumnData>,
+    seal: Option<u64>,
 }
 
 impl Instance {
@@ -171,6 +181,7 @@ impl Instance {
             domain,
             indexer,
             columns,
+            seal: None,
         }
     }
 
@@ -223,8 +234,71 @@ impl Instance {
         }
     }
 
+    /// FNV-1a checksum of every column's bit contents (column order,
+    /// then storage order, with a type/length header per column).
+    pub fn checksum(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for col in &self.columns {
+            h = match col {
+                ColumnData::F64(v) => {
+                    h = fnv1a_mix(h, v.len() as u64);
+                    v.iter().fold(h, |h, x| fnv1a_mix(h, x.to_bits()))
+                }
+                ColumnData::I64(v) => {
+                    h = fnv1a_mix(h, !(v.len() as u64));
+                    v.iter().fold(h, |h, x| fnv1a_mix(h, *x as u64))
+                }
+            };
+        }
+        h
+    }
+
+    /// Seals the instance: records the current checksum as the expected
+    /// content hash. Called at write-completion points (task finish,
+    /// copy apply) by the integrity layer.
+    pub fn seal(&mut self) {
+        self.seal = Some(self.checksum());
+    }
+
+    /// The recorded seal, if any. `None` means unsealed — either the
+    /// integrity layer is off or a write invalidated the seal and the
+    /// re-seal point has not been reached yet.
+    pub fn seal_value(&self) -> Option<u64> {
+        self.seal
+    }
+
+    /// Verifies the seal against the current contents. Unsealed
+    /// instances verify trivially; a sealed instance fails only when
+    /// its bits changed *without* going through the mutation API —
+    /// i.e. silent data corruption.
+    pub fn verify_seal(&self) -> bool {
+        self.seal.is_none_or(|s| s == self.checksum())
+    }
+
+    /// Flips one bit of one element, chosen from `entropy`, **without**
+    /// invalidating the seal — the fault injector's model of silent
+    /// in-memory corruption (a stale seal is exactly what detection
+    /// looks for). Returns `false` when the instance has no storage to
+    /// corrupt.
+    pub fn corrupt_bit_silently(&mut self, entropy: u64) -> bool {
+        let len = self.indexer.len() as usize;
+        let ncols = self.columns.len();
+        if len == 0 || ncols == 0 {
+            return false;
+        }
+        let slot = (entropy % (len as u64 * ncols as u64)) as usize;
+        let (c, i) = (slot / len, slot % len);
+        let bit = ((entropy >> 40) % 64) as u32;
+        match &mut self.columns[c] {
+            ColumnData::F64(v) => v[i] = f64::from_bits(v[i].to_bits() ^ (1u64 << bit)),
+            ColumnData::I64(v) => v[i] ^= 1i64 << bit,
+        }
+        true
+    }
+
     /// Mutable f64 column for `field`.
     pub fn f64_col_mut(&mut self, field: FieldId) -> &mut [f64] {
+        self.seal = None;
         match &mut self.columns[field.0 as usize] {
             ColumnData::F64(v) => v,
             _ => panic!("field {field:?} is not F64"),
@@ -241,6 +315,7 @@ impl Instance {
 
     /// Mutable i64 column for `field`.
     pub fn i64_col_mut(&mut self, field: FieldId) -> &mut [i64] {
+        self.seal = None;
         match &mut self.columns[field.0 as usize] {
             ColumnData::I64(v) => v,
             _ => panic!("field {field:?} is not I64"),
@@ -290,6 +365,7 @@ impl Instance {
     /// Fills one field's entire column with a constant (used to reset
     /// reduction temporaries to the operator identity, §4.3).
     pub fn fill_field(&mut self, field: FieldId, op: ReductionOp) {
+        self.seal = None;
         match &mut self.columns[field.0 as usize] {
             ColumnData::F64(v) => v.fill(op.identity()),
             ColumnData::I64(v) => v.fill(op.identity_i64()),
@@ -314,6 +390,7 @@ impl Instance {
 ///
 /// `elements` must be a subset of both instance domains.
 pub fn copy_fields(src: &Instance, dst: &mut Instance, fields: &[FieldId], elements: &Domain) {
+    dst.seal = None;
     for p in elements.iter() {
         let so = src
             .indexer
@@ -342,6 +419,7 @@ pub fn reduce_fields(
     elements: &Domain,
     op: ReductionOp,
 ) {
+    dst.seal = None;
     for p in elements.iter() {
         let so = src
             .indexer
@@ -467,6 +545,68 @@ mod tests {
         assert_eq!(ReductionOp::Mul.fold(ReductionOp::Mul.identity(), 4.0), 4.0);
         assert_eq!(ReductionOp::Add.identity_i64(), 0);
         assert_eq!(ReductionOp::Min.identity_i64(), i64::MAX);
+    }
+
+    #[test]
+    fn seal_lifecycle() {
+        let fields = fs();
+        let x = fields.lookup("x").unwrap();
+        let ptr = fields.lookup("ptr").unwrap();
+        let mut inst = Instance::new(Domain::range(8), &fields);
+        // Unsealed instances verify trivially.
+        assert_eq!(inst.seal_value(), None);
+        assert!(inst.verify_seal());
+        inst.seal();
+        assert!(inst.seal_value().is_some());
+        assert!(inst.verify_seal());
+        // Every mutation path invalidates the seal.
+        inst.write_f64(x, DynPoint::from(0), 1.0);
+        assert_eq!(inst.seal_value(), None);
+        inst.seal();
+        inst.write_i64(ptr, DynPoint::from(1), 2);
+        assert_eq!(inst.seal_value(), None);
+        inst.seal();
+        inst.fill_field(x, ReductionOp::Add);
+        assert_eq!(inst.seal_value(), None);
+        inst.seal();
+        inst.reduce_f64(x, DynPoint::from(2), ReductionOp::Add, 3.0);
+        assert_eq!(inst.seal_value(), None);
+        inst.seal();
+        let other = Instance::new(Domain::range(8), &fields);
+        copy_fields(&other, &mut inst, &[x], &Domain::range(8));
+        assert_eq!(inst.seal_value(), None);
+        inst.seal();
+        reduce_fields(&other, &mut inst, &[x], &Domain::range(8), ReductionOp::Add);
+        assert_eq!(inst.seal_value(), None);
+        // Clones carry the seal (snapshots stay verified).
+        inst.seal();
+        let clone = inst.clone();
+        assert_eq!(clone.seal_value(), inst.seal_value());
+        assert!(clone.verify_seal());
+    }
+
+    #[test]
+    fn silent_corruption_breaks_seal() {
+        let fields = fs();
+        let x = fields.lookup("x").unwrap();
+        let mut inst = Instance::new(Domain::range(16), &fields);
+        for p in Domain::range(16).iter() {
+            inst.write_f64(x, p, p.coord(0) as f64);
+        }
+        inst.seal();
+        let before = inst.checksum();
+        for entropy in [0u64, 0x1234_5678_9abc_def0, u64::MAX, 7 << 40] {
+            let mut victim = inst.clone();
+            assert!(victim.corrupt_bit_silently(entropy));
+            // The seal survives the silent flip but no longer matches.
+            assert_eq!(victim.seal_value(), Some(before));
+            assert!(!victim.verify_seal(), "entropy {entropy:#x} undetected");
+        }
+        // Empty instances have nothing to corrupt.
+        let mut empty = Instance::new(Domain::from_ids([]), &fields);
+        assert!(!empty.corrupt_bit_silently(42));
+        empty.seal();
+        assert!(empty.verify_seal());
     }
 
     #[test]

@@ -15,10 +15,13 @@
 //! * [`intersect`] — dynamic shallow/complete region intersections
 //!   (§3.3), accelerated by an [`interval`] tree (unstructured) and a
 //!   [`bvh`] (structured).
+//! * [`checksum`] — FNV-1a hashing used by the integrity layer to seal
+//!   instances and frame exchange payloads.
 
 #![warn(missing_docs)]
 
 pub mod bvh;
+pub mod checksum;
 pub mod field;
 pub mod forest;
 pub mod hierarchy;
@@ -27,6 +30,7 @@ pub mod intersect;
 pub mod interval;
 pub mod ops;
 
+pub use checksum::{fnv1a, fnv1a_mix};
 pub use field::{FieldDef, FieldId, FieldSpace, FieldType};
 pub use forest::{Color, Disjointness, PartitionId, RegionForest, RegionId};
 pub use hierarchy::{private_ghost_split, PrivateGhost};

@@ -13,9 +13,43 @@
 //! variants) so callers can record synchronization events the trace
 //! validator can correlate across shard event logs.
 
-use regent_region::ReductionOp;
+use regent_region::{fnv1a, ReductionOp};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
+
+/// A checksum-framed collective contribution: the scalar's bit pattern
+/// plus an FNV-1a checksum computed by the producer *before* the value
+/// entered the (corruptible) transport. The integrity layer verifies
+/// the frame on acceptance into the collective, so a silently flipped
+/// contribution never reaches the fold.
+#[derive(Clone, Copy, Debug)]
+pub struct FramedScalar {
+    /// The contribution's `f64::to_bits` pattern.
+    pub bits: u64,
+    /// FNV-1a checksum of `bits` at production time.
+    pub checksum: u64,
+}
+
+impl FramedScalar {
+    /// Frames `value` with a fresh checksum.
+    pub fn new(value: f64) -> Self {
+        let bits = value.to_bits();
+        FramedScalar {
+            bits,
+            checksum: fnv1a([bits]),
+        }
+    }
+
+    /// True when the payload still matches its checksum.
+    pub fn verify(&self) -> bool {
+        fnv1a([self.bits]) == self.checksum
+    }
+
+    /// The carried scalar.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits)
+    }
+}
 
 /// How long a blocking wait (barrier, collective, copy receive) may
 /// stall before the executor declares a likely deadlock and panics
@@ -126,6 +160,41 @@ impl DynamicCollective {
             }
         }
         (st.result, my_gen)
+    }
+
+    /// Checksum-verified contribution: `make_frame(attempt)` produces
+    /// the framed payload for each delivery attempt (the fault injector
+    /// may corrupt individual attempts); the frame is verified *before*
+    /// acceptance into the fold and re-produced on mismatch, up to
+    /// `max_attempts`. Returns the fold result, the generation, and the
+    /// number of corrupted attempts absorbed.
+    ///
+    /// # Panics
+    /// When `max_attempts` consecutive frames fail verification — at
+    /// that point the contribution is unrecoverable and the run must
+    /// fail rather than fold a corrupted scalar.
+    pub fn reduce_framed(
+        &self,
+        shard: usize,
+        op: ReductionOp,
+        max_attempts: u32,
+        mut make_frame: impl FnMut(u32) -> FramedScalar,
+    ) -> (f64, u64, u32) {
+        let mut attempt = 0;
+        loop {
+            let frame = make_frame(attempt);
+            if frame.verify() {
+                let (result, generation) = self.reduce_counted(shard, frame.value(), op);
+                return (result, generation, attempt);
+            }
+            attempt += 1;
+            if attempt >= max_attempts {
+                panic!(
+                    "unrecoverable collective corruption: shard {shard} produced \
+                     {max_attempts} corrupted contributions in a row"
+                );
+            }
+        }
     }
 }
 
@@ -255,6 +324,48 @@ mod tests {
                 assert_eq!(r, (30 + round) as f64);
             }
         }
+    }
+
+    #[test]
+    fn framed_reduce_retries_corrupt_frames() {
+        let n = 3;
+        let c = Arc::new(DynamicCollective::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|s| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    c.reduce_framed(s, ReductionOp::Add, 10, |attempt| {
+                        let mut f = FramedScalar::new((s + 1) as f64);
+                        // Shard 1's first two attempts arrive corrupted.
+                        if s == 1 && attempt < 2 {
+                            f.bits ^= 1 << 17;
+                        }
+                        f
+                    })
+                })
+            })
+            .collect();
+        for (s, h) in handles.into_iter().enumerate() {
+            let (result, generation, bad) = h.join().unwrap();
+            assert_eq!(result, 6.0);
+            assert_eq!(generation, 0);
+            assert_eq!(bad, if s == 1 { 2 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn framed_reduce_exhaustion_panics() {
+        let c = DynamicCollective::new(1);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.reduce_framed(0, ReductionOp::Add, 3, |_| {
+                let mut f = FramedScalar::new(1.0);
+                f.bits ^= 1;
+                f
+            })
+        }))
+        .expect_err("all-corrupt frames must fail the run");
+        let msg = panic_msg(err);
+        assert!(msg.contains("unrecoverable collective corruption"), "{msg}");
     }
 
     #[test]

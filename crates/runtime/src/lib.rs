@@ -40,7 +40,7 @@ pub mod memo;
 pub mod plan;
 pub mod spmd_exec;
 
-pub use collective::{hang_timeout, DynamicCollective, ShardBarrier};
+pub use collective::{hang_timeout, DynamicCollective, FramedScalar, ShardBarrier};
 pub use hybrid_exec::{execute_hybrid, execute_hybrid_traced, HybridRunResult};
 pub use implicit::{execute_implicit, ImplicitOptions, ImplicitStats};
 pub use mapper::{DefaultMapper, Mapper, SingleWorkerMapper, TaskKindMapper};

@@ -41,20 +41,66 @@
 //! (`launch_seq`, copy occurrences) are *not* rolled back, so replayed
 //! work gets fresh identities and the Spy validator certifies the
 //! recovered trace like any other.
+//!
+//! ## Integrity (silent-data-corruption detection and repair)
+//!
+//! With [`ResilienceOptions::integrity`] (or any nonzero
+//! `FaultPlan::corrupt_rate`) the executor becomes end-to-end
+//! checksummed. Every physical instance carries an FNV-1a *seal*,
+//! established after allocation and re-established at each point where
+//! the protocol makes its contents authoritative: task completion (for
+//! every argument held with a mutating privilege), copy application,
+//! and reduction-temp reset. Every exchange payload travels as a
+//! checksummed frame and every collective contribution as a
+//! [`FramedScalar`]; both are verified *on receipt*, before the data
+//! can contaminate the fold or the destination instance.
+//!
+//! Repair is localized when redundancy exists and escalates when it
+//! does not:
+//!
+//! * **Exchange / collective frames** — the producer still holds the
+//!   clean payload, so the consumer simply keeps receiving until a
+//!   frame verifies. Because the corruption predicate is pure and
+//!   seeded (`FaultPlan::payload_corruption`), the producer *knows*
+//!   which transmissions arrive corrupted and proactively retransmits
+//!   — no acknowledgement channel is needed. Retransmissions are
+//!   bounded by [`RetryPolicy::max_attempts`]; exhaustion is
+//!   unrecoverable and fail-stops the run.
+//! * **Resident instances** — no peer holds a redundant copy of a
+//!   shard's owned data, so the checkpoint is the redundancy: a seal
+//!   mismatch found by the epoch-boundary verification sweep escalates
+//!   to the coordinated rollback above (and invalidates any cached
+//!   epoch templates, whose captured schedules came from the undone
+//!   epochs). The decision is replicated — every shard evaluates the
+//!   same `FaultPlan::resident_corruption` predicate — so recovery
+//!   stays coordination-free.
+//!
+//! Detection, repair, and escalation are visible as `CorruptDetected`
+//! / `CorruptRepaired` / `CorruptEscalated` trace events, summarized
+//! by `regent_trace::integrity_summary` and certified by the Spy
+//! validator's unrepaired-corruption check. Recovered results remain
+//! bit-identical to a fault-free run.
 
-use crate::collective::{hang_timeout, DynamicCollective, ShardBarrier};
+use crate::collective::{hang_timeout, DynamicCollective, FramedScalar, ShardBarrier};
+use crate::memo::MemoCache;
 use crate::plan::{build_exchange_plan, ExchangePlan, InstKey, PairPlan, SetupStats};
 use regent_cr::spmd::block_range;
 use regent_cr::{CopyId, CopyStmt, SpmdArg, SpmdLaunch, SpmdProgram, SpmdStmt, TempId, UseBase};
-use regent_fault::FaultPlan;
+use regent_fault::{message_key, FaultPlan, RetryPolicy};
 use regent_geometry::{Domain, DynPoint};
-use regent_ir::{ArgSlot, Store, TaskCtx};
+use regent_ir::{ArgSlot, Privilege, Store, TaskCtx};
+use regent_region::checksum::{fnv1a_mix, FNV_OFFSET};
 use regent_region::{copy_fields, ColumnData, FieldId, Instance, ReductionOp, RegionId};
-use regent_trace::{fields_mask, EventKind, TraceBuf, Tracer};
+use regent_trace::{fields_mask, CorruptSite, EventKind, TraceBuf, Tracer};
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// [`message_key`] domain tag for exchange payload corruption ("EXCH").
+const EXCHANGE_TAG: u64 = 0x4558_4348;
+/// [`message_key`] domain tag for collective frame corruption ("COLL").
+const COLLECTIVE_TAG: u64 = 0x434F_4C4C;
 
 /// One field's payload within a copy message, in the canonical element
 /// order of the pair's intersection domain.
@@ -64,11 +110,77 @@ enum Chunk {
     I64(Vec<i64>),
 }
 
-/// A copy message from a producer shard to a consumer shard.
+/// A copy message from a producer shard to a consumer shard. Under the
+/// integrity protocol the payload is framed: `checksum` covers the
+/// *intended* chunks, so a frame corrupted in flight fails verification
+/// on receipt, and `attempt` numbers the retransmissions of one logical
+/// payload.
 struct CopyMsg {
     copy: CopyId,
     pair_seq: u32,
+    /// Retransmission number of this frame (0 = first transmission).
+    attempt: u32,
+    /// FNV-1a checksum of the uncorrupted payload; 0 (never verified)
+    /// when the integrity layer is off.
+    checksum: u64,
     chunks: Vec<Chunk>,
+}
+
+/// FNV-1a checksum of a copy payload: each chunk contributes a length
+/// header (complemented for i64 so the two column kinds can never
+/// alias) followed by its raw element bits.
+fn chunks_checksum(chunks: &[Chunk]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for ch in chunks {
+        match ch {
+            Chunk::F64(v) => {
+                h = fnv1a_mix(h, v.len() as u64);
+                for x in v {
+                    h = fnv1a_mix(h, x.to_bits());
+                }
+            }
+            Chunk::I64(v) => {
+                h = fnv1a_mix(h, !(v.len() as u64));
+                for x in v {
+                    h = fnv1a_mix(h, *x as u64);
+                }
+            }
+        }
+    }
+    h
+}
+
+/// Flips one entropy-selected bit in a copy payload — the in-flight
+/// corruption the receive-side checksum must catch. Returns `false`
+/// for an empty payload (nothing to corrupt).
+fn corrupt_chunks(chunks: &mut [Chunk], entropy: u64) -> bool {
+    let total: usize = chunks
+        .iter()
+        .map(|c| match c {
+            Chunk::F64(v) => v.len(),
+            Chunk::I64(v) => v.len(),
+        })
+        .sum();
+    if total == 0 {
+        return false;
+    }
+    let mut slot = (entropy % total as u64) as usize;
+    let bit = (entropy >> 40) % 64;
+    for ch in chunks {
+        let len = match ch {
+            Chunk::F64(v) => v.len(),
+            Chunk::I64(v) => v.len(),
+        };
+        if slot < len {
+            match ch {
+                Chunk::F64(v) => v[slot] = f64::from_bits(v[slot].to_bits() ^ (1u64 << bit)),
+                Chunk::I64(v) => v[slot] = (v[slot] as u64 ^ (1u64 << bit)) as i64,
+            }
+            return true;
+        }
+        slot -= len;
+    }
+    unreachable!("slot selection within total payload length")
 }
 
 /// Per-shard execution statistics.
@@ -96,6 +208,19 @@ pub struct ShardStats {
     pub restores: u64,
     /// Outermost-loop epochs re-executed because of rollbacks.
     pub epochs_replayed: u64,
+    /// Silent corruptions injected by the fault plan on this shard
+    /// (payload frames it sent corrupted plus resident bit flips it
+    /// suffered). Like `restores`, counted unconditionally — these are
+    /// resilience metrics, not useful-work metrics.
+    pub corruptions_injected: u64,
+    /// Checksum/seal verification failures detected by this shard.
+    pub corruptions_detected: u64,
+    /// Corrupted payloads repaired locally (a verified retransmission
+    /// arrived within the retry budget).
+    pub corruptions_repaired: u64,
+    /// Resident corruptions this shard suffered that escalated to a
+    /// coordinated rollback.
+    pub corruptions_escalated: u64,
 }
 
 impl ShardStats {
@@ -113,6 +238,10 @@ impl ShardStats {
         self.checkpoints += o.checkpoints;
         self.restores += o.restores;
         self.epochs_replayed += o.epochs_replayed;
+        self.corruptions_injected += o.corruptions_injected;
+        self.corruptions_detected += o.corruptions_detected;
+        self.corruptions_repaired += o.corruptions_repaired;
+        self.corruptions_escalated += o.corruptions_escalated;
     }
 }
 
@@ -125,21 +254,48 @@ pub struct ResilienceOptions {
     /// the mandatory epoch-0 snapshot, so every crash replays from the
     /// start of the loop).
     pub checkpoint_interval: u64,
-    /// The seeded fault plan; crashes fire at its scheduled epochs.
+    /// The seeded fault plan; crashes fire at its scheduled epochs and
+    /// its `corrupt_rate` drives silent-data-corruption injection.
     pub plan: FaultPlan,
+    /// Forces the integrity layer (instance seals, framed exchanges
+    /// and collectives, epoch-boundary verification sweeps) on even
+    /// when `plan.corrupt_rate` is zero — the configuration used to
+    /// measure the layer's fault-free overhead. A nonzero corruption
+    /// rate enables integrity regardless of this flag.
+    pub integrity: bool,
+    /// Epoch-memoization cache to invalidate when corruption repair
+    /// rolls region state back (captured templates embed schedule
+    /// state from the undone epochs); see
+    /// [`MemoCache::invalidate_for_repair`].
+    pub memo: Option<Arc<Mutex<MemoCache>>>,
 }
 
 impl ResilienceOptions {
-    /// Builds options from `REGENT_FAULT_SEED` when set: a seeded
-    /// single-crash plan over the program's shards with a short
-    /// checkpoint interval. This is the CI fault-smoke hook — because
-    /// recovery is bit-identical, the entire test suite must still
-    /// pass with the variable exported.
+    /// Builds options from the environment. `REGENT_FAULT_SEED` yields
+    /// a seeded single-crash plan; `REGENT_CORRUPT=<seed>,<rate>`
+    /// additionally (or on its own) arms silent-data-corruption
+    /// injection with the integrity layer. These are the CI
+    /// fault/corruption-smoke hooks — because recovery is
+    /// bit-identical, the entire test suite must still pass with
+    /// either variable exported.
     pub fn from_env(num_shards: usize) -> Option<ResilienceOptions> {
-        let seed = FaultPlan::seed_from_env()?;
+        let fault_seed = FaultPlan::seed_from_env();
+        let corrupt = FaultPlan::corrupt_from_env();
+        if fault_seed.is_none() && corrupt.is_none() {
+            return None;
+        }
+        let mut plan = match fault_seed {
+            Some(seed) => FaultPlan::seeded_crash(seed, num_shards, 4),
+            None => FaultPlan::new(corrupt.expect("one of the two is set").0),
+        };
+        if let Some((_, rate)) = corrupt {
+            plan = plan.with_corrupt_rate(rate);
+        }
         Some(ResilienceOptions {
             checkpoint_interval: 2,
-            plan: FaultPlan::seeded_crash(seed, num_shards, 4),
+            plan,
+            integrity: corrupt.is_some(),
+            memo: None,
         })
     }
 }
@@ -249,7 +405,11 @@ fn execute_spmd_inner(
     }
     let receivers: Vec<Vec<Receiver<CopyMsg>>> = rx_rows
         .into_iter()
-        .map(|row| row.into_iter().map(|o| o.unwrap()).collect())
+        .map(|row| {
+            row.into_iter()
+                .map(|o| o.expect("channel mesh construction left a receiver slot empty"))
+                .collect()
+        })
         .collect();
 
     let mut results: Vec<Option<(Vec<f64>, ShardStats, ShardData)>> =
@@ -276,11 +436,19 @@ fn execute_spmd_inner(
                     barrier,
                     collective,
                 };
+                let mut data = allocate_shard_data(spmd, shard, store_ref);
+                if resilience.is_some_and(|o| o.integrity || o.plan.corrupt_rate > 0.0) {
+                    // Initial seal: from here on every instance is
+                    // verified at each epoch boundary.
+                    for inst in data.insts.values_mut() {
+                        inst.seal();
+                    }
+                }
                 let mut shard_exec = ShardExec {
                     spmd,
                     plan,
                     shard,
-                    data: allocate_shard_data(spmd, shard, store_ref),
+                    data,
                     env: init_env.clone(),
                     tx: tx_row,
                     rx: rx_row,
@@ -293,6 +461,7 @@ fn execute_spmd_inner(
                     launch_seq: 0,
                     loop_depth: 0,
                     copy_occurrence: HashMap::new(),
+                    collective_seq: 0,
                     epoch: 0,
                     replay_until: 0,
                     resilience: resilience.map(Resilience::new),
@@ -332,7 +501,8 @@ fn execute_spmd_inner(
     let mut agg = ShardStats::default();
     let mut datas = Vec::with_capacity(ns);
     for r in results.into_iter() {
-        let (env, stats, data) = r.unwrap();
+        let (env, stats, data) =
+            r.expect("shard result missing despite all threads joining cleanly");
         if let Some(ref e0) = env0 {
             debug_assert_eq!(
                 e0, &env,
@@ -392,7 +562,8 @@ fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
         .unwrap_or_else(|| "<non-string panic payload>".to_string())
 }
 
-/// Per-shard checkpoint–restart state for a resilient run.
+/// Per-shard checkpoint–restart and integrity state for a resilient
+/// run.
 struct Resilience {
     /// Crash schedule as (epoch, shard), sorted; `cursor` advances once
     /// per event so each injected crash fires exactly once.
@@ -400,6 +571,20 @@ struct Resilience {
     cursor: usize,
     interval: u64,
     snapshot: Option<Snapshot>,
+    /// The fault plan; its corruption predicates are consulted per
+    /// exchange payload, per collective frame, and per epoch.
+    plan: FaultPlan,
+    /// Whether seals, framing, and verification sweeps are active.
+    integrity: bool,
+    /// Retransmission budget per logical payload
+    /// ([`RetryPolicy::max_attempts`]).
+    retry_max: u32,
+    /// Epochs below this already had their scheduled resident
+    /// corruption handled — keeps the event from re-firing during the
+    /// very replay it triggered.
+    corrupt_handled: u64,
+    /// Memo-template cache to invalidate on corruption escalation.
+    memo: Option<Arc<Mutex<MemoCache>>>,
 }
 
 impl Resilience {
@@ -414,6 +599,11 @@ impl Resilience {
             cursor: 0,
             interval: opts.checkpoint_interval,
             snapshot: None,
+            plan: opts.plan.clone(),
+            integrity: opts.integrity || opts.plan.corrupt_rate > 0.0,
+            retry_max: RetryPolicy::default().max_attempts,
+            corrupt_handled: 0,
+            memo: opts.memo.clone(),
         }
     }
 }
@@ -513,8 +703,9 @@ struct ShardExec<'a> {
     barrier: &'a ShardBarrier,
     stats: ShardStats,
     /// Payloads for self-pairs (producer == consumer == this shard),
-    /// keyed by (copy id, pair seq).
-    local_queue: HashMap<(u32, u32), Vec<Chunk>>,
+    /// keyed by (copy id, pair seq). Self-pairs never leave the
+    /// shard's memory, so they are exempt from in-flight corruption.
+    local_queue: HashMap<(u32, u32), CopyMsg>,
     /// Memoized element→storage-offset lists per (intersection, pair,
     /// side): copies run every iteration, the offsets never change.
     offset_cache: HashMap<(u32, u32, bool), std::sync::Arc<Vec<usize>>>,
@@ -529,6 +720,10 @@ struct ShardExec<'a> {
     /// Dynamic occurrence counters per (copy id, pair index), matching
     /// producer and consumer counts by replicated control flow.
     copy_occurrence: HashMap<(u32, u32), u32>,
+    /// Dynamic collective sequence number — the replicated identity
+    /// that keys per-contribution corruption decisions. Like the trace
+    /// identities, deliberately not rolled back on restore.
+    collective_seq: u32,
     /// Global epoch counter: increments once per outermost-loop
     /// iteration, across all outermost loops of the program.
     epoch: u64,
@@ -551,8 +746,13 @@ impl<'a> ShardExec<'a> {
                 SpmdStmt::AllReduce { var, op } => {
                     let local = self.env[var.0 as usize];
                     let t0 = self.tb.now();
-                    let (folded, generation) =
-                        self.collective.reduce_counted(self.shard, local, *op);
+                    let coll_seq = self.collective_seq;
+                    self.collective_seq += 1;
+                    let (folded, generation) = if self.integrity_on() {
+                        self.framed_reduce(var.0, coll_seq, local, *op)
+                    } else {
+                        self.collective.reduce_counted(self.shard, local, *op)
+                    };
                     self.env[var.0 as usize] = folded;
                     if self.useful_work() {
                         self.stats.collectives += 1;
@@ -641,12 +841,83 @@ impl<'a> ShardExec<'a> {
                 .collect(),
             UseBase::Whole(_) => vec![InstKey::TempWhole(t.0, self.shard as u32)],
         };
+        let integrity = self.integrity_on();
         for k in keys {
-            let inst = self.data.insts.get_mut(&k).unwrap();
+            let inst = self.data.insts.get_mut(&k).unwrap_or_else(|| {
+                panic!(
+                    "shard {}: reduction temporary {k:?} missing (allocation out of sync)",
+                    self.shard
+                )
+            });
             for &f in &decl.fields {
                 inst.fill_field(f, decl.op);
             }
+            if integrity {
+                inst.seal();
+            }
         }
+    }
+
+    /// Whether the integrity layer (sealing, framing, verification) is
+    /// active for this run.
+    fn integrity_on(&self) -> bool {
+        self.resilience.as_ref().is_some_and(|r| r.integrity)
+    }
+
+    /// Collective participation under the integrity protocol: this
+    /// shard's contribution travels as a checksummed [`FramedScalar`];
+    /// the fault plan may corrupt individual frames, which the
+    /// collective detects *before* acceptance into the fold and asks
+    /// to be re-produced, up to the retry budget.
+    fn framed_reduce(
+        &mut self,
+        var: u32,
+        coll_seq: u32,
+        local: f64,
+        op: ReductionOp,
+    ) -> (f64, u64) {
+        let r = self
+            .resilience
+            .as_ref()
+            .expect("integrity layer active without resilience state");
+        let key = message_key(
+            COLLECTIVE_TAG,
+            var as u64,
+            coll_seq as u64,
+            self.shard as u64,
+        );
+        let plan = &r.plan;
+        let mut injected = 0u32;
+        let (folded, generation, bad) =
+            self.collective
+                .reduce_framed(self.shard, op, r.retry_max, |attempt| {
+                    let mut frame = FramedScalar::new(local);
+                    if let Some(entropy) = plan.payload_corruption(key, attempt) {
+                        frame.bits ^= 1u64 << ((entropy >> 40) % 64);
+                        injected += 1;
+                    }
+                    frame
+                });
+        self.stats.corruptions_injected += u64::from(injected);
+        self.stats.corruptions_detected += u64::from(bad);
+        for _ in 0..bad {
+            self.tb.instant(EventKind::CorruptDetected {
+                site: CorruptSite::Collective,
+                id: var,
+                sub: coll_seq,
+                epoch: self.epoch,
+            });
+        }
+        if bad > 0 {
+            self.stats.corruptions_repaired += 1;
+            self.tb.instant(EventKind::CorruptRepaired {
+                site: CorruptSite::Collective,
+                id: var,
+                sub: coll_seq,
+                attempts: bad,
+            });
+        }
+        (folded, generation)
     }
 
     fn run_launch(&mut self, l: &SpmdLaunch) {
@@ -659,6 +930,11 @@ impl<'a> ShardExec<'a> {
         // launch domain — the cross-shard `pos` identity.
         let domain_len = self.spmd.launch_domains[l.domain.0 as usize].len();
         let (block_start, _) = block_range(domain_len, self.spmd.num_shards, self.shard);
+        let integrity = self.integrity_on();
+        // Instances held with a mutating privilege: re-sealed once the
+        // launch completes (task completion makes their contents the
+        // new checksummed truth).
+        let mut reseal: Vec<InstKey> = Vec::new();
         let mut reduced: Option<f64> = None;
         for (local_idx, c) in owned.into_iter().enumerate() {
             let pos = (block_start + local_idx) as u32;
@@ -667,6 +943,12 @@ impl<'a> ShardExec<'a> {
             for (idx, a) in l.args.iter().enumerate() {
                 let param = &decl.params[idx];
                 let (key, domain, region) = self.arg_key_domain(a, c);
+                if integrity
+                    && !matches!(param.privilege, Privilege::Read)
+                    && !reseal.contains(&key)
+                {
+                    reseal.push(key);
+                }
                 let inst: *mut Instance = self
                     .data
                     .insts
@@ -717,6 +999,13 @@ impl<'a> ShardExec<'a> {
                     Some(acc) => op.fold(acc, v),
                 });
             }
+        }
+        for key in reseal {
+            self.data
+                .insts
+                .get_mut(&key)
+                .expect("resealing an instance the launch just accessed")
+                .seal();
         }
         if let Some((var, op)) = l.reduce_result {
             // Local partial; the AllReduce emitted right after this
@@ -794,6 +1083,7 @@ impl<'a> ShardExec<'a> {
         }
         let pairs: &[PairPlan] = &self.plan.pairs[c.intersection.0 as usize];
         let traced = self.tb.is_enabled();
+        let integrity = self.integrity_on();
         let copy_fields_mask = if traced {
             fields_mask(c.fields.iter().map(|f| f.0))
         } else {
@@ -816,8 +1106,15 @@ impl<'a> ShardExec<'a> {
             );
             let src = &self.data.insts[&p.src_key];
             let chunks = extract(src, &c.fields, &offs);
+            // The occurrence number is part of the corruption key, so
+            // it must advance whenever the integrity layer is on, not
+            // just when tracing.
+            let occurrence = if traced || integrity {
+                self.occurrence(c.id.0, seq as u32, true)
+            } else {
+                0
+            };
             if traced {
-                let occurrence = self.occurrence(c.id.0, seq as u32, true);
                 self.tb.span_since(
                     t0,
                     EventKind::CopyIssue {
@@ -830,18 +1127,42 @@ impl<'a> ShardExec<'a> {
                 );
             }
             if p.dst_owner == self.shard {
-                self.local_queue.insert((c.id.0, seq as u32), chunks);
-            } else {
-                self.tx[p.dst_owner]
-                    .send(CopyMsg {
+                self.local_queue.insert(
+                    (c.id.0, seq as u32),
+                    CopyMsg {
                         copy: c.id,
                         pair_seq: seq as u32,
+                        attempt: 0,
+                        checksum: 0,
                         chunks,
-                    })
-                    .expect("copy channel closed");
+                    },
+                );
+            } else {
+                // Work counters count logical messages, not integrity
+                // retransmissions (those are visible through the
+                // corruption counters instead).
                 if self.useful_work() {
                     self.stats.messages_sent += 1;
                     self.stats.elements_sent += p.elements.volume();
+                }
+                if integrity {
+                    self.send_framed(c.id, seq as u32, occurrence, p.dst_owner, chunks);
+                } else {
+                    self.tx[p.dst_owner]
+                        .send(CopyMsg {
+                            copy: c.id,
+                            pair_seq: seq as u32,
+                            attempt: 0,
+                            checksum: 0,
+                            chunks,
+                        })
+                        .unwrap_or_else(|_| {
+                            panic!(
+                                "copy channel closed: consumer shard {} died before receiving \
+                                 copy {} pair {} from shard {}",
+                                p.dst_owner, c.id.0, seq, self.shard
+                            )
+                        });
                 }
             }
         }
@@ -855,25 +1176,70 @@ impl<'a> ShardExec<'a> {
             let chunks = if p.src_owner == self.shard {
                 self.local_queue
                     .remove(&(c.id.0, seq as u32))
-                    .expect("missing local copy payload")
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "shard {}: missing local payload for copy {} pair {} \
+                             (copy protocol desynchronized)",
+                            self.shard, c.id.0, seq
+                        )
+                    })
+                    .chunks
             } else {
-                let msg = match self.rx[p.src_owner].recv_timeout(hang_timeout()) {
-                    Ok(m) => m,
-                    Err(RecvTimeoutError::Timeout) => panic!(
-                        "likely deadlock: shard {} waited {:?} on copy {} pair {} from shard {}",
-                        self.shard,
-                        hang_timeout(),
-                        c.id.0,
-                        seq,
-                        p.src_owner
-                    ),
-                    Err(RecvTimeoutError::Disconnected) => panic!(
-                        "copy channel closed: producer shard {} died before sending copy {} pair {} to shard {}",
-                        p.src_owner, c.id.0, seq, self.shard
-                    ),
+                // Under the integrity protocol a logical payload may
+                // arrive as several frames: the producer's corruption
+                // predicate is pure and shared, so it proactively
+                // retransmits after every frame it knows arrives
+                // corrupted — keep receiving until one verifies.
+                let mut bad_attempts = 0u32;
+                let msg = loop {
+                    let msg = match self.rx[p.src_owner].recv_timeout(hang_timeout()) {
+                        Ok(m) => m,
+                        Err(RecvTimeoutError::Timeout) => panic!(
+                            "likely deadlock: shard {} waited {:?} on copy {} pair {} from shard {}",
+                            self.shard,
+                            hang_timeout(),
+                            c.id.0,
+                            seq,
+                            p.src_owner
+                        ),
+                        Err(RecvTimeoutError::Disconnected) => panic!(
+                            "copy channel closed: producer shard {} died before sending copy {} pair {} to shard {}",
+                            p.src_owner, c.id.0, seq, self.shard
+                        ),
+                    };
+                    debug_assert_eq!(msg.copy, c.id, "copy protocol out of sync");
+                    debug_assert_eq!(msg.pair_seq, seq as u32, "pair order out of sync");
+                    if !integrity || chunks_checksum(&msg.chunks) == msg.checksum {
+                        // The sender's frame numbering and our
+                        // detection count advance in lockstep (shared
+                        // pure predicate).
+                        debug_assert!(
+                            !integrity || msg.attempt == bad_attempts,
+                            "retransmission numbering out of sync"
+                        );
+                        break msg;
+                    }
+                    // Checksum mismatch: the frame was corrupted in
+                    // flight. Count the detection and wait for the
+                    // retransmission.
+                    bad_attempts += 1;
+                    self.stats.corruptions_detected += 1;
+                    self.tb.instant(EventKind::CorruptDetected {
+                        site: CorruptSite::Exchange,
+                        id: c.id.0,
+                        sub: seq as u32,
+                        epoch: self.epoch,
+                    });
                 };
-                debug_assert_eq!(msg.copy, c.id, "copy protocol out of sync");
-                debug_assert_eq!(msg.pair_seq, seq as u32, "pair order out of sync");
+                if bad_attempts > 0 {
+                    self.stats.corruptions_repaired += 1;
+                    self.tb.instant(EventKind::CorruptRepaired {
+                        site: CorruptSite::Exchange,
+                        id: c.id.0,
+                        sub: seq as u32,
+                        attempts: bad_attempts,
+                    });
+                }
                 msg.chunks
             };
             let offs = offsets_for(
@@ -885,8 +1251,19 @@ impl<'a> ShardExec<'a> {
                 &p.dst_key,
                 &p.elements,
             );
-            let dst = self.data.insts.get_mut(&p.dst_key).unwrap();
+            let dst = self.data.insts.get_mut(&p.dst_key).unwrap_or_else(|| {
+                panic!(
+                    "shard {}: destination instance {:?} for copy {} pair {} missing \
+                     (exchange plan inconsistent with allocation)",
+                    self.shard, p.dst_key, c.id.0, seq
+                )
+            });
             apply(dst, &c.fields, &offs, &chunks, c.reduction);
+            if integrity {
+                // The applied data is verified; the instance becomes
+                // authoritative again.
+                dst.seal();
+            }
             if traced {
                 let occurrence = self.occurrence(c.id.0, seq as u32, false);
                 // The span covers the blocking receive, so copy stalls
@@ -907,6 +1284,83 @@ impl<'a> ShardExec<'a> {
         }
     }
 
+    /// Sends one logical exchange payload under the integrity
+    /// protocol: checksum-framed, with every corrupted transmission
+    /// the fault plan schedules sent ahead of the clean one
+    /// (sender-proactive retransmission — the corruption predicate is
+    /// pure and shared, so no acknowledgement channel exists; the
+    /// consumer receives until a frame verifies).
+    fn send_framed(
+        &mut self,
+        copy: CopyId,
+        seq: u32,
+        occurrence: u32,
+        dst: usize,
+        chunks: Vec<Chunk>,
+    ) {
+        let checksum = chunks_checksum(&chunks);
+        let r = self
+            .resilience
+            .as_ref()
+            .expect("integrity layer active without resilience state");
+        let key = message_key(EXCHANGE_TAG, copy.0 as u64, seq as u64, occurrence as u64);
+        let max_attempts = r.retry_max;
+        let plan = &r.plan;
+        let mut injected = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            let bad = plan.payload_corruption(key, attempt).and_then(|entropy| {
+                let mut bad = chunks.clone();
+                corrupt_chunks(&mut bad, entropy).then_some(bad)
+            });
+            let Some(bad) = bad else {
+                self.tx[dst]
+                    .send(CopyMsg {
+                        copy,
+                        pair_seq: seq,
+                        attempt,
+                        checksum,
+                        chunks,
+                    })
+                    .unwrap_or_else(|_| {
+                        panic!(
+                            "copy channel closed: consumer shard {} died before receiving \
+                             copy {} pair {} from shard {}",
+                            dst, copy.0, seq, self.shard
+                        )
+                    });
+                break;
+            };
+            assert!(
+                attempt + 1 < max_attempts,
+                "unrecoverable exchange corruption: shard {} would produce {} corrupted \
+                 transmissions in a row for copy {} pair {} (retry budget exhausted)",
+                self.shard,
+                max_attempts,
+                copy.0,
+                seq
+            );
+            injected += 1;
+            self.tx[dst]
+                .send(CopyMsg {
+                    copy,
+                    pair_seq: seq,
+                    attempt,
+                    checksum,
+                    chunks: bad,
+                })
+                .unwrap_or_else(|_| {
+                    panic!(
+                        "copy channel closed: consumer shard {} died before receiving \
+                         copy {} pair {} from shard {}",
+                        dst, copy.0, seq, self.shard
+                    )
+                });
+            attempt += 1;
+        }
+        self.stats.corruptions_injected += injected;
+    }
+
     /// Whether the current epoch is first-time (useful) work rather
     /// than a post-rollback replay. Work counters only advance for
     /// useful epochs, keeping recovered and fault-free stats equal.
@@ -924,6 +1378,12 @@ impl<'a> ShardExec<'a> {
     /// is what keeps the recovery coordination-free.
     fn epoch_boundary(&mut self, it: u64) -> Option<u64> {
         self.resilience.as_ref()?;
+        // Integrity sweep first: inject and detect resident corruption
+        // *before* the snapshot logic, so a snapshot can never capture
+        // corrupted state.
+        if let Some(restored_it) = self.integrity_boundary(it) {
+            return Some(restored_it);
+        }
         let epoch = self.epoch;
         let r = self.resilience.as_ref().unwrap();
         // Snapshot at the first epoch of each loop and every `interval`
@@ -949,24 +1409,99 @@ impl<'a> ShardExec<'a> {
             _ => None,
         }?;
         r.cursor += 1;
-        let snap = r
-            .snapshot
-            .as_ref()
-            .expect("crash before any snapshot (epoch 0 always checkpoints)");
-        let (snap_it, snap_epoch) = (snap.it, snap.epoch);
-        let insts = snap.insts.clone();
-        let env = snap.env.clone();
         if crashed_shard as usize == self.shard {
             self.tb.instant(EventKind::ShardCrash {
                 shard: crashed_shard,
                 epoch,
             });
         }
+        Some(self.rollback(epoch))
+    }
+
+    /// Integrity work at an epoch boundary: inject any scheduled
+    /// resident corruption, sweep every instance seal, and escalate a
+    /// detected resident corruption to a coordinated rollback.
+    /// Localized repair is impossible for resident state — no peer
+    /// holds a redundant copy — so the checkpoint *is* the redundancy.
+    /// Returns `Some(restored_it)` when the boundary rolled back.
+    fn integrity_boundary(&mut self, it: u64) -> Option<u64> {
+        let r = self.resilience.as_ref()?;
+        if !r.integrity {
+            return None;
+        }
+        let epoch = self.epoch;
+        // Resident corruption only fires past the first boundary of a
+        // loop: `it > 0` guarantees the live snapshot belongs to the
+        // current loop, so the restored iteration number is valid here.
+        let decision = if it > 0 && epoch >= r.corrupt_handled {
+            r.plan.resident_corruption(epoch, self.spmd.num_shards)
+        } else {
+            None
+        };
+        let Some((victim, entropy)) = decision else {
+            // Steady-state sweep — the measurable cost of the
+            // integrity layer at corruption rate 0.
+            self.verify_clean();
+            return None;
+        };
+        // Every shard reaches this decision independently (pure shared
+        // predicate), so the rollback needs no recovery messages.
+        self.resilience.as_mut().unwrap().corrupt_handled = epoch + 1;
+        if victim as usize == self.shard {
+            let injected = self.inject_resident(entropy);
+            let detected = self.count_seal_mismatches();
+            assert_eq!(
+                detected,
+                u64::from(injected),
+                "shard {}: resident corruption escaped seal verification",
+                self.shard
+            );
+            if injected {
+                self.stats.corruptions_injected += 1;
+                self.stats.corruptions_detected += 1;
+                self.tb.instant(EventKind::CorruptDetected {
+                    site: CorruptSite::Resident,
+                    id: 0,
+                    sub: 0,
+                    epoch,
+                });
+                self.stats.corruptions_escalated += 1;
+                self.tb.instant(EventKind::CorruptEscalated {
+                    shard: victim,
+                    epoch,
+                });
+            }
+            // Cached epoch templates were captured from schedules the
+            // rollback is about to undo.
+            if let Some(memo) = self.resilience.as_ref().unwrap().memo.clone() {
+                memo.lock()
+                    .expect("memo cache lock poisoned")
+                    .invalidate_for_repair();
+            }
+        } else {
+            self.verify_clean();
+        }
+        Some(self.rollback(epoch))
+    }
+
+    /// Coordinated rollback to the live snapshot: restores instances,
+    /// scalars, and the epoch counter, suppresses useful-work stats
+    /// for the replayed range, and returns the outermost-loop
+    /// iteration to resume from.
+    fn rollback(&mut self, epoch: u64) -> u64 {
+        let r = self.resilience.as_ref().unwrap();
+        let snap = r
+            .snapshot
+            .as_ref()
+            .expect("rollback before any snapshot (epoch 0 always checkpoints)");
+        let (snap_it, snap_epoch) = (snap.it, snap.epoch);
+        let insts = snap.insts.clone();
+        let env = snap.env.clone();
         let t0 = self.tb.now();
         self.data.insts = insts;
         self.env = env;
         self.epoch = snap_epoch;
-        // Everything below the crashed epoch was already counted once.
+        // Everything below the rolled-back epoch was already counted.
         self.replay_until = self.replay_until.max(epoch);
         self.stats.restores += 1;
         self.stats.epochs_replayed += epoch - snap_epoch;
@@ -977,7 +1512,56 @@ impl<'a> ShardExec<'a> {
                 to_epoch: snap_epoch,
             },
         );
-        Some(snap_it)
+        snap_it
+    }
+
+    /// Verifies every resident instance seal, panicking on a mismatch
+    /// the fault plan did not predict — that is genuine memory
+    /// corruption or a missed re-seal, and either must fail-stop.
+    fn verify_clean(&self) {
+        for (key, inst) in self.data.insts.iter() {
+            assert!(
+                inst.verify_seal(),
+                "shard {}: instance {key:?} failed seal verification with no corruption \
+                 scheduled (memory fault or missed re-seal)",
+                self.shard
+            );
+        }
+    }
+
+    /// Number of resident instances whose seal no longer matches their
+    /// contents.
+    fn count_seal_mismatches(&self) -> u64 {
+        self.data
+            .insts
+            .values()
+            .filter(|i| !i.verify_seal())
+            .count() as u64
+    }
+
+    /// Flips one bit in one entropy-selected resident instance without
+    /// touching its seal — the silent corruption the verification
+    /// sweep must catch. Returns `false` when the shard holds no
+    /// corruptible (non-empty) instance.
+    fn inject_resident(&mut self, entropy: u64) -> bool {
+        let mut keys: Vec<InstKey> = self.data.insts.keys().copied().collect();
+        keys.sort();
+        if keys.is_empty() {
+            return false;
+        }
+        let start = (entropy % keys.len() as u64) as usize;
+        for i in 0..keys.len() {
+            let key = keys[(start + i) % keys.len()];
+            let inst = self
+                .data
+                .insts
+                .get_mut(&key)
+                .expect("key enumerated from the same map");
+            if inst.corrupt_bit_silently(entropy) {
+                return true;
+            }
+        }
+        false
     }
 
     /// Next dynamic occurrence number of a (copy, pair) on one side.
@@ -1013,7 +1597,11 @@ fn offsets_for(
     let ix = inst.indexer();
     let offsets: Vec<usize> = elements
         .iter()
-        .map(|p| ix.offset_of(p).expect("element outside instance") as usize)
+        .map(|p| {
+            ix.offset_of(p).unwrap_or_else(|| {
+                panic!("pair element {p:?} outside instance {key:?} (exchange plan inconsistent)")
+            }) as usize
+        })
         .collect();
     let arc = std::sync::Arc::new(offsets);
     cache.insert((intersection, seq, is_src), std::sync::Arc::clone(&arc));

@@ -1,0 +1,73 @@
+//! `ResilienceOptions::from_env` parsing: the CI smoke hooks
+//! (`REGENT_FAULT_SEED`, `REGENT_CORRUPT`) must never panic on
+//! malformed values — they fall back to "disabled" cleanly.
+//!
+//! Environment variables are process-global, so every case lives in
+//! one sequential `#[test]` in its own binary (cargo runs test
+//! binaries one at a time, so no concurrent test can observe the
+//! temporary settings).
+
+use regent_runtime::ResilienceOptions;
+
+#[test]
+fn from_env_parsing_edge_cases() {
+    let clear = || {
+        std::env::remove_var("REGENT_FAULT_SEED");
+        std::env::remove_var("REGENT_CORRUPT");
+    };
+    clear();
+    assert!(
+        ResilienceOptions::from_env(4).is_none(),
+        "no env vars ⇒ disabled"
+    );
+
+    // Corruption alone arms the integrity layer with a crash-free plan.
+    std::env::set_var("REGENT_CORRUPT", "7,0.25");
+    let o = ResilienceOptions::from_env(4).expect("REGENT_CORRUPT arms resilience");
+    assert!(o.integrity);
+    assert_eq!(o.plan.corrupt_rate, 0.25);
+    assert!(
+        o.plan.crash_schedule().is_empty(),
+        "no crash without a fault seed"
+    );
+
+    // Fault seed and corruption compose into one plan.
+    std::env::set_var("REGENT_FAULT_SEED", "5");
+    let o = ResilienceOptions::from_env(4).expect("both vars set");
+    assert!(o.integrity);
+    assert_eq!(o.plan.corrupt_rate, 0.25);
+    assert!(!o.plan.crash_schedule().is_empty(), "seeded crash present");
+
+    // Malformed corruption specs are ignored; the fault seed stays in
+    // effect and nothing panics.
+    for bad in [
+        "", "abc", "7", "7,", ",0.5", "7,abc", "7,-0.1", "7,1.5", "7,NaN", "7,inf", "7;0.5",
+    ] {
+        std::env::set_var("REGENT_CORRUPT", bad);
+        let o = ResilienceOptions::from_env(4).expect("fault seed still set");
+        assert!(!o.integrity, "spec {bad:?} must not arm integrity");
+        assert_eq!(o.plan.corrupt_rate, 0.0, "spec {bad:?} must not set a rate");
+    }
+
+    // Malformed fault seed alone: disabled entirely, no panic.
+    std::env::remove_var("REGENT_CORRUPT");
+    for bad in ["", "abc", "1.5", "-3", "99999999999999999999999999"] {
+        std::env::set_var("REGENT_FAULT_SEED", bad);
+        assert!(
+            ResilienceOptions::from_env(4).is_none(),
+            "seed {bad:?} must fall back to disabled"
+        );
+    }
+
+    // Whitespace around a valid seed is tolerated.
+    std::env::set_var("REGENT_FAULT_SEED", " 42 ");
+    assert!(ResilienceOptions::from_env(4).is_some());
+
+    // Degenerate shard counts must not divide by zero anywhere.
+    std::env::set_var("REGENT_CORRUPT", "3,0.5");
+    let o = ResilienceOptions::from_env(0).expect("still armed at 0 shards");
+    assert!(o.integrity);
+    let _ = ResilienceOptions::from_env(1).expect("armed at 1 shard");
+
+    clear();
+}

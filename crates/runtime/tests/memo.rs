@@ -356,6 +356,7 @@ fn memoized_implicit_matches_fault_seeded_spmd_recovery() {
         let opts = ResilienceOptions {
             checkpoint_interval: 2,
             plan: FaultPlan::seeded_crash(seed, parts, 4),
+            ..Default::default()
         };
         let r = execute_spmd_resilient(&spmd, &mut store, &opts);
         assert_eq!(env_memo, r.env, "seed={seed}");

@@ -4,7 +4,7 @@
 //! whole run in bounded time with a diagnostic instead of deadlocking
 //! the surviving shards.
 
-use regent_cr::{control_replicate, CrOptions};
+use regent_cr::{control_replicate, CrOptions, ForestOracle};
 use regent_fault::FaultPlan;
 use regent_geometry::{Domain, DynPoint};
 use regent_ir::{
@@ -12,7 +12,11 @@ use regent_ir::{
     Program, ProgramBuilder, RegionArg, RegionParam, Store, TaskDecl,
 };
 use regent_region::{ops, FieldSpace, FieldType, ReductionOp, RegionId};
-use regent_runtime::{execute_spmd, execute_spmd_resilient, ResilienceOptions, SpmdRunResult};
+use regent_runtime::{
+    execute_spmd, execute_spmd_resilient, execute_spmd_resilient_traced, EpochTemplate, MemoCache,
+    ResilienceOptions, SpmdRunResult,
+};
+use regent_trace::{integrity_summary, validate, Tracer};
 use std::sync::Arc;
 
 type InitFn = Box<dyn Fn(&Program, &mut Store)>;
@@ -189,6 +193,7 @@ fn crash_recovery_is_bit_identical_stencil() {
         let opts = ResilienceOptions {
             checkpoint_interval: 2,
             plan: FaultPlan::new(9).crash_shard(1 % ns as u32, 3),
+            ..Default::default()
         };
         let (_, res) = assert_recovery_bit_identical(|| stencil_program(48, 6, 6), ns, &opts);
         // Crash at epoch 3, snapshots at 0 and 2 ⇒ replay epochs 2..3.
@@ -206,6 +211,7 @@ fn crash_recovery_without_periodic_checkpoints_replays_from_start() {
     let opts = ResilienceOptions {
         checkpoint_interval: 0,
         plan: FaultPlan::new(3).crash_shard(2, 4),
+        ..Default::default()
     };
     let (_, res) = assert_recovery_bit_identical(|| stencil_program(48, 6, 6), 3, &opts);
     let per = &res.per_shard[0];
@@ -222,6 +228,7 @@ fn multiple_crashes_recover() {
             .crash_shard(0, 1)
             .crash_shard(3, 3)
             .crash_shard(1, 5),
+        ..Default::default()
     };
     let (_, res) = assert_recovery_bit_identical(|| stencil_program(64, 8, 7), 4, &opts);
     assert_eq!(res.per_shard[0].restores, 3);
@@ -232,6 +239,7 @@ fn crash_recovery_while_loop_with_collective() {
     let opts = ResilienceOptions {
         checkpoint_interval: 2,
         plan: FaultPlan::new(5).crash_shard(1, 3),
+        ..Default::default()
     };
     let (plain, res) = assert_recovery_bit_identical(|| while_program(40, 5), 3, &opts);
     // Replayed epochs re-ran their collectives (synchronization still
@@ -245,6 +253,7 @@ fn crash_beyond_program_never_fires() {
     let opts = ResilienceOptions {
         checkpoint_interval: 2,
         plan: FaultPlan::new(1).crash_shard(0, 1000),
+        ..Default::default()
     };
     let (plain, res) = assert_recovery_bit_identical(|| stencil_program(48, 6, 4), 3, &opts);
     assert_eq!(res.per_shard[0].restores, 0);
@@ -260,6 +269,7 @@ fn seeded_crash_plans_recover_across_seeds() {
         let opts = ResilienceOptions {
             checkpoint_interval: 2,
             plan: FaultPlan::seeded_crash(seed, 4, 4),
+            ..Default::default()
         };
         assert_recovery_bit_identical(|| stencil_program(48, 4, 6), 4, &opts);
     }
@@ -359,5 +369,183 @@ fn panicking_shard_fails_fast_with_diagnostic() {
         t0.elapsed() < std::time::Duration::from_secs(20),
         "failure took {:?} — survivors likely hung",
         t0.elapsed()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Integrity layer: silent-data-corruption injection, detection, and
+// repair (exchange retransmission) or escalation (resident rollback).
+
+#[test]
+fn exchange_corruption_detected_and_repaired_bit_identical() {
+    // Several seeds at a rate high enough to corrupt real frames: the
+    // receive-side checksum must catch every injected flip, repair via
+    // the producer's proactive retransmissions, and leave the results
+    // bit-identical to a fault-free run.
+    let mut any_detected = false;
+    for seed in [3u64, 11, 29] {
+        let opts = ResilienceOptions {
+            checkpoint_interval: 2,
+            plan: FaultPlan::new(seed).with_corrupt_rate(0.05),
+            ..Default::default()
+        };
+        let (_, res) = assert_recovery_bit_identical(|| stencil_program(48, 6, 8), 3, &opts);
+        let s = &res.stats;
+        assert_eq!(
+            s.corruptions_injected, s.corruptions_detected,
+            "every injected corruption must be detected and vice versa (seed={seed})"
+        );
+        if s.corruptions_detected > 0 {
+            any_detected = true;
+            assert!(
+                s.corruptions_repaired + s.corruptions_escalated > 0,
+                "detections without repair or escalation (seed={seed})"
+            );
+        }
+    }
+    assert!(any_detected, "rate 0.05 never fired across three seeds");
+}
+
+#[test]
+fn resident_corruption_escalates_to_coordinated_rollback() {
+    // Golden stream (see regent-fault): plan seed 11 at rate 0.25 over
+    // 4 shards schedules a resident corruption at epoch 1 (victim
+    // shard 2) — within a 6-epoch run. The victim must detect the seal
+    // mismatch and every shard must roll back together.
+    let opts = ResilienceOptions {
+        checkpoint_interval: 2,
+        plan: FaultPlan::new(11).with_corrupt_rate(0.25),
+        ..Default::default()
+    };
+    let (_, res) = assert_recovery_bit_identical(|| stencil_program(64, 8, 6), 4, &opts);
+    assert_eq!(
+        res.stats.corruptions_escalated, 1,
+        "exactly one resident corruption is scheduled within 6 epochs"
+    );
+    for (shard, per) in res.per_shard.iter().enumerate() {
+        assert!(
+            per.restores >= 1,
+            "shard {shard} did not take part in the coordinated rollback"
+        );
+    }
+    assert_eq!(
+        res.stats.corruptions_injected,
+        res.stats.corruptions_detected
+    );
+}
+
+#[test]
+fn collective_corruption_repairs_through_while_loop() {
+    // The While program reduces a scalar every epoch: corrupted
+    // collective frames must be rejected before the fold and
+    // re-produced, keeping the replicated scalar environment (and the
+    // loop trip count) bit-identical.
+    for seed in [7u64, 13] {
+        let opts = ResilienceOptions {
+            checkpoint_interval: 2,
+            plan: FaultPlan::new(seed).with_corrupt_rate(0.2),
+            ..Default::default()
+        };
+        let (_, res) = assert_recovery_bit_identical(|| while_program(40, 5), 3, &opts);
+        assert_eq!(
+            res.stats.corruptions_injected,
+            res.stats.corruptions_detected
+        );
+    }
+}
+
+#[test]
+fn corruption_composes_with_crash_recovery() {
+    // Crashes and corruption from one plan: rollbacks triggered by
+    // either cause must compose into a bit-identical recovery.
+    let opts = ResilienceOptions {
+        checkpoint_interval: 2,
+        plan: FaultPlan::new(11).with_corrupt_rate(0.1).crash_shard(1, 3),
+        ..Default::default()
+    };
+    let (_, res) = assert_recovery_bit_identical(|| stencil_program(48, 6, 8), 3, &opts);
+    assert!(res.stats.restores >= 3, "crash restores on every shard");
+}
+
+#[test]
+fn integrity_at_rate_zero_is_pure_overhead() {
+    // integrity=true with corrupt_rate 0: seals, framing, and the
+    // epoch-boundary verification sweep all run (this is the overhead
+    // configuration EXPERIMENTS.md measures) but nothing fires.
+    let opts = ResilienceOptions {
+        checkpoint_interval: 2,
+        plan: FaultPlan::new(5),
+        integrity: true,
+        ..Default::default()
+    };
+    let (_, res) = assert_recovery_bit_identical(|| stencil_program(48, 6, 6), 3, &opts);
+    assert_eq!(res.stats.corruptions_injected, 0);
+    assert_eq!(res.stats.corruptions_detected, 0);
+    assert_eq!(res.stats.restores, 0);
+}
+
+#[test]
+fn corruption_trace_is_coherent_and_spy_certified() {
+    // The traced corruption run must carry CorruptDetected marks whose
+    // repairs/escalations balance (integrity_summary::coherent), and
+    // the Spy must certify the repaired execution's happens-before
+    // graph like any other.
+    let (prog, init) = stencil_program(64, 8, 6);
+    let mut store = Store::new(&prog);
+    init(&prog, &mut store);
+    let spmd = control_replicate(prog, &CrOptions::new(4)).unwrap();
+    let opts = ResilienceOptions {
+        checkpoint_interval: 2,
+        plan: FaultPlan::new(11).with_corrupt_rate(0.25),
+        ..Default::default()
+    };
+    let tracer = Tracer::enabled();
+    let res = execute_spmd_resilient_traced(&spmd, &mut store, &opts, &tracer);
+    let trace = tracer.take();
+
+    let s = integrity_summary(&trace);
+    assert!(s.detected > 0, "no corruption events in the trace");
+    assert!(s.coherent(), "incoherent integrity summary: {s:?}");
+    assert_eq!(s.detected, res.stats.corruptions_detected);
+    assert_eq!(s.escalated, res.stats.corruptions_escalated);
+
+    let oracle = ForestOracle::new(&spmd.forest);
+    let report = validate(&trace, &oracle).expect("structurally valid corrupted-run log");
+    assert!(
+        report.ok(),
+        "spy violations on repaired trace:\n{:?}",
+        report.violations
+    );
+    assert!(report.certified > 0, "no dependences were exercised");
+}
+
+#[test]
+fn escalation_invalidates_memo_cache() {
+    // A resident-corruption rollback undoes epochs whose schedules may
+    // be captured as memo templates; the escalation must drop them.
+    let memo = MemoCache::shared();
+    {
+        let mut m = memo.lock().unwrap();
+        m.validate_forest(1);
+        m.insert(EpochTemplate {
+            key: 9,
+            launch_sigs: vec![9],
+            edges: vec![vec![]],
+            forest_version: 1,
+            capture_checks: 0,
+        });
+        assert!(!m.is_empty());
+    }
+    let opts = ResilienceOptions {
+        checkpoint_interval: 2,
+        plan: FaultPlan::new(11).with_corrupt_rate(0.25),
+        memo: Some(Arc::clone(&memo)),
+        ..Default::default()
+    };
+    let (_, res) = assert_recovery_bit_identical(|| stencil_program(64, 8, 6), 4, &opts);
+    assert_eq!(res.stats.corruptions_escalated, 1);
+    assert!(
+        memo.lock().unwrap().is_empty(),
+        "escalation must invalidate cached epoch templates"
     );
 }

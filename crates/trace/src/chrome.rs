@@ -116,6 +116,15 @@ fn kind_name(k: &EventKind) -> String {
             format!("restore e{epoch}->e{to_epoch}")
         }
         EventKind::ShardCrash { shard, epoch } => format!("crash s{shard} e{epoch}"),
+        EventKind::CorruptDetected { site, id, sub, .. } => {
+            format!("corrupt {site:?} {id}.{sub} detected")
+        }
+        EventKind::CorruptRepaired {
+            site, id, attempts, ..
+        } => format!("corrupt {site:?} {id} repaired ({attempts} bad)"),
+        EventKind::CorruptEscalated { shard, epoch } => {
+            format!("corrupt escalate s{shard} e{epoch}")
+        }
         EventKind::MemoCapture { epoch, .. } => format!("memo capture e{epoch}"),
         EventKind::MemoHit { epoch, .. } => format!("memo hit e{epoch}"),
         EventKind::MemoMiss { epoch, at } => format!("memo miss e{epoch}@{at}"),

@@ -51,6 +51,17 @@ impl PrivCode {
     }
 }
 
+/// Where a silent-data-corruption event was injected or caught.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CorruptSite {
+    /// A serialized point-to-point exchange payload (ghost-cell copy).
+    Exchange,
+    /// A resident physical instance buffer.
+    Resident,
+    /// A dynamic-collective contribution (§4.4 scalar reduction).
+    Collective,
+}
+
 /// What kind of work a simulated task represents (used to attribute
 /// virtual time in the discrete-event simulator).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -214,6 +225,46 @@ pub enum EventKind {
         /// The shard the fault plan killed.
         shard: u32,
         /// Epoch at whose start the crash was injected.
+        epoch: u64,
+    },
+    /// A checksum verification caught silent data corruption. For
+    /// [`CorruptSite::Exchange`] / [`CorruptSite::Collective`] sites,
+    /// `(id, sub)` is the (copy, pair) / (scalar var, occurrence)
+    /// identity of the corrupted payload; for
+    /// [`CorruptSite::Resident`] sites `(id, sub)` is unused (0).
+    CorruptDetected {
+        /// Where the corruption was caught.
+        site: CorruptSite,
+        /// Payload identity (see above).
+        id: u32,
+        /// Payload sub-identity (see above).
+        sub: u32,
+        /// Epoch the detecting shard was executing.
+        epoch: u64,
+    },
+    /// A detected corruption was repaired locally — the clean payload
+    /// arrived by retransmission without disturbing peer shards. Always
+    /// follows one or more matching [`EventKind::CorruptDetected`]
+    /// events on the same track.
+    CorruptRepaired {
+        /// Where the corruption had been caught.
+        site: CorruptSite,
+        /// Payload identity (matches the detection event).
+        id: u32,
+        /// Payload sub-identity (matches the detection event).
+        sub: u32,
+        /// Corrupted delivery attempts before the clean one.
+        attempts: u32,
+    },
+    /// A resident-instance corruption could not be repaired locally and
+    /// escalated to the coordinated checkpoint rollback: every shard
+    /// restores its latest snapshot (the subsequent
+    /// [`EventKind::CheckpointRestore`] spans) and memoized templates
+    /// are invalidated.
+    CorruptEscalated {
+        /// The shard whose resident instance was corrupted.
+        shard: u32,
+        /// Epoch during which the corruption occurred.
         epoch: u64,
     },
     /// The implicit executor captured an epoch's dependence analysis as

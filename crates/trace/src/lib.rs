@@ -46,11 +46,11 @@ pub mod tracer;
 
 pub use ascii::ascii_timeline;
 pub use chrome::export_chrome;
-pub use event::{fields_mask, Event, EventKind, PrivCode, SimKind};
+pub use event::{fields_mask, CorruptSite, Event, EventKind, PrivCode, SimKind};
 pub use graph::{build_graph, EventGraph};
 pub use prof::{
-    control_cost_per_step, mean_step_cost, memo_summary, sim_control_cost_per_step, MemoSummary,
-    ProfReport,
+    control_cost_per_step, integrity_summary, mean_step_cost, memo_summary,
+    sim_control_cost_per_step, IntegritySummary, MemoSummary, ProfReport,
 };
 pub use ring::Ring;
 pub use spy::{validate, AllOverlap, OverlapOracle, SpyReport, Violation};

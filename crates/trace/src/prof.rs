@@ -265,6 +265,75 @@ pub fn memo_summary(trace: &Trace, track: &str) -> MemoSummary {
     s
 }
 
+/// Integrity summary of a whole trace: what the silent-data-corruption
+/// layer injected, caught, and did about it, aggregated across every
+/// shard track. `detection_latency_epochs` reports how far detection
+/// lagged injection — always 0 in this runtime (corruption is caught at
+/// the first verification boundary after it occurs), but recorded so a
+/// regression shows up as a number, not a silent correctness hole.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IntegritySummary {
+    /// Corruptions detected at a checksum verification point.
+    pub detected: u64,
+    /// Detections at exchange (point-to-point payload) sites.
+    pub exchange_detected: u64,
+    /// Detections at resident-instance sites.
+    pub resident_detected: u64,
+    /// Detections at collective-contribution sites.
+    pub collective_detected: u64,
+    /// Corruptions repaired locally by retransmission.
+    pub repaired: u64,
+    /// Corrupted delivery attempts absorbed by local repair.
+    pub repair_attempts: u64,
+    /// Corruptions escalated to coordinated rollback.
+    pub escalated: u64,
+    /// Checkpoint restores observed (every escalation triggers one per
+    /// shard).
+    pub restores: u64,
+    /// Maximum epochs between a corruption occurring and its detection.
+    pub detection_latency_epochs: u64,
+}
+
+impl IntegritySummary {
+    /// Every detection must be resolved: repaired in place or escalated
+    /// to rollback. Repair absorbs one detection per corrupted attempt.
+    pub fn coherent(&self) -> bool {
+        self.detected == self.repair_attempts + self.escalated
+            && self.repaired <= self.repair_attempts
+    }
+}
+
+/// Summarizes the integrity events of every track in `trace`.
+pub fn integrity_summary(trace: &Trace) -> IntegritySummary {
+    use crate::event::CorruptSite;
+    let mut s = IntegritySummary::default();
+    for t in &trace.tracks {
+        for e in &t.events {
+            match e.kind {
+                EventKind::CorruptDetected { site, .. } => {
+                    s.detected += 1;
+                    match site {
+                        CorruptSite::Exchange => s.exchange_detected += 1,
+                        CorruptSite::Resident => s.resident_detected += 1,
+                        CorruptSite::Collective => s.collective_detected += 1,
+                    }
+                }
+                EventKind::CorruptRepaired { attempts, .. } => {
+                    s.repaired += 1;
+                    s.repair_attempts += attempts as u64;
+                }
+                EventKind::CorruptEscalated { .. } => s.escalated += 1,
+                EventKind::CheckpointRestore { epoch, to_epoch } => {
+                    s.restores += 1;
+                    let _ = (epoch, to_epoch);
+                }
+                _ => {}
+            }
+        }
+    }
+    s
+}
+
 /// Mean of the cost column of a per-step series (0 when empty).
 pub fn mean_step_cost(series: &[(u64, u64)]) -> f64 {
     if series.is_empty() {
@@ -340,6 +409,90 @@ mod tests {
             vec![(0, 15), (1, 7)]
         );
         assert!(control_cost_per_step(&trace, "absent").is_empty());
+    }
+
+    #[test]
+    fn integrity_summary_counts_and_coherence() {
+        use crate::event::CorruptSite;
+        let ev = |kind| Event {
+            ts: 0,
+            dur: 0,
+            kind,
+        };
+        let trace = Trace {
+            tracks: vec![
+                track(
+                    "shard-0",
+                    vec![
+                        // Two corrupted attempts on one exchange, then repair.
+                        ev(EventKind::CorruptDetected {
+                            site: CorruptSite::Exchange,
+                            id: 3,
+                            sub: 1,
+                            epoch: 2,
+                        }),
+                        ev(EventKind::CorruptDetected {
+                            site: CorruptSite::Exchange,
+                            id: 3,
+                            sub: 1,
+                            epoch: 2,
+                        }),
+                        ev(EventKind::CorruptRepaired {
+                            site: CorruptSite::Exchange,
+                            id: 3,
+                            sub: 1,
+                            attempts: 2,
+                        }),
+                        ev(EventKind::CheckpointRestore {
+                            epoch: 4,
+                            to_epoch: 2,
+                        }),
+                    ],
+                ),
+                track(
+                    "shard-1",
+                    vec![
+                        ev(EventKind::CorruptDetected {
+                            site: CorruptSite::Resident,
+                            id: 0,
+                            sub: 0,
+                            epoch: 4,
+                        }),
+                        ev(EventKind::CorruptEscalated { shard: 1, epoch: 4 }),
+                        ev(EventKind::CheckpointRestore {
+                            epoch: 4,
+                            to_epoch: 2,
+                        }),
+                    ],
+                ),
+            ],
+        };
+        let s = integrity_summary(&trace);
+        assert_eq!(s.detected, 3);
+        assert_eq!(s.exchange_detected, 2);
+        assert_eq!(s.resident_detected, 1);
+        assert_eq!(s.repaired, 1);
+        assert_eq!(s.repair_attempts, 2);
+        assert_eq!(s.escalated, 1);
+        assert_eq!(s.restores, 2);
+        assert!(s.coherent(), "{s:?}");
+        // A detection with no resolution breaks coherence.
+        let bad = integrity_summary(&Trace {
+            tracks: vec![track(
+                "s",
+                vec![ev(EventKind::CorruptDetected {
+                    site: CorruptSite::Collective,
+                    id: 1,
+                    sub: 0,
+                    epoch: 0,
+                })],
+            )],
+        });
+        assert!(!bad.coherent());
+        assert_eq!(
+            integrity_summary(&Trace { tracks: vec![] }),
+            IntegritySummary::default()
+        );
     }
 
     #[test]

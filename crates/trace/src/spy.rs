@@ -18,7 +18,7 @@
 //! [`OverlapOracle`], keeping this crate independent of the region
 //! forest implementation.
 
-use crate::event::{EventKind, PrivCode};
+use crate::event::{CorruptSite, EventKind, PrivCode};
 use crate::graph::{build_graph, EventGraph};
 use crate::tracer::Trace;
 use std::collections::{BTreeMap, HashMap};
@@ -45,8 +45,8 @@ impl OverlapOracle for AllOverlap {
 /// One certified-failed dependence.
 #[derive(Debug)]
 pub struct Violation {
-    /// What failed: `"unordered"`, `"missing-delivery"`, or
-    /// `"stale-delivery"`.
+    /// What failed: `"unordered"`, `"missing-delivery"`,
+    /// `"stale-delivery"`, or `"unrepaired-corruption"`.
     pub kind: &'static str,
     /// Earlier task `(launch, pos)` in program order.
     pub first: (u32, u32),
@@ -223,6 +223,45 @@ pub fn validate(trace: &Trace, oracle: &dyn OverlapOracle) -> Result<SpyReport, 
             }
         }
     }
+
+    // Integrity coherence: a run that finished with a detected
+    // corruption left unhandled cannot be certified. Exchange and
+    // collective detections must be followed on the same track by a
+    // matching repair; resident detections by an escalation or a
+    // checkpoint rollback.
+    for track in &trace.tracks {
+        let mut outstanding: Vec<(CorruptSite, u32, u32, u64)> = Vec::new();
+        for e in &track.events {
+            match e.kind {
+                EventKind::CorruptDetected {
+                    site,
+                    id,
+                    sub,
+                    epoch,
+                } => outstanding.push((site, id, sub, epoch)),
+                EventKind::CorruptRepaired { site, id, sub, .. } => {
+                    outstanding.retain(|&(s, i, u, _)| (s, i, u) != (site, id, sub));
+                }
+                EventKind::CorruptEscalated { .. } | EventKind::CheckpointRestore { .. } => {
+                    outstanding.retain(|&(s, ..)| s != CorruptSite::Resident);
+                }
+                _ => {}
+            }
+        }
+        for (site, id, sub, epoch) in outstanding {
+            report.violations.push(Violation {
+                kind: "unrepaired-corruption",
+                first: (id, sub),
+                second: (id, sub),
+                regions: (0, 0),
+                detail: format!(
+                    "track {:?}: corruption detected at {site:?} site {id}.{sub} \
+                     during epoch {epoch} was neither repaired nor escalated",
+                    track.name
+                ),
+            });
+        }
+    }
     Ok(report)
 }
 
@@ -384,6 +423,66 @@ mod tests {
                 })
                 .collect(),
         }
+    }
+
+    #[test]
+    fn unrepaired_corruption_is_a_violation() {
+        let det = |site, id, sub| EventKind::CorruptDetected {
+            site,
+            id,
+            sub,
+            epoch: 1,
+        };
+        // Repaired exchange + escalated resident: certifiable.
+        let good = trace_of(vec![(
+            "shard-0",
+            vec![
+                ev(0, 0, det(CorruptSite::Exchange, 2, 1)),
+                ev(
+                    1,
+                    0,
+                    EventKind::CorruptRepaired {
+                        site: CorruptSite::Exchange,
+                        id: 2,
+                        sub: 1,
+                        attempts: 1,
+                    },
+                ),
+                ev(2, 0, det(CorruptSite::Resident, 0, 0)),
+                ev(3, 0, EventKind::CorruptEscalated { shard: 0, epoch: 1 }),
+            ],
+        )]);
+        assert!(validate(&good, &AllOverlap).unwrap().ok());
+
+        // Detection with no repair: violation.
+        let bad = trace_of(vec![(
+            "shard-0",
+            vec![ev(0, 0, det(CorruptSite::Exchange, 2, 1))],
+        )]);
+        let r = validate(&bad, &AllOverlap).unwrap();
+        assert!(!r.ok());
+        assert_eq!(r.violations[0].kind, "unrepaired-corruption");
+
+        // A repair of a *different* payload does not clear it; nor does
+        // an escalation (escalation only resolves resident sites).
+        let wrong = trace_of(vec![(
+            "shard-0",
+            vec![
+                ev(0, 0, det(CorruptSite::Exchange, 2, 1)),
+                ev(
+                    1,
+                    0,
+                    EventKind::CorruptRepaired {
+                        site: CorruptSite::Exchange,
+                        id: 2,
+                        sub: 2,
+                        attempts: 1,
+                    },
+                ),
+                ev(2, 0, EventKind::CorruptEscalated { shard: 0, epoch: 1 }),
+            ],
+        )]);
+        assert!(!validate(&wrong, &AllOverlap).unwrap().ok());
     }
 
     #[test]
