@@ -19,8 +19,10 @@ use regent_cr::{control_replicate, CrOptions, SyncMode};
 use regent_ir::Store;
 use regent_region::intersect::{shallow_intersections_naive, shallow_intersections_of};
 use regent_region::{ops, Color, Domain, FieldSpace, RegionForest};
-use regent_runtime::{execute_implicit, execute_spmd, ImplicitOptions, MemoCache};
-use regent_trace::{memo_summary, Tracer};
+use regent_runtime::{execute_implicit, execute_spmd_traced, metrics, ImplicitOptions, MemoCache};
+use regent_trace::{
+    blame_report, entries_to_json, memo_summary, merge_entries, parse_entries, BenchEntry, Tracer,
+};
 use std::time::Instant;
 
 fn ablation_intersections() {
@@ -95,7 +97,23 @@ fn ablation_copies() {
     println!();
 }
 
-fn ablation_sync() {
+/// Builds a machine-readable entry from one real (wall-clock) ablation
+/// run: blame from its trace, metrics from the global registry
+/// accumulated since the last `reset()`.
+fn real_entry(app: &str, size: &str, shards: u32, executor: &str, wall_ns: u64) -> BenchEntry {
+    BenchEntry {
+        app: app.to_string(),
+        size: size.to_string(),
+        shards,
+        executor: executor.to_string(),
+        wall_ns,
+        critical_path_ns: 0,
+        blame: regent_trace::Blame::default(),
+        metrics: metrics::global().snapshot_flat(),
+    }
+}
+
+fn ablation_sync(entries: &mut Vec<BenchEntry>) {
     println!("--- Ablation 4: point-to-point vs global-barrier sync (real execution) ---");
     let cfg = stencil::StencilConfig {
         n: 256,
@@ -104,9 +122,9 @@ fn ablation_sync() {
         radius: 2,
         steps: 10,
     };
-    for (label, mode) in [
-        ("point-to-point", SyncMode::PointToPoint),
-        ("barrier", SyncMode::Barrier),
+    for (label, executor, mode) in [
+        ("point-to-point", "spmd-p2p", SyncMode::PointToPoint),
+        ("barrier", "spmd-barrier", SyncMode::Barrier),
     ] {
         let (prog, h) = stencil::stencil_program(cfg);
         let mut store = Store::new(&prog);
@@ -114,13 +132,27 @@ fn ablation_sync() {
         let mut o = CrOptions::new(8);
         o.sync = mode;
         let spmd = control_replicate(prog, &o).unwrap();
+        metrics::global().reset();
+        let tracer = Tracer::enabled();
         let t0 = Instant::now();
-        let r = execute_spmd(&spmd, &mut store);
+        let r = execute_spmd_traced(&spmd, &mut store, &tracer);
         let dt = t0.elapsed().as_secs_f64() * 1e3;
         println!(
             "  {label:<16} {dt:>8.1} ms  ({} msgs, {} elements)",
             r.stats.messages_sent, r.stats.elements_sent
         );
+        let mut e = real_entry(
+            "stencil-sync",
+            "n256",
+            8,
+            executor,
+            t0.elapsed().as_nanos() as u64,
+        );
+        if let Ok(rep) = blame_report(&tracer.take()) {
+            e.critical_path_ns = rep.critical_path_ns;
+            e.blame = rep.total;
+        }
+        entries.push(e);
     }
     println!();
 }
@@ -193,7 +225,7 @@ fn ablation_hierarchy() {
     println!();
 }
 
-fn ablation_memo() {
+fn ablation_memo(entries: &mut Vec<BenchEntry>) {
     println!("--- Ablation 6: epoch-trace memoization (real implicit execution) ---");
     let cfg = stencil::StencilConfig {
         n: 256,
@@ -214,10 +246,12 @@ fn ablation_memo() {
         if memoized {
             opts = opts.with_memo(MemoCache::shared());
         }
+        metrics::global().reset();
         let t0 = Instant::now();
         let (_, stats) = execute_implicit(&prog, &mut store, opts);
         let dt = t0.elapsed().as_secs_f64() * 1e3;
-        let summary = memo_summary(&tracer.take(), "control");
+        let trace = tracer.take();
+        let summary = memo_summary(&trace, "control");
         let label = if memoized { "memoized" } else { "plain" };
         println!(
             "  {label:<10} {dt:>8.1} ms  {:>8} checks  first epoch {:>8.1} µs, steady {:>8.1} µs, hit rate {:>5.1}%",
@@ -226,14 +260,56 @@ fn ablation_memo() {
             summary.steady_state_analysis_ns / 1e3,
             summary.steady_state_hit_rate() * 100.0
         );
+        let executor = if memoized {
+            "implicit-memo"
+        } else {
+            "implicit"
+        };
+        let mut e = real_entry(
+            "stencil-memo",
+            "n256",
+            8,
+            executor,
+            t0.elapsed().as_nanos() as u64,
+        );
+        if let Ok(rep) = blame_report(&trace) {
+            e.critical_path_ns = rep.critical_path_ns;
+            e.blame = rep.total;
+        }
+        entries.push(e);
     }
     println!();
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json = Some(args.get(i + 1).expect("--json <path>").clone());
+                i += 2;
+            }
+            other => panic!("unknown argument {other} (ablations accepts only --json <path>)"),
+        }
+    }
+    let mut entries = Vec::new();
     ablation_intersections();
     ablation_copies();
-    ablation_sync();
+    ablation_sync(&mut entries);
     ablation_hierarchy();
-    ablation_memo();
+    ablation_memo(&mut entries);
+    if let Some(path) = json {
+        let merged = match std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|t| parse_entries(&t).ok())
+        {
+            Some(base) => merge_entries(base, entries),
+            None => entries,
+        };
+        std::fs::write(&path, entries_to_json(&merged))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("bench artifact: {} entries -> {path}", merged.len());
+    }
 }

@@ -31,6 +31,7 @@ fn main() {
     let runner = parse_args();
     run_figure(
         "Figure 6: Stencil weak scaling (10^6 points/s per node)",
+        "stencil",
         &runner,
         stencil_spec,
         &[("MPI", mpi), ("MPI+OpenMP", mpi_openmp)],

@@ -31,6 +31,7 @@ fn main() {
     let runner = parse_args();
     run_figure(
         "Figure 7: MiniAero weak scaling (10^3 cells/s per node)",
+        "miniaero",
         &runner,
         miniaero_spec,
         &[

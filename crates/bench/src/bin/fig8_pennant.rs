@@ -30,6 +30,7 @@ fn main() {
     runner.machine_mod = |m| m.noise_fraction = 0.065;
     run_figure(
         "Figure 8: PENNANT weak scaling (10^6 zones/s per node)",
+        "pennant",
         &runner,
         pennant_spec,
         &[("MPI", mpi), ("MPI+OpenMP", mpi_openmp)],

@@ -10,6 +10,7 @@ fn main() {
     let runner = parse_args();
     run_figure(
         "Figure 9: Circuit weak scaling (10^3 graph nodes/s per node)",
+        "circuit",
         &runner,
         circuit_spec,
         &[],

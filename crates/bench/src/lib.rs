@@ -28,7 +28,10 @@ use regent_machine::{
     simulate_implicit_memo_faulted, simulate_mpi_faulted, FaultPlan, FaultStats, MachineConfig,
     MpiVariant, ScalingSeries, TimestepSpec,
 };
-use regent_trace::{export_chrome, mean_step_cost, sim_control_cost_per_step, Trace, Tracer};
+use regent_trace::{
+    check_entries, entries_to_json, export_chrome, mean_step_cost, merge_entries, parse_entries,
+    sim_control_cost_per_step, BenchEntry, Trace, Tracer,
+};
 
 /// Constructor of a reference-code configuration for a given machine.
 pub type VariantFn = fn(&MachineConfig) -> MpiVariant;
@@ -61,6 +64,17 @@ pub struct FigureRunner {
     /// step 0 only, replay after), as the ablation between a naive
     /// single control thread and full control replication.
     pub memo: bool,
+    /// When set (`--json <path>`), write the figure's results as
+    /// machine-readable [`BenchEntry`] records (merging into an
+    /// existing artifact file, so several figure binaries accumulate
+    /// into one `BENCH_*.json`).
+    pub json: Option<String>,
+    /// When set (`--check <baseline>`), compare the fresh results
+    /// against the baseline artifact and exit nonzero on any wall-time
+    /// or critical-path regression beyond `check_tol` percent.
+    pub check: Option<String>,
+    /// Regression tolerance for `--check`, percent (`--check-tol`).
+    pub check_tol: f64,
 }
 
 impl Default for FigureRunner {
@@ -73,6 +87,9 @@ impl Default for FigureRunner {
             faults: None,
             corrupt: None,
             memo: false,
+            json: None,
+            check: None,
+            check_tol: 10.0,
         }
     }
 }
@@ -97,7 +114,9 @@ impl FigureRunner {
         spec_of: impl Fn(usize, &MachineConfig) -> TimestepSpec,
         mpi_variants: &[(&str, VariantFn)],
     ) -> (Vec<ScalingSeries>, Trace) {
-        let tracer = if self.trace_path.is_some() {
+        // Bench artifacts are derived from the recorded schedules, so
+        // --json/--check need the tracer on just like --trace.
+        let tracer = if self.trace_path.is_some() || self.json.is_some() || self.check.is_some() {
             Tracer::enabled()
         } else {
             Tracer::disabled()
@@ -172,6 +191,93 @@ impl FigureRunner {
             println!();
         }
         (out, tracer.take())
+    }
+
+    /// Builds the machine-readable artifact entries for `app` from the
+    /// recorded simulator trace: one [`BenchEntry`] per node count per
+    /// executor model (`spmd` from the CR tracks, `implicit`, and
+    /// `implicit-memo` when `--memo` recorded it). The simulator is
+    /// deterministic, so these entries are bit-stable — a checked-in
+    /// artifact can be `--check`ed exactly.
+    pub fn bench_entries(&self, app: &str, trace: &Trace) -> Vec<BenchEntry> {
+        let size = format!("steps{}", self.steps);
+        let mut entries = Vec::new();
+        for nodes in regent_machine::node_counts_to(self.max_nodes) {
+            for (prefix, executor) in [
+                ("cr", "spmd"),
+                ("implicit", "implicit"),
+                ("implicit-memo", "implicit-memo"),
+            ] {
+                if let Some(e) = regent_machine::sim_bench_entry(
+                    app,
+                    &size,
+                    nodes as u32,
+                    executor,
+                    trace,
+                    &format!("{prefix}/n{nodes}"),
+                ) {
+                    entries.push(e);
+                }
+            }
+        }
+        entries
+    }
+
+    /// Handles `--json` (write or merge the artifact file) and
+    /// `--check` (compare against a baseline artifact, exiting nonzero
+    /// on a regression beyond `check_tol` percent).
+    pub fn emit_artifacts(&self, app: &str, trace: &Trace) {
+        if self.json.is_none() && self.check.is_none() {
+            return;
+        }
+        let entries = self.bench_entries(app, trace);
+        assert!(
+            !entries.is_empty(),
+            "--json/--check produced no entries (no recorded sim tracks)"
+        );
+        if let Some(path) = &self.json {
+            // Accumulate: other figure binaries may already have
+            // written their entries into the same artifact.
+            let merged = match std::fs::read_to_string(path)
+                .ok()
+                .and_then(|t| parse_entries(&t).ok())
+            {
+                Some(base) => merge_entries(base, entries.clone()),
+                None => entries.clone(),
+            };
+            std::fs::write(path, entries_to_json(&merged))
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!("bench artifact: {} entries -> {path}", merged.len());
+        }
+        if let Some(path) = &self.check {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+            let baseline = parse_entries(&text).unwrap_or_else(|e| panic!("baseline {path}: {e}"));
+            match check_entries(&entries, &baseline, self.check_tol) {
+                Ok(notes) => {
+                    for n in &notes {
+                        println!("check: {n}");
+                    }
+                    println!(
+                        "check: {} entr{} within {}% of {path}",
+                        entries.len(),
+                        if entries.len() == 1 { "y" } else { "ies" },
+                        self.check_tol
+                    );
+                }
+                Err(regressions) => {
+                    for r in &regressions {
+                        eprintln!("REGRESSION: {r}");
+                    }
+                    eprintln!(
+                        "check: {} regression(s) against {path} (tolerance {}%)",
+                        regressions.len(),
+                        self.check_tol
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 
     /// The effective fault plan: the `--faults` loss plan (if any) with
@@ -274,9 +380,12 @@ pub fn print_figure(title: &str, series: &[ScalingSeries], max_nodes: usize) {
 }
 
 /// Runs a figure end to end: sweep, table, and — when `--trace` was
-/// given — the control-cost table and the Chrome JSON file.
+/// given — the control-cost table and the Chrome JSON file; `--json` /
+/// `--check` additionally write and verify the machine-readable
+/// artifact entries for `app`.
 pub fn run_figure(
     title: &str,
+    app: &str,
     runner: &FigureRunner,
     spec_of: impl Fn(usize, &MachineConfig) -> TimestepSpec,
     mpi_variants: &[(&str, VariantFn)],
@@ -286,6 +395,7 @@ pub fn run_figure(
     if let Some(path) = &runner.trace_path {
         write_trace(&trace, path, runner.max_nodes, runner.steps);
     }
+    runner.emit_artifacts(app, &trace);
 }
 
 /// Shared CLI handling: `--max-nodes N`, `--steps S`, `--trace <path>`
@@ -293,8 +403,10 @@ pub fn run_figure(
 /// `--faults <seed>,<rate>` (run every model under seeded message loss
 /// at the given rate), `--corrupt <seed>,<rate>` (silent payload
 /// corruption detected by checksums and repaired by retransmission,
-/// with a summary printed after the figure), and `--memo` (add the
-/// memoized-implicit ablation series).
+/// with a summary printed after the figure), `--memo` (add the
+/// memoized-implicit ablation series), `--json <path>` (write/merge
+/// machine-readable bench entries), `--check <baseline>` (fail on
+/// regressions beyond the tolerance), and `--check-tol <pct>`.
 pub fn parse_args() -> FigureRunner {
     let mut runner = FigureRunner::default();
     let args: Vec<String> = std::env::args().collect();
@@ -316,6 +428,22 @@ pub fn parse_args() -> FigureRunner {
             "--memo" => {
                 runner.memo = true;
                 i += 1;
+            }
+            "--json" => {
+                runner.json = Some(args.get(i + 1).expect("--json <path>").clone());
+                i += 2;
+            }
+            "--check" => {
+                runner.check = Some(args.get(i + 1).expect("--check <baseline>").clone());
+                i += 2;
+            }
+            "--check-tol" => {
+                runner.check_tol = args
+                    .get(i + 1)
+                    .expect("--check-tol <pct>")
+                    .parse()
+                    .expect("--check-tol takes a percentage");
+                i += 2;
             }
             "--faults" => {
                 let spec = args.get(i + 1).expect("--faults <seed>,<rate>");

@@ -32,9 +32,9 @@ pub use metrics::{
 pub use model::{CopyEdge, MachineConfig, PhaseSpec, TimestepSpec};
 pub use regent_fault::{parse_corrupt_spec, FaultPlan, FaultStats, RetryPolicy};
 pub use scenario::{
-    simulate_cr, simulate_cr_faulted, simulate_cr_resilient, simulate_cr_resilient_traced,
-    simulate_cr_traced, simulate_implicit, simulate_implicit_faulted, simulate_implicit_memo,
-    simulate_implicit_memo_faulted, simulate_implicit_memo_traced, simulate_implicit_traced,
-    simulate_mpi, simulate_mpi_faulted, simulate_mpi_traced, MpiVariant, ResilienceSpec,
-    ScenarioResult,
+    sim_bench_entry, simulate_cr, simulate_cr_faulted, simulate_cr_resilient,
+    simulate_cr_resilient_traced, simulate_cr_traced, simulate_implicit, simulate_implicit_faulted,
+    simulate_implicit_memo, simulate_implicit_memo_faulted, simulate_implicit_memo_traced,
+    simulate_implicit_traced, simulate_mpi, simulate_mpi_faulted, simulate_mpi_traced, MpiVariant,
+    ResilienceSpec, ScenarioResult,
 };

@@ -49,6 +49,37 @@ pub struct ScenarioResult {
     pub faults: FaultStats,
 }
 
+/// Builds a machine-readable bench-artifact entry from a simulated
+/// schedule recorded on `track`: the wall time is the track's extent
+/// (virtual nanoseconds), the critical-path length and its phase blame
+/// come from [`regent_trace::sim_blame`]. Returns `None` when the
+/// trace has no such track or the track recorded no spans. The
+/// simulator is deterministic, so entries produced here are bit-stable
+/// across machines — which is what lets checked-in baselines be
+/// compared exactly in CI.
+pub fn sim_bench_entry(
+    app: &str,
+    size: &str,
+    shards: u32,
+    executor: &str,
+    trace: &regent_trace::Trace,
+    track: &str,
+) -> Option<regent_trace::BenchEntry> {
+    let t = trace.tracks.iter().find(|t| t.name == track)?;
+    let wall_ns = t.events.iter().map(|e| e.ts + e.dur).max()?;
+    let (critical_path_ns, blame) = regent_trace::sim_blame(trace, track)?;
+    Some(regent_trace::BenchEntry {
+        app: app.to_string(),
+        size: size.to_string(),
+        shards,
+        executor: executor.to_string(),
+        wall_ns,
+        critical_path_ns,
+        blame,
+        metrics: Vec::new(),
+    })
+}
+
 fn finish(sim: Sim, spec: &TimestepSpec, steps: u64, tb: &mut TraceBuf) -> ScenarioResult {
     let graph_size = sim.num_tasks();
     let res = sim.run_traced(tb);

@@ -12,6 +12,7 @@
 //! `hybrid` control track, bracketing the shard tracks the replicated
 //! segments produce.
 
+use crate::metrics::{self, Counter};
 use crate::spmd_exec::{execute_spmd_with_env_traced, ShardStats};
 use regent_cr::hybrid::{HybridProgram, Segment};
 use regent_ir::{interp, Store};
@@ -44,6 +45,7 @@ pub fn execute_hybrid_traced(
     tracer: &Arc<Tracer>,
 ) -> HybridRunResult {
     let mut tb = tracer.buffer("hybrid");
+    let mut mx = metrics::global().handle("hybrid");
     let mut env: Vec<f64> = hybrid.base.scalars.iter().map(|s| s.init).collect();
     let mut spmd_stats = ShardStats::default();
     let mut sequential_tasks = 0;
@@ -60,6 +62,7 @@ pub fn execute_hybrid_traced(
                     },
                 );
                 sequential_tasks += stats.tasks_executed;
+                mx.add(Counter::SequentialTasks, stats.tasks_executed);
             }
             Segment::Replicated(spmd) => {
                 let t0 = tb.now();
@@ -72,11 +75,14 @@ pub fn execute_hybrid_traced(
                 );
                 env = r.env;
                 spmd_stats.merge_from(&r.stats);
+                mx.incr(Counter::ReplicatedSegments);
                 replicated_segments += 1;
             }
         }
     }
     tb.flush();
+    drop(mx);
+    metrics::export_env();
     HybridRunResult {
         env,
         spmd_stats,

@@ -42,6 +42,7 @@
 
 use crate::mapper::{DefaultMapper, Mapper};
 use crate::memo::{self, EpochTemplate, MemoCache};
+use crate::metrics::{self, Counter, MetricsHandle, Timer};
 use regent_geometry::{Domain, DynPoint};
 use regent_ir::{interp::resolve_arg, ArgSlot, Privilege, Program, Stmt, Store, TaskCtx, TaskId};
 use regent_region::{Instance, RegionId};
@@ -192,7 +193,13 @@ impl Pool {
     }
 }
 
-fn run_job(job: &Job, tasks: &[regent_ir::TaskDecl], pool: &Pool, tb: &mut TraceBuf) {
+fn run_job(
+    job: &Job,
+    tasks: &[regent_ir::TaskDecl],
+    pool: &Pool,
+    tb: &mut TraceBuf,
+    mx: &mut MetricsHandle,
+) {
     let decl = &tasks[job.task.0 as usize];
     let mut slots: Vec<ArgSlot> = job
         .args
@@ -207,7 +214,10 @@ fn run_job(job: &Job, tasks: &[regent_ir::TaskDecl], pool: &Pool, tb: &mut Trace
         .collect();
     let mut ctx = TaskCtx::new(&mut slots, &job.scalars, job.point);
     let t0 = tb.now();
+    let m0 = mx.start();
     (decl.kernel)(&mut ctx);
+    mx.incr(Counter::TaskRuns);
+    mx.record_since(m0, Timer::TaskRunNs);
     tb.span_since(
         t0,
         EventKind::TaskRun {
@@ -253,6 +263,7 @@ impl Window {
 struct Ctl {
     stats: ImplicitStats,
     tb: TraceBuf,
+    mx: MetricsHandle,
     launch_seq: u32,
     loop_depth: u32,
     memo: Option<MemoRt>,
@@ -388,6 +399,7 @@ fn memo_end_epoch(ctl: &mut Ctl) {
                 tasks,
             });
             ctl.stats.memo_hits += 1;
+            ctl.mx.incr(Counter::MemoHits);
             cache.stats.hits += 1;
         }
         (Some(_), _) => {
@@ -398,6 +410,7 @@ fn memo_end_epoch(ctl: &mut Ctl) {
                 at: ep.cursor as u32,
             });
             ctl.stats.memo_misses += 1;
+            ctl.mx.incr(Counter::MemoMisses);
             cache.stats.misses += 1;
             if storable {
                 cache.insert(template(&ep));
@@ -422,6 +435,7 @@ fn memo_end_epoch(ctl: &mut Ctl) {
                     tasks,
                 });
                 ctl.stats.memo_captures += 1;
+                ctl.mx.incr(Counter::MemoCaptures);
                 cache.stats.captures += 1;
             }
         }
@@ -481,6 +495,7 @@ pub fn execute_implicit(
     let mut ctl = Ctl {
         stats: ImplicitStats::default(),
         tb: opts.tracer.buffer("control"),
+        mx: metrics::global().handle("control"),
         launch_seq: 0,
         loop_depth: 0,
         memo: opts.memo.as_ref().map(|c| MemoRt {
@@ -496,6 +511,7 @@ pub fn execute_implicit(
             let tracer = Arc::clone(&opts.tracer);
             scope.spawn(move || {
                 let mut tb = tracer.buffer(&format!("worker-{w}"));
+                let mut mx = metrics::global().handle(&format!("worker-{w}"));
                 // Bounded waits: a worker starved past the hang
                 // timeout keeps polling (the control thread may just
                 // be slow), but a disconnected channel or poison pill
@@ -505,7 +521,7 @@ pub fn execute_implicit(
                 // forever in an unbounded recv().
                 loop {
                     match rx.recv_timeout(crate::collective::hang_timeout()) {
-                        Ok(Some(job)) => run_job(&job, tasks, pool, &mut tb),
+                        Ok(Some(job)) => run_job(&job, tasks, pool, &mut tb, &mut mx),
                         Ok(None) => break,
                         Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
                         Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
@@ -541,7 +557,12 @@ pub fn execute_implicit(
     });
 
     ctl.tb.flush();
-    (env, ctl.stats)
+    let stats = ctl.stats;
+    // Dropping `ctl` merges the control thread's metrics into the
+    // global registry before the export below reads it.
+    drop(ctl);
+    metrics::export_env();
+    (env, stats)
 }
 
 /// The routing policy: which worker a point task lands on.
@@ -722,6 +743,7 @@ fn issue_task(
         pos,
         task: task.0,
     });
+    ctl.mx.incr(Counter::Launches);
     if ctl.tb.is_enabled() {
         // One access event per region argument; the instance identity
         // is the root region (all implicit-executor tasks share root
@@ -773,7 +795,11 @@ fn issue_task(
         if let Some(t) = &ep.replay {
             if ep.cursor < t.len() && t.launch_sigs[ep.cursor] == sig {
                 // Replay: apply the template's intra-epoch predecessors
-                // directly — no window scan, no analysis span.
+                // directly — no window scan, no analysis span. The
+                // bookkeeping that remains (edge application) is
+                // recorded as a MemoReplay span, the memo-path
+                // counterpart of DepAnalysis in blame reports.
+                let replay_start = ctl.tb.now();
                 let preds = t.edges[ep.cursor].clone();
                 let mut n_deps = 0usize;
                 for &p in &preds {
@@ -794,7 +820,10 @@ fn issue_task(
                 ep.edges.push(preds);
                 ep.cursor += 1;
                 ep.replayed += 1;
+                ctl.tb
+                    .span_since(replay_start, EventKind::MemoReplay { launch, pos });
                 ctl.stats.memo_replayed_tasks += 1;
+                ctl.mx.incr(Counter::MemoReplayedTasks);
                 ctl.stats.dependence_edges += n_deps as u64;
                 replayed = true;
             } else {
@@ -808,6 +837,7 @@ fn issue_task(
                     at: ep.cursor as u32,
                 });
                 ctl.stats.memo_misses += 1;
+                ctl.mx.incr(Counter::MemoMisses);
                 ep.missed = true;
                 ep.replay = None;
             }
@@ -817,6 +847,7 @@ fn issue_task(
     if !replayed {
         // Dependence analysis (the per-task control overhead).
         let analysis_start = ctl.tb.now();
+        let analysis_m0 = ctl.mx.start();
         let checks_before = ctl.stats.dependence_checks;
         let mut n_deps = 0usize;
         let mut epoch_preds: Vec<u32> = Vec::new();
@@ -884,6 +915,8 @@ fn issue_task(
                 checks: checks as u32,
             },
         );
+        ctl.mx.record_since(analysis_m0, Timer::DepAnalysisNs);
+        ctl.mx.add(Counter::DepChecks, checks);
         ctl.stats.dependence_edges += n_deps as u64;
         if sig.is_some() {
             let ep = ctl.memo.as_mut().unwrap().epoch.as_mut().unwrap();

@@ -19,6 +19,10 @@
 //!   capture one epoch's dependence analysis as a template, replay it
 //!   on structurally identical epochs, invalidate on region-forest
 //!   changes.
+//! * [`metrics`] — always-on per-shard counters and latency histograms
+//!   (launches, copies, waits, memo hits, retransmits), aggregated at
+//!   executor shutdown and exported via `REGENT_METRICS=<path>` as
+//!   JSON plus Prometheus text.
 //!
 //! Both executors are tested to produce results bit-identical to the
 //! sequential reference interpreter in `regent-ir`.
@@ -37,6 +41,7 @@ pub mod hybrid_exec;
 pub mod implicit;
 pub mod mapper;
 pub mod memo;
+pub mod metrics;
 pub mod plan;
 pub mod spmd_exec;
 
@@ -45,6 +50,9 @@ pub use hybrid_exec::{execute_hybrid, execute_hybrid_traced, HybridRunResult};
 pub use implicit::{execute_implicit, ImplicitOptions, ImplicitStats};
 pub use mapper::{DefaultMapper, Mapper, SingleWorkerMapper, TaskKindMapper};
 pub use memo::{epoch_key, launch_sig, EpochTemplate, MemoCache, MemoStats};
+pub use metrics::{
+    export_env as export_metrics_env, Counter, Hist, MetricsHandle, MetricsRegistry, Timer,
+};
 pub use plan::{build_exchange_plan, ExchangePlan, InstKey, PairPlan, SetupStats};
 pub use regent_fault::{FaultPlan, RetryPolicy};
 pub use spmd_exec::{

@@ -1,0 +1,669 @@
+//! Always-on, low-overhead runtime metrics.
+//!
+//! Tracing ([`regent_trace`]) records *everything* and is therefore
+//! opt-in; this registry records *aggregates* — per-shard counters and
+//! log2-bucket latency histograms for the operations the paper's
+//! analysis cares about (launches, dependence analysis, copies,
+//! barrier/collective waits, memo hits, retransmits) — cheaply enough
+//! to stay on in every run. Each executor thread owns a
+//! [`MetricsHandle`] (no locks on the hot path); handles merge into the
+//! process-global [`MetricsRegistry`] when dropped, and the executors
+//! call [`export_env`] at shutdown: setting `REGENT_METRICS=<path>`
+//! writes the aggregated registry as JSON to `<path>` and as
+//! Prometheus-style text to `<path>.prom`. Setting `REGENT_METRICS_OFF`
+//! disables collection entirely (the A/B switch the overhead
+//! measurement in EXPERIMENTS.md uses).
+
+use regent_trace::json::escape_into;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Monotonic event counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Counter {
+    /// Task launches issued (control thread or shard).
+    Launches,
+    /// Point-task kernels executed.
+    TaskRuns,
+    /// Copy messages extracted and sent (producer side).
+    CopiesIssued,
+    /// Copy messages received and applied (consumer side).
+    CopiesApplied,
+    /// Barrier waits entered.
+    BarrierWaits,
+    /// Dynamic-collective waits entered (§4.4).
+    CollectiveWaits,
+    /// Pairwise region dependence checks performed.
+    DepChecks,
+    /// Epochs fully replayed from a memoized template.
+    MemoHits,
+    /// Replay attempts that diverged back to analysis.
+    MemoMisses,
+    /// Epoch templates captured.
+    MemoCaptures,
+    /// Point tasks whose dependence bookkeeping was replayed.
+    MemoReplayedTasks,
+    /// Corrupted/lost delivery attempts absorbed by retransmission.
+    Retransmits,
+    /// Checkpoint snapshots taken.
+    Checkpoints,
+    /// Checkpoint rollbacks performed.
+    Restores,
+    /// Point tasks executed sequentially (hybrid segments).
+    SequentialTasks,
+    /// Replicated segments executed (hybrid programs).
+    ReplicatedSegments,
+}
+
+impl Counter {
+    /// Number of counters.
+    pub const COUNT: usize = 16;
+
+    /// All counters, in declaration order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::Launches,
+        Counter::TaskRuns,
+        Counter::CopiesIssued,
+        Counter::CopiesApplied,
+        Counter::BarrierWaits,
+        Counter::CollectiveWaits,
+        Counter::DepChecks,
+        Counter::MemoHits,
+        Counter::MemoMisses,
+        Counter::MemoCaptures,
+        Counter::MemoReplayedTasks,
+        Counter::Retransmits,
+        Counter::Checkpoints,
+        Counter::Restores,
+        Counter::SequentialTasks,
+        Counter::ReplicatedSegments,
+    ];
+
+    /// Stable snake_case name (used in exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Launches => "launches",
+            Counter::TaskRuns => "task_runs",
+            Counter::CopiesIssued => "copies_issued",
+            Counter::CopiesApplied => "copies_applied",
+            Counter::BarrierWaits => "barrier_waits",
+            Counter::CollectiveWaits => "collective_waits",
+            Counter::DepChecks => "dep_checks",
+            Counter::MemoHits => "memo_hits",
+            Counter::MemoMisses => "memo_misses",
+            Counter::MemoCaptures => "memo_captures",
+            Counter::MemoReplayedTasks => "memo_replayed_tasks",
+            Counter::Retransmits => "retransmits",
+            Counter::Checkpoints => "checkpoints",
+            Counter::Restores => "restores",
+            Counter::SequentialTasks => "sequential_tasks",
+            Counter::ReplicatedSegments => "replicated_segments",
+        }
+    }
+
+    fn index(self) -> usize {
+        Counter::ALL.iter().position(|c| *c == self).unwrap()
+    }
+}
+
+/// Latency histograms (all in nanoseconds).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Timer {
+    /// Kernel execution time per point task.
+    TaskRunNs,
+    /// Dependence-analysis time per task (implicit executor).
+    DepAnalysisNs,
+    /// Producer-side copy time (extract + send).
+    CopyIssueNs,
+    /// Consumer-side copy time (blocking receive + apply).
+    CopyWaitNs,
+    /// Time blocked at a barrier.
+    BarrierWaitNs,
+    /// Time blocked in a dynamic collective.
+    CollectiveWaitNs,
+    /// Checkpoint snapshot time.
+    CheckpointNs,
+    /// Checkpoint restore time.
+    RestoreNs,
+}
+
+impl Timer {
+    /// Number of timers.
+    pub const COUNT: usize = 8;
+
+    /// All timers, in declaration order.
+    pub const ALL: [Timer; Timer::COUNT] = [
+        Timer::TaskRunNs,
+        Timer::DepAnalysisNs,
+        Timer::CopyIssueNs,
+        Timer::CopyWaitNs,
+        Timer::BarrierWaitNs,
+        Timer::CollectiveWaitNs,
+        Timer::CheckpointNs,
+        Timer::RestoreNs,
+    ];
+
+    /// Stable snake_case name (used in exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Timer::TaskRunNs => "task_run_ns",
+            Timer::DepAnalysisNs => "dep_analysis_ns",
+            Timer::CopyIssueNs => "copy_issue_ns",
+            Timer::CopyWaitNs => "copy_wait_ns",
+            Timer::BarrierWaitNs => "barrier_wait_ns",
+            Timer::CollectiveWaitNs => "collective_wait_ns",
+            Timer::CheckpointNs => "checkpoint_ns",
+            Timer::RestoreNs => "restore_ns",
+        }
+    }
+
+    fn index(self) -> usize {
+        Timer::ALL.iter().position(|t| *t == self).unwrap()
+    }
+}
+
+/// Number of log2 buckets per histogram (covers single nanoseconds up
+/// to ~9 simulated minutes per sample).
+pub const HIST_BUCKETS: usize = 40;
+
+/// A log2-bucket latency histogram: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` nanoseconds (bucket 0 also absorbs 0 ns samples).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hist {
+    /// Sample counts per log2 bucket.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples, nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+}
+
+impl Hist {
+    /// Records one sample.
+    pub fn record(&mut self, ns: u64) {
+        let b = if ns == 0 {
+            0
+        } else {
+            ((63 - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        };
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum_ns += ns;
+    }
+
+    /// Componentwise accumulation.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+
+    /// Mean sample, nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// One shard's (or thread's) complete metric state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricSet {
+    /// Counter values, indexed by [`Counter::ALL`] order.
+    pub counters: [u64; Counter::COUNT],
+    /// Histograms, indexed by [`Timer::ALL`] order.
+    pub timers: [Hist; Timer::COUNT],
+}
+
+impl Default for MetricSet {
+    fn default() -> Self {
+        MetricSet {
+            counters: [0; Counter::COUNT],
+            timers: [Hist::default(); Timer::COUNT],
+        }
+    }
+}
+
+impl MetricSet {
+    /// Current value of `c`.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c.index()]
+    }
+
+    /// Histogram of `t`.
+    pub fn timer(&self, t: Timer) -> &Hist {
+        &self.timers[t.index()]
+    }
+
+    /// Componentwise accumulation.
+    pub fn merge(&mut self, other: &MetricSet) {
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.timers.iter_mut().zip(other.timers.iter()) {
+            a.merge(b);
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|&c| c == 0) && self.timers.iter().all(|t| t.count == 0)
+    }
+}
+
+/// The process-global registry. Threads record into private
+/// [`MetricsHandle`]s; dropped handles merge here under their label.
+pub struct MetricsRegistry {
+    enabled: bool,
+    store: Mutex<BTreeMap<String, MetricSet>>,
+}
+
+/// The global registry. Collection is enabled unless the
+/// `REGENT_METRICS_OFF` environment variable is set (to anything).
+pub fn global() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| MetricsRegistry {
+        enabled: std::env::var_os("REGENT_METRICS_OFF").is_none(),
+        store: Mutex::new(BTreeMap::new()),
+    })
+}
+
+impl MetricsRegistry {
+    /// Is collection on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// A private recording handle for one thread, merged back under
+    /// `label` when dropped.
+    pub fn handle(&'static self, label: &str) -> MetricsHandle {
+        MetricsHandle {
+            enabled: self.enabled,
+            label: label.to_string(),
+            epoch: Instant::now(),
+            set: Box::default(),
+            registry: self,
+        }
+    }
+
+    fn absorb(&self, label: &str, set: &MetricSet) {
+        if set.is_empty() {
+            return;
+        }
+        let mut store = self.store.lock().unwrap();
+        store.entry(label.to_string()).or_default().merge(set);
+    }
+
+    /// Per-label snapshots, label-sorted.
+    pub fn per_label(&self) -> Vec<(String, MetricSet)> {
+        let store = self.store.lock().unwrap();
+        store.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// Everything merged into one set.
+    pub fn aggregate(&self) -> MetricSet {
+        let mut total = MetricSet::default();
+        for (_, set) in self.per_label() {
+            total.merge(&set);
+        }
+        total
+    }
+
+    /// Clears all recorded state (tests and A/B measurements).
+    pub fn reset(&self) {
+        self.store.lock().unwrap().clear();
+    }
+
+    /// Flat `(name, value)` pairs of the aggregate — nonzero counters
+    /// plus count/mean per nonempty histogram — the metrics snapshot
+    /// embedded in bench artifacts.
+    pub fn snapshot_flat(&self) -> Vec<(String, f64)> {
+        let total = self.aggregate();
+        let mut out = Vec::new();
+        for c in Counter::ALL {
+            let v = total.get(c);
+            if v > 0 {
+                out.push((c.name().to_string(), v as f64));
+            }
+        }
+        for t in Timer::ALL {
+            let h = total.timer(t);
+            if h.count > 0 {
+                out.push((format!("{}_count", t.name()), h.count as f64));
+                out.push((format!("{}_mean", t.name()), h.mean_ns()));
+            }
+        }
+        out
+    }
+
+    /// Serializes the registry as JSON:
+    /// `{"metricsSchema":1,"labels":{…},"total":{…}}`.
+    pub fn to_json(&self) -> String {
+        fn write_set(out: &mut String, set: &MetricSet) {
+            out.push_str("{\"counters\":{");
+            let mut first = true;
+            for c in Counter::ALL {
+                let v = set.get(c);
+                if v == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                write!(out, "\"{}\":{v}", c.name()).unwrap();
+            }
+            out.push_str("},\"timers\":{");
+            let mut first = true;
+            for t in Timer::ALL {
+                let h = set.timer(t);
+                if h.count == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                write!(
+                    out,
+                    "\"{}\":{{\"count\":{},\"sum_ns\":{},\"buckets\":{{",
+                    t.name(),
+                    h.count,
+                    h.sum_ns
+                )
+                .unwrap();
+                let mut bfirst = true;
+                for (i, &n) in h.buckets.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    if !bfirst {
+                        out.push(',');
+                    }
+                    bfirst = false;
+                    write!(out, "\"{i}\":{n}").unwrap();
+                }
+                out.push_str("}}");
+            }
+            out.push_str("}}");
+        }
+        let mut out = String::from("{\"metricsSchema\":1,\"labels\":{");
+        for (i, (label, set)) in self.per_label().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, label);
+            out.push_str("\":");
+            write_set(&mut out, set);
+        }
+        out.push_str("},\"total\":");
+        write_set(&mut out, &self.aggregate());
+        out.push('}');
+        out
+    }
+
+    /// Serializes the registry as Prometheus text exposition
+    /// (cumulative `le` buckets, one series per label).
+    pub fn to_prometheus(&self) -> String {
+        let labels = self.per_label();
+        let mut out = String::new();
+        for c in Counter::ALL {
+            if labels.iter().all(|(_, s)| s.get(c) == 0) {
+                continue;
+            }
+            writeln!(out, "# TYPE regent_{}_total counter", c.name()).unwrap();
+            for (label, set) in &labels {
+                let v = set.get(c);
+                if v > 0 {
+                    writeln!(out, "regent_{}_total{{shard=\"{label}\"}} {v}", c.name()).unwrap();
+                }
+            }
+        }
+        for t in Timer::ALL {
+            if labels.iter().all(|(_, s)| s.timer(t).count == 0) {
+                continue;
+            }
+            writeln!(out, "# TYPE regent_{} histogram", t.name()).unwrap();
+            for (label, set) in &labels {
+                let h = set.timer(t);
+                if h.count == 0 {
+                    continue;
+                }
+                let mut cum = 0u64;
+                for (i, &n) in h.buckets.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    cum += n;
+                    writeln!(
+                        out,
+                        "regent_{}_bucket{{shard=\"{label}\",le=\"{}\"}} {cum}",
+                        t.name(),
+                        1u128 << (i + 1)
+                    )
+                    .unwrap();
+                }
+                writeln!(
+                    out,
+                    "regent_{}_bucket{{shard=\"{label}\",le=\"+Inf\"}} {}",
+                    t.name(),
+                    h.count
+                )
+                .unwrap();
+                writeln!(
+                    out,
+                    "regent_{}_sum{{shard=\"{label}\"}} {}",
+                    t.name(),
+                    h.sum_ns
+                )
+                .unwrap();
+                writeln!(
+                    out,
+                    "regent_{}_count{{shard=\"{label}\"}} {}",
+                    t.name(),
+                    h.count
+                )
+                .unwrap();
+            }
+        }
+        out
+    }
+}
+
+/// One thread's private recording handle (see [`MetricsRegistry`]).
+/// All methods are no-ops when collection is disabled.
+pub struct MetricsHandle {
+    enabled: bool,
+    label: String,
+    epoch: Instant,
+    set: Box<MetricSet>,
+    registry: &'static MetricsRegistry,
+}
+
+impl MetricsHandle {
+    /// Is this handle recording?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Increments `c` by one.
+    pub fn incr(&mut self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    /// Increments `c` by `by`.
+    pub fn add(&mut self, c: Counter, by: u64) {
+        if self.enabled && by > 0 {
+            self.set.counters[c.index()] += by;
+        }
+    }
+
+    /// An opaque start stamp for [`MetricsHandle::record_since`]
+    /// (0 — no clock read — when disabled).
+    pub fn start(&self) -> u64 {
+        if self.enabled {
+            self.epoch.elapsed().as_nanos() as u64
+        } else {
+            0
+        }
+    }
+
+    /// Records the elapsed time since `t0` (from
+    /// [`MetricsHandle::start`]) into `t`.
+    pub fn record_since(&mut self, t0: u64, t: Timer) {
+        if self.enabled {
+            let now = self.epoch.elapsed().as_nanos() as u64;
+            self.set.timers[t.index()].record(now.saturating_sub(t0));
+        }
+    }
+
+    /// Records an externally measured duration into `t`.
+    pub fn record_ns(&mut self, t: Timer, ns: u64) {
+        if self.enabled {
+            self.set.timers[t.index()].record(ns);
+        }
+    }
+}
+
+impl Drop for MetricsHandle {
+    fn drop(&mut self) {
+        if self.enabled {
+            self.registry.absorb(&self.label, &self.set);
+        }
+    }
+}
+
+/// Writes the global registry to the path named by the
+/// `REGENT_METRICS` environment variable — JSON at `<path>`,
+/// Prometheus text at `<path>.prom`. Called by every executor at
+/// shutdown; a missing variable (or disabled collection) makes this a
+/// no-op. Write failures are reported to stderr, never fatal.
+pub fn export_env() {
+    let registry = global();
+    if !registry.is_enabled() {
+        return;
+    }
+    let Some(path) = std::env::var_os("REGENT_METRICS") else {
+        return;
+    };
+    let path = std::path::PathBuf::from(path);
+    if let Err(e) = std::fs::write(&path, registry.to_json()) {
+        eprintln!("REGENT_METRICS: cannot write {}: {e}", path.display());
+    }
+    let mut prom = path.as_os_str().to_owned();
+    prom.push(".prom");
+    if let Err(e) = std::fs::write(&prom, registry.to_prometheus()) {
+        eprintln!(
+            "REGENT_METRICS: cannot write {}: {e}",
+            prom.to_string_lossy()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_buckets_and_means() {
+        let mut h = Hist::default();
+        h.record(0);
+        h.record(1);
+        h.record(1023); // bucket 9
+        h.record(1024); // bucket 10
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum_ns, 2048);
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[9], 1);
+        assert_eq!(h.buckets[10], 1);
+        assert_eq!(h.mean_ns(), 512.0);
+        let mut g = Hist::default();
+        g.merge(&h);
+        g.merge(&h);
+        assert_eq!(g.count, 8);
+        assert_eq!(g.buckets[0], 4);
+    }
+
+    #[test]
+    fn handles_merge_into_registry_and_export() {
+        let registry = global();
+        if !registry.is_enabled() {
+            return; // REGENT_METRICS_OFF set for this test process
+        }
+        registry.reset();
+        {
+            let mut h = registry.handle("test-shard-0");
+            h.incr(Counter::Launches);
+            h.add(Counter::Retransmits, 3);
+            h.record_ns(Timer::TaskRunNs, 500);
+            let mut h2 = registry.handle("test-shard-1");
+            h2.incr(Counter::Launches);
+            let t0 = h2.start();
+            h2.record_since(t0, Timer::CopyWaitNs);
+        }
+        let total = registry.aggregate();
+        assert_eq!(total.get(Counter::Launches), 2);
+        assert_eq!(total.get(Counter::Retransmits), 3);
+        assert_eq!(total.timer(Timer::TaskRunNs).count, 1);
+        assert_eq!(total.timer(Timer::CopyWaitNs).count, 1);
+
+        let json = registry.to_json();
+        let v = regent_trace::json::parse(&json).expect("metrics JSON must parse");
+        assert_eq!(
+            v.get("total")
+                .unwrap()
+                .get("counters")
+                .unwrap()
+                .get("launches")
+                .unwrap()
+                .as_num(),
+            Some(2.0)
+        );
+        let prom = registry.to_prometheus();
+        assert!(prom.contains("regent_launches_total{shard=\"test-shard-0\"} 1"));
+        assert!(prom.contains("regent_task_run_ns_bucket"));
+        assert!(prom.contains("le=\"+Inf\""));
+
+        let flat = registry.snapshot_flat();
+        assert!(flat.iter().any(|(n, v)| n == "launches" && *v == 2.0));
+        registry.reset();
+        assert!(registry.aggregate().is_empty());
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        // A handle constructed with collection off must not touch the
+        // clock or the store.
+        let registry = global();
+        registry.reset();
+        let mut h = MetricsHandle {
+            enabled: false,
+            label: "off".into(),
+            epoch: Instant::now(),
+            set: Box::default(),
+            registry,
+        };
+        h.incr(Counter::Launches);
+        assert_eq!(h.start(), 0);
+        h.record_since(0, Timer::TaskRunNs);
+        drop(h);
+        assert!(!registry.per_label().iter().any(|(label, _)| label == "off"));
+    }
+}

@@ -83,6 +83,7 @@
 
 use crate::collective::{hang_timeout, DynamicCollective, FramedScalar, ShardBarrier};
 use crate::memo::MemoCache;
+use crate::metrics::{self, Counter, MetricsHandle, Timer};
 use crate::plan::{build_exchange_plan, ExchangePlan, InstKey, PairPlan, SetupStats};
 use regent_cr::spmd::block_range;
 use regent_cr::{CopyId, CopyStmt, SpmdArg, SpmdLaunch, SpmdProgram, SpmdStmt, TempId, UseBase};
@@ -458,6 +459,7 @@ fn execute_spmd_inner(
                     local_queue: HashMap::new(),
                     offset_cache: HashMap::new(),
                     tb: tracer.buffer(&format!("shard-{shard}")),
+                    mx: metrics::global().handle(&format!("shard-{shard}")),
                     launch_seq: 0,
                     loop_depth: 0,
                     copy_occurrence: HashMap::new(),
@@ -527,6 +529,9 @@ fn execute_spmd_inner(
             }
         }
     }
+
+    // Every shard handle merged when its thread finished above.
+    metrics::export_env();
 
     SpmdRunResult {
         env: env0.unwrap_or_default(),
@@ -711,6 +716,9 @@ struct ShardExec<'a> {
     offset_cache: HashMap<(u32, u32, bool), std::sync::Arc<Vec<usize>>>,
     /// Event recorder for this shard's track.
     tb: TraceBuf,
+    /// Always-on metrics recorder for this shard (merged into the
+    /// global registry when the shard thread finishes).
+    mx: MetricsHandle,
     /// Dynamic launch sequence number. Control flow is replicated, so
     /// every shard assigns the same number to the same logical launch —
     /// the cross-shard trace identity (§3.5).
@@ -746,6 +754,7 @@ impl<'a> ShardExec<'a> {
                 SpmdStmt::AllReduce { var, op } => {
                     let local = self.env[var.0 as usize];
                     let t0 = self.tb.now();
+                    let m0 = self.mx.start();
                     let coll_seq = self.collective_seq;
                     self.collective_seq += 1;
                     let (folded, generation) = if self.integrity_on() {
@@ -754,6 +763,8 @@ impl<'a> ShardExec<'a> {
                         self.collective.reduce_counted(self.shard, local, *op)
                     };
                     self.env[var.0 as usize] = folded;
+                    self.mx.incr(Counter::CollectiveWaits);
+                    self.mx.record_since(m0, Timer::CollectiveWaitNs);
                     if self.useful_work() {
                         self.stats.collectives += 1;
                     }
@@ -820,7 +831,10 @@ impl<'a> ShardExec<'a> {
                 }
                 SpmdStmt::Barrier => {
                     let t0 = self.tb.now();
+                    let m0 = self.mx.start();
                     let generation = self.barrier.wait_counted();
+                    self.mx.incr(Counter::BarrierWaits);
+                    self.mx.record_since(m0, Timer::BarrierWaitNs);
                     if self.tb.is_enabled() {
                         self.tb.push(t0, 0, EventKind::BarrierArrive { generation });
                         self.tb.instant(EventKind::BarrierLeave { generation });
@@ -976,9 +990,13 @@ impl<'a> ShardExec<'a> {
                 pos,
                 task: l.task.0,
             });
+            self.mx.incr(Counter::Launches);
             let mut ctx = TaskCtx::new(&mut slots, &scalar_args, c);
             let t0 = self.tb.now();
+            let m0 = self.mx.start();
             (decl.kernel)(&mut ctx);
+            self.mx.incr(Counter::TaskRuns);
+            self.mx.record_since(m0, Timer::TaskRunNs);
             self.tb.span_since(
                 t0,
                 EventKind::TaskRun {
@@ -1095,6 +1113,7 @@ impl<'a> ShardExec<'a> {
                 continue;
             }
             let t0 = self.tb.now();
+            let m0 = self.mx.start();
             let offs = offsets_for(
                 &mut self.offset_cache,
                 &self.data,
@@ -1165,6 +1184,8 @@ impl<'a> ShardExec<'a> {
                         });
                 }
             }
+            self.mx.incr(Counter::CopiesIssued);
+            self.mx.record_since(m0, Timer::CopyIssueNs);
         }
         // Consumer phase: apply in the global deterministic order (the
         // receive is the point-to-point synchronization).
@@ -1173,6 +1194,7 @@ impl<'a> ShardExec<'a> {
                 continue;
             }
             let t0 = self.tb.now();
+            let m0 = self.mx.start();
             let chunks = if p.src_owner == self.shard {
                 self.local_queue
                     .remove(&(c.id.0, seq as u32))
@@ -1233,6 +1255,7 @@ impl<'a> ShardExec<'a> {
                 };
                 if bad_attempts > 0 {
                     self.stats.corruptions_repaired += 1;
+                    self.mx.add(Counter::Retransmits, u64::from(bad_attempts));
                     self.tb.instant(EventKind::CorruptRepaired {
                         site: CorruptSite::Exchange,
                         id: c.id.0,
@@ -1264,6 +1287,8 @@ impl<'a> ShardExec<'a> {
                 // authoritative again.
                 dst.seal();
             }
+            self.mx.incr(Counter::CopiesApplied);
+            self.mx.record_since(m0, Timer::CopyWaitNs);
             if traced {
                 let occurrence = self.occurrence(c.id.0, seq as u32, false);
                 // The span covers the blocking receive, so copy stalls
@@ -1393,6 +1418,7 @@ impl<'a> ShardExec<'a> {
             && r.snapshot.as_ref().is_none_or(|s| s.epoch != epoch);
         if due {
             let t0 = self.tb.now();
+            let m0 = self.mx.start();
             let snap = Snapshot {
                 it,
                 epoch,
@@ -1401,6 +1427,8 @@ impl<'a> ShardExec<'a> {
             };
             self.resilience.as_mut().unwrap().snapshot = Some(snap);
             self.stats.checkpoints += 1;
+            self.mx.incr(Counter::Checkpoints);
+            self.mx.record_since(m0, Timer::CheckpointNs);
             self.tb.span_since(t0, EventKind::CheckpointSave { epoch });
         }
         let r = self.resilience.as_mut().unwrap();
@@ -1498,6 +1526,7 @@ impl<'a> ShardExec<'a> {
         let insts = snap.insts.clone();
         let env = snap.env.clone();
         let t0 = self.tb.now();
+        let m0 = self.mx.start();
         self.data.insts = insts;
         self.env = env;
         self.epoch = snap_epoch;
@@ -1505,6 +1534,8 @@ impl<'a> ShardExec<'a> {
         self.replay_until = self.replay_until.max(epoch);
         self.stats.restores += 1;
         self.stats.epochs_replayed += epoch - snap_epoch;
+        self.mx.incr(Counter::Restores);
+        self.mx.record_since(m0, Timer::RestoreNs);
         self.tb.span_since(
             t0,
             EventKind::CheckpointRestore {

@@ -1,0 +1,288 @@
+//! Machine-readable bench artifacts: a stable JSON schema for
+//! benchmark results (`BENCH_PR5.json` and successors), so perf
+//! regressions are caught mechanically instead of by eyeballing
+//! figures.
+//!
+//! A document is `{"benchSchema":1,"entries":[…]}`; each entry is keyed
+//! by `(app, size, shards, executor)` and carries the measured wall
+//! time, the critical-path length, the per-phase blame vector
+//! ([`crate::critical`]), and a flat metrics snapshot. [`merge`]
+//! lets several figure binaries accumulate into one file; [`check`]
+//! compares a fresh run against a checked-in baseline and reports
+//! regressions beyond a tolerance.
+
+use crate::critical::{Blame, Phase};
+use crate::json::{escape_into, parse, Value};
+use std::fmt::Write as _;
+
+/// One benchmark measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchEntry {
+    /// Application name (`stencil`, `miniaero`, `pennant`, `circuit`).
+    pub app: String,
+    /// Workload size description (stable across runs of one config).
+    pub size: String,
+    /// Shards / nodes the run used.
+    pub shards: u32,
+    /// Execution model (`spmd`, `implicit`, `implicit-memo`, …).
+    pub executor: String,
+    /// End-to-end wall time, nanoseconds (virtual ns for simulated
+    /// runs).
+    pub wall_ns: u64,
+    /// Critical-path length, nanoseconds.
+    pub critical_path_ns: u64,
+    /// Per-phase critical-path blame.
+    pub blame: Blame,
+    /// Flat metrics snapshot (name → value); empty for simulated runs.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchEntry {
+    /// The identity key entries are merged and compared by.
+    pub fn key(&self) -> (String, String, u32, String) {
+        (
+            self.app.clone(),
+            self.size.clone(),
+            self.shards,
+            self.executor.clone(),
+        )
+    }
+}
+
+/// Serializes `entries` as a versioned artifact document.
+pub fn entries_to_json(entries: &[BenchEntry]) -> String {
+    let mut out = String::from("{\"benchSchema\":1,\"entries\":[\n");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  {\"app\":\"");
+        escape_into(&mut out, &e.app);
+        out.push_str("\",\"size\":\"");
+        escape_into(&mut out, &e.size);
+        write!(out, "\",\"shards\":{},\"executor\":\"", e.shards).unwrap();
+        escape_into(&mut out, &e.executor);
+        write!(
+            out,
+            "\",\"wall_ns\":{},\"critical_path_ns\":{},\"blame\":{{",
+            e.wall_ns, e.critical_path_ns
+        )
+        .unwrap();
+        let mut first = true;
+        for p in Phase::ALL {
+            let ns = e.blame.get(p);
+            if ns == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write!(out, "\"{}\":{}", p.name(), ns).unwrap();
+        }
+        out.push_str("},\"metrics\":{");
+        for (i, (name, v)) in e.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, name);
+            let v = if v.is_finite() { *v } else { 0.0 };
+            write!(out, "\":{v}").unwrap();
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn parse_entry(v: &Value) -> Result<BenchEntry, String> {
+    let o = v.as_obj().ok_or("entry is not an object")?;
+    let str_field = |k: &str| -> Result<String, String> {
+        o.get(k)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("entry missing string field {k:?}"))
+    };
+    let num_field = |k: &str| -> Result<u64, String> {
+        o.get(k)
+            .and_then(Value::as_num)
+            .map(|n| n as u64)
+            .ok_or_else(|| format!("entry missing numeric field {k:?}"))
+    };
+    let mut blame = Blame::default();
+    if let Some(b) = o.get("blame").and_then(Value::as_obj) {
+        for (name, v) in b {
+            let ns = v.as_num().ok_or("blame value is not a number")? as u64;
+            let phase = Phase::ALL
+                .into_iter()
+                .find(|p| p.name() == name)
+                .ok_or_else(|| format!("unknown blame phase {name:?}"))?;
+            blame.add(phase, ns);
+        }
+    }
+    let mut metrics = Vec::new();
+    if let Some(m) = o.get("metrics").and_then(Value::as_obj) {
+        for (name, v) in m {
+            metrics.push((
+                name.clone(),
+                v.as_num().ok_or("metric value is not a number")?,
+            ));
+        }
+    }
+    Ok(BenchEntry {
+        app: str_field("app")?,
+        size: str_field("size")?,
+        shards: num_field("shards")? as u32,
+        executor: str_field("executor")?,
+        wall_ns: num_field("wall_ns")?,
+        critical_path_ns: num_field("critical_path_ns")?,
+        blame,
+        metrics,
+    })
+}
+
+/// Parses an artifact document produced by [`entries_to_json`].
+pub fn parse_entries(text: &str) -> Result<Vec<BenchEntry>, String> {
+    let doc = parse(text).map_err(|e| format!("artifact is not valid JSON: {e}"))?;
+    match doc.get("benchSchema").and_then(Value::as_num) {
+        Some(1.0) => {}
+        _ => return Err("artifact missing benchSchema:1".to_string()),
+    }
+    doc.get("entries")
+        .and_then(Value::as_arr)
+        .ok_or("artifact missing entries array")?
+        .iter()
+        .map(parse_entry)
+        .collect()
+}
+
+/// Merges `fresh` into `base`: entries with the same key are replaced,
+/// new keys appended. Returns the merged list (stable order: base
+/// order, then new keys in `fresh` order).
+pub fn merge(base: Vec<BenchEntry>, fresh: Vec<BenchEntry>) -> Vec<BenchEntry> {
+    let mut out = base;
+    for e in fresh {
+        match out.iter_mut().find(|b| b.key() == e.key()) {
+            Some(slot) => *slot = e,
+            None => out.push(e),
+        }
+    }
+    out
+}
+
+/// Compares `current` against `baseline`: any entry whose `wall_ns` or
+/// `critical_path_ns` exceeds the baseline's by more than `tol_pct`
+/// percent is a regression. Keys missing from the baseline are noted
+/// but never fail. Returns `Ok(notes)` or `Err(regressions)`.
+pub fn check(
+    current: &[BenchEntry],
+    baseline: &[BenchEntry],
+    tol_pct: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut notes = Vec::new();
+    let mut regressions = Vec::new();
+    for c in current {
+        let Some(b) = baseline.iter().find(|b| b.key() == c.key()) else {
+            notes.push(format!(
+                "{}/{}/n{}/{}: no baseline entry (new measurement)",
+                c.app, c.size, c.shards, c.executor
+            ));
+            continue;
+        };
+        for (what, cur, base) in [
+            ("wall_ns", c.wall_ns, b.wall_ns),
+            ("critical_path_ns", c.critical_path_ns, b.critical_path_ns),
+        ] {
+            let limit = base as f64 * (1.0 + tol_pct / 100.0);
+            if cur as f64 > limit {
+                regressions.push(format!(
+                    "{}/{}/n{}/{}: {what} regressed {} -> {} (+{:.1}%, tolerance {tol_pct}%)",
+                    c.app,
+                    c.size,
+                    c.shards,
+                    c.executor,
+                    base,
+                    cur,
+                    (cur as f64 / base as f64 - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+    if regressions.is_empty() {
+        Ok(notes)
+    } else {
+        Err(regressions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(app: &str, shards: u32, executor: &str, wall: u64) -> BenchEntry {
+        let mut blame = Blame::default();
+        blame.add(Phase::Exec, wall / 2);
+        blame.add(Phase::DepAnalysis, wall / 4);
+        BenchEntry {
+            app: app.into(),
+            size: "steps4".into(),
+            shards,
+            executor: executor.into(),
+            wall_ns: wall,
+            critical_path_ns: wall * 3 / 4,
+            blame,
+            metrics: vec![("launches".into(), 128.0)],
+        }
+    }
+
+    #[test]
+    fn roundtrips() {
+        let entries = vec![
+            entry("stencil", 4, "spmd", 1_000_000),
+            entry("stencil", 4, "implicit", 2_000_000),
+        ];
+        let text = entries_to_json(&entries);
+        let back = parse_entries(&text).unwrap();
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn merge_replaces_matching_keys() {
+        let base = vec![
+            entry("stencil", 4, "spmd", 100),
+            entry("circuit", 4, "spmd", 200),
+        ];
+        let fresh = vec![
+            entry("stencil", 4, "spmd", 150),
+            entry("pennant", 8, "spmd", 50),
+        ];
+        let merged = merge(base, fresh);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0].wall_ns, 150);
+        assert_eq!(merged[2].app, "pennant");
+    }
+
+    #[test]
+    fn check_flags_regressions_and_tolerates_noise() {
+        let baseline = vec![entry("stencil", 4, "spmd", 1000)];
+        // +5% under a 10% tolerance: fine.
+        let ok = vec![entry("stencil", 4, "spmd", 1050)];
+        assert!(check(&ok, &baseline, 10.0).is_ok());
+        // +50%: regression.
+        let bad = vec![entry("stencil", 4, "spmd", 1500)];
+        let errs = check(&bad, &baseline, 10.0).unwrap_err();
+        assert!(errs[0].contains("wall_ns regressed"), "{errs:?}");
+        // Unknown key: a note, not a failure.
+        let new = vec![entry("miniaero", 4, "spmd", 1)];
+        let notes = check(&new, &baseline, 10.0).unwrap();
+        assert_eq!(notes.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_entries("{}").is_err());
+        assert!(parse_entries("{\"benchSchema\":2,\"entries\":[]}").is_err());
+        assert!(parse_entries("{\"benchSchema\":1,\"entries\":[{\"app\":1}]}").is_err());
+    }
+}

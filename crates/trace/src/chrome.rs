@@ -11,7 +11,11 @@ use crate::json::escape_into;
 use crate::tracer::Trace;
 use std::fmt::Write as _;
 
-/// Exports a trace as Chrome trace-event JSON.
+/// Exports a trace as Chrome trace-event JSON. SPMD copy send→recv
+/// pairs additionally get flow events (`"ph":"s"`/`"ph":"f"`) so
+/// Perfetto draws arrows between shard tracks, and the full lossless
+/// event log is embedded under a sibling `regentTracks` key (see
+/// [`crate::serial`]) so the same file can be re-analyzed offline.
 pub fn export_chrome(trace: &Trace) -> String {
     let mut out = String::with_capacity(64 * 1024 + trace.num_events() * 96);
     out.push_str("{\"traceEvents\":[");
@@ -30,8 +34,71 @@ pub fn export_chrome(trace: &Trace) -> String {
             write_event(&mut out, tid, e);
         }
     }
-    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    write_copy_flows(&mut out, trace, &mut first);
+    out.push_str("],\"displayTimeUnit\":\"ms\",\"regentTracks\":");
+    out.push_str(&crate::serial::tracks_json(trace));
+    out.push('}');
     out
+}
+
+/// Emits one flow (`s` start on the issue span, `f` finish bound to
+/// the enclosing apply span) per matched copy pair: the k-th issue of a
+/// `(copy, pair, seq)` identity links to its k-th apply — the same
+/// matching rule [`crate::build_graph`] uses for happens-before edges.
+fn write_copy_flows(out: &mut String, trace: &Trace, first: &mut bool) {
+    use std::collections::HashMap;
+    // (copy, pair, seq) -> queues of (tid, ts) for issues and applies.
+    #[allow(clippy::type_complexity)]
+    let mut issues: HashMap<(u32, u32, u32), Vec<(usize, u64)>> = HashMap::new();
+    let mut applies: HashMap<(u32, u32, u32), Vec<(usize, u64)>> = HashMap::new();
+    for (tid, track) in trace.tracks.iter().enumerate() {
+        for e in &track.events {
+            match e.kind {
+                EventKind::CopyIssue {
+                    copy, pair, seq, ..
+                } => issues
+                    .entry((copy, pair, seq))
+                    .or_default()
+                    .push((tid, e.ts)),
+                EventKind::CopyApply {
+                    copy, pair, seq, ..
+                } => applies
+                    .entry((copy, pair, seq))
+                    .or_default()
+                    .push((tid, e.ts)),
+                _ => {}
+            }
+        }
+    }
+    let mut keys: Vec<_> = applies.keys().copied().collect();
+    keys.sort_unstable();
+    let mut id = 0u64;
+    for key in keys {
+        let (copy, pair, _) = key;
+        let iss = issues.get(&key).map(|v| v.as_slice()).unwrap_or(&[]);
+        for (k, &(apply_tid, apply_ts)) in applies[&key].iter().enumerate() {
+            let Some(&(issue_tid, issue_ts)) = iss.get(k) else {
+                continue; // unmatched apply: no arrow
+            };
+            id += 1;
+            sep(out, first);
+            write!(
+                out,
+                "{{\"ph\":\"s\",\"id\":{id},\"name\":\"copy {copy}.{pair}\",\"cat\":\"copy\",\
+                 \"pid\":0,\"tid\":{issue_tid},\"ts\":{}}}",
+                us(issue_ts)
+            )
+            .unwrap();
+            sep(out, first);
+            write!(
+                out,
+                "{{\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\"name\":\"copy {copy}.{pair}\",\
+                 \"cat\":\"copy\",\"pid\":0,\"tid\":{apply_tid},\"ts\":{}}}",
+                us(apply_ts)
+            )
+            .unwrap();
+        }
+    }
 }
 
 fn sep(out: &mut String, first: &mut bool) {
@@ -129,6 +196,7 @@ fn kind_name(k: &EventKind) -> String {
         EventKind::MemoHit { epoch, .. } => format!("memo hit e{epoch}"),
         EventKind::MemoMiss { epoch, at } => format!("memo miss e{epoch}@{at}"),
         EventKind::MemoInvalidate { templates } => format!("memo invalidate ({templates})"),
+        EventKind::MemoReplay { launch, pos } => format!("memo replay L{launch}[{pos}]"),
         EventKind::Pass { name } => format!("pass {name}"),
         EventKind::SimTask { kind, step, .. } => {
             format!("{} s{step}", sim_kind_name(*kind))
@@ -234,5 +302,54 @@ mod tests {
             .map(|e| e.get("ph").unwrap().as_str().unwrap())
             .collect();
         assert_eq!(phases, vec!["M", "i", "X", "C"]);
+    }
+
+    #[test]
+    fn matched_copies_get_flow_arrows() {
+        let tracer = Tracer::enabled();
+        let mut b = tracer.buffer("shard-0");
+        b.push(
+            0,
+            5,
+            EventKind::CopyIssue {
+                copy: 3,
+                pair: 1,
+                seq: 0,
+                elements: 8,
+                dst_shard: 1,
+            },
+        );
+        drop(b);
+        let mut b = tracer.buffer("shard-1");
+        b.push(
+            9,
+            2,
+            EventKind::CopyApply {
+                copy: 3,
+                pair: 1,
+                seq: 0,
+                region: 2,
+                inst: 5,
+                fields: 1,
+                reduce: false,
+            },
+        );
+        drop(b);
+        let out = export_chrome(&tracer.take());
+        let v = json::parse(&out).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let start = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("s"))
+            .expect("flow start");
+        let finish = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("f"))
+            .expect("flow finish");
+        assert_eq!(start.get("id"), finish.get("id"));
+        assert_eq!(start.get("tid").unwrap().as_num(), Some(0.0));
+        assert_eq!(finish.get("tid").unwrap().as_num(), Some(1.0));
+        assert_eq!(finish.get("bp").unwrap().as_str(), Some("e"));
+        assert_eq!(start.get("name").unwrap().as_str(), Some("copy 3.1"));
     }
 }

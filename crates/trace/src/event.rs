@@ -307,6 +307,15 @@ pub enum EventKind {
         /// Templates dropped from the cache.
         templates: u32,
     },
+    /// One task's dependence bookkeeping replayed from a memoized
+    /// template instead of analyzed (span covers the edge replay) — the
+    /// memo-path counterpart of [`EventKind::DepAnalysis`].
+    MemoReplay {
+        /// Dynamic launch sequence number of the replayed task.
+        launch: u32,
+        /// Position of the replayed task.
+        pos: u32,
+    },
     /// A compiler pass of the CR pipeline (span).
     Pass {
         /// Pass name.

@@ -125,6 +125,8 @@ fn is_node(kind: &EventKind) -> bool {
             | EventKind::BarrierLeave { .. }
             | EventKind::CollectiveArrive { .. }
             | EventKind::CollectiveLeave { .. }
+            | EventKind::DepAnalysis { .. }
+            | EventKind::MemoReplay { .. }
     )
 }
 

@@ -18,6 +18,14 @@
 //!   exporter, loadable in `chrome://tracing` / Perfetto, plus an
 //!   [`ascii`] timeline for terminals. [`json`] is the matching
 //!   minimal parser used to round-trip-check exports.
+//! * [`critical`] — critical-path *blame* attribution: decomposes the
+//!   longest dependence chain by phase (analysis / copy / waits /
+//!   exec), per track and per epoch, plus a load-imbalance report.
+//! * [`serial`] — lossless trace (de)serialization; [`export_chrome`]
+//!   embeds it so one trace file is both Perfetto-loadable and
+//!   re-analyzable by the `regent-prof` CLI.
+//! * [`artifact`] — the machine-readable bench-result schema
+//!   (`BENCH_*.json`) with baseline regression checking.
 //!
 //! ## Recording model
 //!
@@ -34,18 +42,27 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod ascii;
 pub mod chrome;
+pub mod critical;
 pub mod event;
 pub mod graph;
 pub mod json;
 pub mod prof;
 pub mod ring;
+pub mod serial;
 pub mod spy;
 pub mod tracer;
 
+pub use artifact::{
+    check as check_entries, entries_to_json, merge as merge_entries, parse_entries, BenchEntry,
+};
 pub use ascii::ascii_timeline;
 pub use chrome::export_chrome;
+pub use critical::{
+    blame_report, classify, imbalance_report, sim_blame, Blame, BlameReport, ImbalanceReport, Phase,
+};
 pub use event::{fields_mask, CorruptSite, Event, EventKind, PrivCode, SimKind};
 pub use graph::{build_graph, EventGraph};
 pub use prof::{
@@ -53,5 +70,6 @@ pub use prof::{
     sim_control_cost_per_step, IntegritySummary, MemoSummary, ProfReport,
 };
 pub use ring::Ring;
+pub use serial::{export_native, import_trace};
 pub use spy::{validate, AllOverlap, OverlapOracle, SpyReport, Violation};
 pub use tracer::{Trace, TraceBuf, Tracer, Track};

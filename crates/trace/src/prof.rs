@@ -52,6 +52,10 @@ pub struct ProfReport {
     /// small enough to reconstruct the happens-before graph and the
     /// graph is acyclic.
     pub critical_path_ns: Option<u64>,
+    /// Events lost to ring wrap-around, summed over every track. A
+    /// nonzero value means the profile (and any certification) is based
+    /// on an *incomplete* record.
+    pub dropped: u64,
 }
 
 impl ProfReport {
@@ -102,6 +106,7 @@ impl ProfReport {
         ProfReport {
             tracks,
             critical_path_ns,
+            dropped: trace.tracks.iter().map(|t| t.dropped).sum(),
         }
     }
 
@@ -121,6 +126,10 @@ impl ProfReport {
             "track", "events", "dropped", "busy (us)", "span (us)", "util"
         );
         for t in &self.tracks {
+            // Tracks whose spans overlap (e.g. a simulator track holding
+            // every node's concurrent service intervals) can sum to more
+            // busy time than wall extent; the displayed utilization is
+            // clamped so the column stays a percentage.
             let _ = writeln!(
                 out,
                 "{:width$}  {:>8}  {:>8}  {:>12.1}  {:>12.1}  {:>5.1}%",
@@ -129,11 +138,18 @@ impl ProfReport {
                 t.dropped,
                 t.busy_ns as f64 / 1e3,
                 t.span_ns as f64 / 1e3,
-                t.utilization * 100.0
+                t.utilization.min(1.0) * 100.0
             );
         }
         if let Some(cp) = self.critical_path_ns {
             let _ = writeln!(out, "critical path: {:.1} us", cp as f64 / 1e3);
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: {} event(s) dropped to ring wrap-around — trace is incomplete",
+                self.dropped
+            );
         }
         out
     }
@@ -380,6 +396,44 @@ mod tests {
         assert_eq!(p.tracks[0].span_ns, 150);
         assert!((p.tracks[0].utilization - 100.0 / 150.0).abs() < 1e-9);
         assert!(p.format_table().contains("w0"));
+    }
+
+    #[test]
+    fn overlapping_spans_render_at_most_100_percent() {
+        // Two fully overlapping 100 ns spans: busy 200 ns over a 100 ns
+        // extent. The raw ratio stays available; the rendered column is
+        // clamped to 100%.
+        let trace = Trace {
+            tracks: vec![track(
+                "sim",
+                vec![
+                    Event {
+                        ts: 0,
+                        dur: 100,
+                        kind: EventKind::Mark { name: "a" },
+                    },
+                    Event {
+                        ts: 0,
+                        dur: 100,
+                        kind: EventKind::Mark { name: "b" },
+                    },
+                ],
+            )],
+        };
+        let p = ProfReport::analyze(&trace);
+        assert!((p.tracks[0].utilization - 2.0).abs() < 1e-9);
+        let table = p.format_table();
+        assert!(table.contains("100.0%"), "{table}");
+        assert!(!table.contains("200.0%"), "{table}");
+    }
+
+    #[test]
+    fn dropped_events_flag_the_profile_incomplete() {
+        let mut t = track("w0", Vec::new());
+        t.dropped = 17;
+        let p = ProfReport::analyze(&Trace { tracks: vec![t] });
+        assert_eq!(p.dropped, 17);
+        assert!(p.format_table().contains("incomplete"));
     }
 
     #[test]

@@ -1,0 +1,635 @@
+//! Lossless trace (de)serialization: the native sidecar that makes a
+//! written trace file loadable by offline tooling (`regent-prof`).
+//!
+//! The Chrome exporter renders events for *display* — names are
+//! flattened to strings and most identity fields are dropped — so a
+//! Chrome file alone cannot be re-analyzed.
+//! [`export_chrome`](crate::export_chrome) therefore embeds the output
+//! of
+//! [`tracks_json`] under a sibling top-level `regentTracks` key: one
+//! file is both Perfetto-loadable and a complete execution record.
+//! [`import_trace`] accepts either that embedded form or the standalone
+//! native document written by [`export_native`].
+//!
+//! `u64` fields that can exceed 2^53 (instance hashes, field masks,
+//! memo keys) are encoded as decimal *strings* so they survive the
+//! JSON number round-trip exactly.
+
+use crate::event::{CorruptSite, Event, EventKind, PrivCode, SimKind};
+use crate::json::{escape_into, parse, Value};
+use crate::tracer::{Trace, Track};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+
+/// Interns `s`, returning a `&'static str` with the same contents.
+/// Used when importing events whose schema carries static names
+/// (`Pass`, `Counter`, `Mark`); repeated names share one allocation.
+pub fn intern(s: &str) -> &'static str {
+    static POOL: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut pool = pool.lock().unwrap();
+    if let Some(&v) = pool.get(s) {
+        return v;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    pool.insert(s.to_string(), leaked);
+    leaked
+}
+
+/// Serializes the tracks as a JSON array value (no surrounding
+/// document): `[{"name":…,"dropped":…,"events":[…]},…]`.
+pub fn tracks_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.num_events() * 64 + 256);
+    out.push('[');
+    for (ti, track) in trace.tracks.iter().enumerate() {
+        if ti > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_into(&mut out, &track.name);
+        write!(out, "\",\"dropped\":{},\"events\":[", track.dropped).unwrap();
+        for (ei, e) in track.events.iter().enumerate() {
+            if ei > 0 {
+                out.push(',');
+            }
+            write_event(&mut out, e);
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
+    out
+}
+
+/// Serializes `trace` as a standalone native document:
+/// `{"regentTrace":1,"tracks":[…]}`.
+pub fn export_native(trace: &Trace) -> String {
+    format!("{{\"regentTrace\":1,\"tracks\":{}}}", tracks_json(trace))
+}
+
+fn site_str(s: CorruptSite) -> &'static str {
+    match s {
+        CorruptSite::Exchange => "exchange",
+        CorruptSite::Resident => "resident",
+        CorruptSite::Collective => "collective",
+    }
+}
+
+fn sim_str(k: SimKind) -> &'static str {
+    match k {
+        SimKind::Launch => "launch",
+        SimKind::Analysis => "analysis",
+        SimKind::Compute => "compute",
+        SimKind::Copy => "copy",
+        SimKind::Collective => "collective",
+        SimKind::Other => "other",
+    }
+}
+
+fn priv_str(p: PrivCode) -> String {
+    match p {
+        PrivCode::Read => "read".into(),
+        PrivCode::Write => "write".into(),
+        PrivCode::Reduce(op) => format!("reduce:{op}"),
+    }
+}
+
+fn write_event(out: &mut String, e: &Event) {
+    write!(out, "{{\"ts\":{},\"dur\":{},\"k\":", e.ts, e.dur).unwrap();
+    match e.kind {
+        EventKind::TaskLaunch { launch, pos, task } => {
+            write!(
+                out,
+                "\"task_launch\",\"launch\":{launch},\"pos\":{pos},\"task\":{task}"
+            )
+        }
+        EventKind::TaskRun { launch, pos, task } => {
+            write!(
+                out,
+                "\"task_run\",\"launch\":{launch},\"pos\":{pos},\"task\":{task}"
+            )
+        }
+        EventKind::TaskAccess {
+            launch,
+            pos,
+            region,
+            inst,
+            fields,
+            privilege,
+        } => write!(
+            out,
+            "\"task_access\",\"launch\":{launch},\"pos\":{pos},\"region\":{region},\
+             \"inst\":\"{inst}\",\"fields\":\"{fields}\",\"priv\":\"{}\"",
+            priv_str(privilege)
+        ),
+        EventKind::DepAnalysis {
+            launch,
+            pos,
+            checks,
+        } => {
+            write!(
+                out,
+                "\"dep_analysis\",\"launch\":{launch},\"pos\":{pos},\"checks\":{checks}"
+            )
+        }
+        EventKind::DepEdge {
+            from_launch,
+            from_pos,
+            to_launch,
+            to_pos,
+        } => write!(
+            out,
+            "\"dep_edge\",\"from_launch\":{from_launch},\"from_pos\":{from_pos},\
+             \"to_launch\":{to_launch},\"to_pos\":{to_pos}"
+        ),
+        EventKind::Drain => write!(out, "\"drain\""),
+        EventKind::CopyIssue {
+            copy,
+            pair,
+            seq,
+            elements,
+            dst_shard,
+        } => write!(
+            out,
+            "\"copy_issue\",\"copy\":{copy},\"pair\":{pair},\"seq\":{seq},\
+             \"elements\":{elements},\"dst_shard\":{dst_shard}"
+        ),
+        EventKind::CopyApply {
+            copy,
+            pair,
+            seq,
+            region,
+            inst,
+            fields,
+            reduce,
+        } => write!(
+            out,
+            "\"copy_apply\",\"copy\":{copy},\"pair\":{pair},\"seq\":{seq},\"region\":{region},\
+             \"inst\":\"{inst}\",\"fields\":\"{fields}\",\"reduce\":{reduce}"
+        ),
+        EventKind::BarrierArrive { generation } => {
+            write!(out, "\"barrier_arrive\",\"generation\":{generation}")
+        }
+        EventKind::BarrierLeave { generation } => {
+            write!(out, "\"barrier_leave\",\"generation\":{generation}")
+        }
+        EventKind::CollectiveArrive { generation } => {
+            write!(out, "\"collective_arrive\",\"generation\":{generation}")
+        }
+        EventKind::CollectiveLeave { generation } => {
+            write!(out, "\"collective_leave\",\"generation\":{generation}")
+        }
+        EventKind::StepBegin { step } => write!(out, "\"step_begin\",\"step\":{step}"),
+        EventKind::CheckpointSave { epoch } => {
+            write!(out, "\"checkpoint_save\",\"epoch\":{epoch}")
+        }
+        EventKind::CheckpointRestore { epoch, to_epoch } => {
+            write!(
+                out,
+                "\"checkpoint_restore\",\"epoch\":{epoch},\"to_epoch\":{to_epoch}"
+            )
+        }
+        EventKind::ShardCrash { shard, epoch } => {
+            write!(out, "\"shard_crash\",\"shard\":{shard},\"epoch\":{epoch}")
+        }
+        EventKind::CorruptDetected {
+            site,
+            id,
+            sub,
+            epoch,
+        } => write!(
+            out,
+            "\"corrupt_detected\",\"site\":\"{}\",\"id\":{id},\"sub\":{sub},\"epoch\":{epoch}",
+            site_str(site)
+        ),
+        EventKind::CorruptRepaired {
+            site,
+            id,
+            sub,
+            attempts,
+        } => write!(
+            out,
+            "\"corrupt_repaired\",\"site\":\"{}\",\"id\":{id},\"sub\":{sub},\
+             \"attempts\":{attempts}",
+            site_str(site)
+        ),
+        EventKind::CorruptEscalated { shard, epoch } => {
+            write!(
+                out,
+                "\"corrupt_escalated\",\"shard\":{shard},\"epoch\":{epoch}"
+            )
+        }
+        EventKind::MemoCapture { epoch, key, tasks } => {
+            write!(
+                out,
+                "\"memo_capture\",\"epoch\":{epoch},\"key\":\"{key}\",\"tasks\":{tasks}"
+            )
+        }
+        EventKind::MemoHit { epoch, key, tasks } => {
+            write!(
+                out,
+                "\"memo_hit\",\"epoch\":{epoch},\"key\":\"{key}\",\"tasks\":{tasks}"
+            )
+        }
+        EventKind::MemoMiss { epoch, at } => {
+            write!(out, "\"memo_miss\",\"epoch\":{epoch},\"at\":{at}")
+        }
+        EventKind::MemoInvalidate { templates } => {
+            write!(out, "\"memo_invalidate\",\"templates\":{templates}")
+        }
+        EventKind::MemoReplay { launch, pos } => {
+            write!(out, "\"memo_replay\",\"launch\":{launch},\"pos\":{pos}")
+        }
+        EventKind::Pass { name } => {
+            out.push_str("\"pass\",\"name\":\"");
+            escape_into(out, name);
+            out.push('"');
+            Ok(())
+        }
+        EventKind::SimTask { kind, node, step } => write!(
+            out,
+            "\"sim_task\",\"kind\":\"{}\",\"node\":{node},\"step\":{step}",
+            sim_str(kind)
+        ),
+        EventKind::Counter { name, value } => {
+            out.push_str("\"counter\",\"name\":\"");
+            escape_into(out, name);
+            let v = if value.is_finite() { value } else { 0.0 };
+            write!(out, "\",\"value\":{v}")
+        }
+        EventKind::Mark { name } => {
+            out.push_str("\"mark\",\"name\":\"");
+            escape_into(out, name);
+            out.push('"');
+            Ok(())
+        }
+    }
+    .unwrap();
+    out.push('}');
+}
+
+fn get_u64(o: &BTreeMap<String, Value>, key: &str) -> Result<u64, String> {
+    match o.get(key) {
+        Some(Value::Num(n)) => Ok(*n as u64),
+        // Large u64s are serialized as decimal strings (see module docs).
+        Some(Value::Str(s)) => s
+            .parse::<u64>()
+            .map_err(|_| format!("bad u64 field {key:?}")),
+        _ => Err(format!("missing numeric field {key:?}")),
+    }
+}
+
+fn get_u32(o: &BTreeMap<String, Value>, key: &str) -> Result<u32, String> {
+    Ok(get_u64(o, key)? as u32)
+}
+
+fn get_str<'a>(o: &'a BTreeMap<String, Value>, key: &str) -> Result<&'a str, String> {
+    o.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn parse_site(s: &str) -> Result<CorruptSite, String> {
+    match s {
+        "exchange" => Ok(CorruptSite::Exchange),
+        "resident" => Ok(CorruptSite::Resident),
+        "collective" => Ok(CorruptSite::Collective),
+        _ => Err(format!("unknown corruption site {s:?}")),
+    }
+}
+
+fn parse_sim(s: &str) -> Result<SimKind, String> {
+    match s {
+        "launch" => Ok(SimKind::Launch),
+        "analysis" => Ok(SimKind::Analysis),
+        "compute" => Ok(SimKind::Compute),
+        "copy" => Ok(SimKind::Copy),
+        "collective" => Ok(SimKind::Collective),
+        "other" => Ok(SimKind::Other),
+        _ => Err(format!("unknown sim kind {s:?}")),
+    }
+}
+
+fn parse_priv(s: &str) -> Result<PrivCode, String> {
+    if s == "read" {
+        Ok(PrivCode::Read)
+    } else if s == "write" {
+        Ok(PrivCode::Write)
+    } else if let Some(op) = s.strip_prefix("reduce:") {
+        op.parse::<u8>()
+            .map(PrivCode::Reduce)
+            .map_err(|_| format!("bad reduce operator in {s:?}"))
+    } else {
+        Err(format!("unknown privilege {s:?}"))
+    }
+}
+
+fn parse_event(v: &Value) -> Result<Event, String> {
+    let o = v.as_obj().ok_or("event is not an object")?;
+    let ts = get_u64(o, "ts")?;
+    let dur = get_u64(o, "dur")?;
+    let kind = match get_str(o, "k")? {
+        "task_launch" => EventKind::TaskLaunch {
+            launch: get_u32(o, "launch")?,
+            pos: get_u32(o, "pos")?,
+            task: get_u32(o, "task")?,
+        },
+        "task_run" => EventKind::TaskRun {
+            launch: get_u32(o, "launch")?,
+            pos: get_u32(o, "pos")?,
+            task: get_u32(o, "task")?,
+        },
+        "task_access" => EventKind::TaskAccess {
+            launch: get_u32(o, "launch")?,
+            pos: get_u32(o, "pos")?,
+            region: get_u32(o, "region")?,
+            inst: get_u64(o, "inst")?,
+            fields: get_u64(o, "fields")?,
+            privilege: parse_priv(get_str(o, "priv")?)?,
+        },
+        "dep_analysis" => EventKind::DepAnalysis {
+            launch: get_u32(o, "launch")?,
+            pos: get_u32(o, "pos")?,
+            checks: get_u32(o, "checks")?,
+        },
+        "dep_edge" => EventKind::DepEdge {
+            from_launch: get_u32(o, "from_launch")?,
+            from_pos: get_u32(o, "from_pos")?,
+            to_launch: get_u32(o, "to_launch")?,
+            to_pos: get_u32(o, "to_pos")?,
+        },
+        "drain" => EventKind::Drain,
+        "copy_issue" => EventKind::CopyIssue {
+            copy: get_u32(o, "copy")?,
+            pair: get_u32(o, "pair")?,
+            seq: get_u32(o, "seq")?,
+            elements: get_u64(o, "elements")?,
+            dst_shard: get_u32(o, "dst_shard")?,
+        },
+        "copy_apply" => EventKind::CopyApply {
+            copy: get_u32(o, "copy")?,
+            pair: get_u32(o, "pair")?,
+            seq: get_u32(o, "seq")?,
+            region: get_u32(o, "region")?,
+            inst: get_u64(o, "inst")?,
+            fields: get_u64(o, "fields")?,
+            reduce: matches!(o.get("reduce"), Some(Value::Bool(true))),
+        },
+        "barrier_arrive" => EventKind::BarrierArrive {
+            generation: get_u64(o, "generation")?,
+        },
+        "barrier_leave" => EventKind::BarrierLeave {
+            generation: get_u64(o, "generation")?,
+        },
+        "collective_arrive" => EventKind::CollectiveArrive {
+            generation: get_u64(o, "generation")?,
+        },
+        "collective_leave" => EventKind::CollectiveLeave {
+            generation: get_u64(o, "generation")?,
+        },
+        "step_begin" => EventKind::StepBegin {
+            step: get_u64(o, "step")?,
+        },
+        "checkpoint_save" => EventKind::CheckpointSave {
+            epoch: get_u64(o, "epoch")?,
+        },
+        "checkpoint_restore" => EventKind::CheckpointRestore {
+            epoch: get_u64(o, "epoch")?,
+            to_epoch: get_u64(o, "to_epoch")?,
+        },
+        "shard_crash" => EventKind::ShardCrash {
+            shard: get_u32(o, "shard")?,
+            epoch: get_u64(o, "epoch")?,
+        },
+        "corrupt_detected" => EventKind::CorruptDetected {
+            site: parse_site(get_str(o, "site")?)?,
+            id: get_u32(o, "id")?,
+            sub: get_u32(o, "sub")?,
+            epoch: get_u64(o, "epoch")?,
+        },
+        "corrupt_repaired" => EventKind::CorruptRepaired {
+            site: parse_site(get_str(o, "site")?)?,
+            id: get_u32(o, "id")?,
+            sub: get_u32(o, "sub")?,
+            attempts: get_u32(o, "attempts")?,
+        },
+        "corrupt_escalated" => EventKind::CorruptEscalated {
+            shard: get_u32(o, "shard")?,
+            epoch: get_u64(o, "epoch")?,
+        },
+        "memo_capture" => EventKind::MemoCapture {
+            epoch: get_u64(o, "epoch")?,
+            key: get_u64(o, "key")?,
+            tasks: get_u32(o, "tasks")?,
+        },
+        "memo_hit" => EventKind::MemoHit {
+            epoch: get_u64(o, "epoch")?,
+            key: get_u64(o, "key")?,
+            tasks: get_u32(o, "tasks")?,
+        },
+        "memo_miss" => EventKind::MemoMiss {
+            epoch: get_u64(o, "epoch")?,
+            at: get_u32(o, "at")?,
+        },
+        "memo_invalidate" => EventKind::MemoInvalidate {
+            templates: get_u32(o, "templates")?,
+        },
+        "memo_replay" => EventKind::MemoReplay {
+            launch: get_u32(o, "launch")?,
+            pos: get_u32(o, "pos")?,
+        },
+        "pass" => EventKind::Pass {
+            name: intern(get_str(o, "name")?),
+        },
+        "sim_task" => EventKind::SimTask {
+            kind: parse_sim(get_str(o, "kind")?)?,
+            node: get_u32(o, "node")?,
+            step: get_u32(o, "step")?,
+        },
+        "counter" => EventKind::Counter {
+            name: intern(get_str(o, "name")?),
+            value: o
+                .get("value")
+                .and_then(Value::as_num)
+                .ok_or("counter without a value")?,
+        },
+        "mark" => EventKind::Mark {
+            name: intern(get_str(o, "name")?),
+        },
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok(Event { ts, dur, kind })
+}
+
+fn parse_tracks(v: &Value) -> Result<Trace, String> {
+    let arr = v.as_arr().ok_or("regentTracks is not an array")?;
+    let mut tracks = Vec::with_capacity(arr.len());
+    for t in arr {
+        let o = t.as_obj().ok_or("track is not an object")?;
+        let name = get_str(o, "name")?.to_string();
+        let dropped = get_u64(o, "dropped")?;
+        let events = o
+            .get("events")
+            .and_then(Value::as_arr)
+            .ok_or("track without an events array")?
+            .iter()
+            .map(parse_event)
+            .collect::<Result<Vec<_>, _>>()?;
+        tracks.push(Track {
+            name,
+            events,
+            dropped,
+        });
+    }
+    Ok(Trace { tracks })
+}
+
+/// Parses a trace file: either a native document
+/// (`{"regentTrace":1,"tracks":[…]}`) or a Chrome `trace_event`
+/// document carrying the embedded `regentTracks` sidecar. A plain
+/// Chrome file without the sidecar is rejected with an explanation
+/// (its events are lossy display records, not an execution log).
+pub fn import_trace(text: &str) -> Result<Trace, String> {
+    let doc = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    if let Some(tracks) = doc.get("regentTracks") {
+        return parse_tracks(tracks);
+    }
+    if doc.get("regentTrace").is_some() {
+        let tracks = doc.get("tracks").ok_or("native document without tracks")?;
+        return parse_tracks(tracks);
+    }
+    Err(
+        "no regentTracks key: this file is not a regent trace (a bare Chrome trace_event \
+         file cannot be re-analyzed; re-export it with --trace from this repo's tools)"
+            .to_string(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    fn sample_trace() -> Trace {
+        let tracer = Tracer::enabled();
+        let mut b = tracer.buffer("shard-0");
+        b.push(
+            0,
+            10,
+            EventKind::TaskRun {
+                launch: 1,
+                pos: 2,
+                task: 3,
+            },
+        );
+        b.push(
+            0,
+            0,
+            EventKind::TaskAccess {
+                launch: 1,
+                pos: 2,
+                region: 4,
+                inst: u64::MAX - 7, // exercises the >2^53 string path
+                fields: 1u64 << 63,
+                privilege: PrivCode::Reduce(2),
+            },
+        );
+        b.push(
+            12,
+            0,
+            EventKind::MemoHit {
+                epoch: 3,
+                key: 0xdead_beef_dead_beef,
+                tasks: 9,
+            },
+        );
+        b.push(14, 2, EventKind::MemoReplay { launch: 5, pos: 0 });
+        b.push(20, 1, EventKind::Pass { name: "lower" });
+        b.push(
+            22,
+            0,
+            EventKind::Counter {
+                name: "q",
+                value: -2.5,
+            },
+        );
+        b.push(
+            23,
+            4,
+            EventKind::SimTask {
+                kind: SimKind::Analysis,
+                node: 7,
+                step: 2,
+            },
+        );
+        b.push(
+            30,
+            0,
+            EventKind::CorruptDetected {
+                site: CorruptSite::Collective,
+                id: 1,
+                sub: 2,
+                epoch: 5,
+            },
+        );
+        drop(b);
+        let mut b = tracer.buffer("shard-1 \"x\"");
+        b.push(
+            2,
+            3,
+            EventKind::CopyApply {
+                copy: 1,
+                pair: 2,
+                seq: 3,
+                region: 4,
+                inst: 0xffff_ffff_ffff_fff0,
+                fields: 0b101,
+                reduce: true,
+            },
+        );
+        drop(b);
+        tracer.take()
+    }
+
+    #[test]
+    fn native_roundtrip_is_lossless() {
+        let trace = sample_trace();
+        let text = export_native(&trace);
+        let back = import_trace(&text).unwrap();
+        assert_eq!(back.tracks.len(), trace.tracks.len());
+        for (a, b) in trace.tracks.iter().zip(back.tracks.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.dropped, b.dropped);
+            assert_eq!(a.events, b.events);
+        }
+    }
+
+    #[test]
+    fn chrome_export_embeds_importable_tracks() {
+        let trace = sample_trace();
+        let chrome = crate::export_chrome(&trace);
+        let back = import_trace(&chrome).unwrap();
+        assert_eq!(back.tracks[0].events, trace.tracks[0].events);
+    }
+
+    #[test]
+    fn dropped_counts_survive() {
+        let mut trace = sample_trace();
+        trace.tracks[0].dropped = 41;
+        let back = import_trace(&export_native(&trace)).unwrap();
+        assert_eq!(back.tracks[0].dropped, 41);
+    }
+
+    #[test]
+    fn bare_chrome_and_garbage_are_rejected() {
+        assert!(import_trace("{\"traceEvents\":[]}").is_err());
+        assert!(import_trace("not json").is_err());
+    }
+
+    #[test]
+    fn interning_dedupes() {
+        let a = intern("segment-sequential-test");
+        let b = intern("segment-sequential-test");
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -114,6 +114,13 @@ struct ApplyRec {
 /// from an `Ok` report carrying violations, which means the log is
 /// well-formed but records a racy execution.
 pub fn validate(trace: &Trace, oracle: &dyn OverlapOracle) -> Result<SpyReport, String> {
+    let dropped: u64 = trace.tracks.iter().map(|t| t.dropped).sum();
+    if dropped > 0 {
+        return Err(format!(
+            "incomplete log: {dropped} event(s) lost to ring wrap-around; a truncated \
+             record cannot be certified"
+        ));
+    }
     let g = build_graph(trace)?;
     if !g.unmatched_applies.is_empty() {
         return Err(format!(
@@ -671,5 +678,22 @@ mod tests {
             vec![ev(0, 0, access(0, 0, 1, 10, 1, PrivCode::Write))],
         )]);
         assert!(validate(&trace, &AllOverlap).is_err());
+    }
+
+    #[test]
+    fn dropped_events_block_certification() {
+        // A perfectly clean log that lost even one event is incomplete:
+        // it must be rejected up front, not silently certified.
+        let mut trace = trace_of(vec![(
+            "w0",
+            vec![
+                ev(0, 1, run(0, 0)),
+                ev(0, 0, access(0, 0, 1, 10, 1, PrivCode::Write)),
+            ],
+        )]);
+        assert!(validate(&trace, &AllOverlap).is_ok());
+        trace.tracks[0].dropped = 1;
+        let err = validate(&trace, &AllOverlap).unwrap_err();
+        assert!(err.contains("incomplete"), "{err}");
     }
 }
