@@ -14,7 +14,7 @@
 use regent_apps::{circuit, miniaero, pennant, stencil};
 use regent_cr::{control_replicate, CrOptions};
 use regent_ir::{Program, Store};
-use regent_runtime::{execute_implicit, execute_spmd_traced, ImplicitOptions};
+use regent_runtime::{execute_implicit, execute_log_traced, execute_spmd_traced, ImplicitOptions};
 use regent_trace::{blame_report, classify, Blame, BlameReport, Phase, Trace, Tracer};
 
 /// One executor's observability record: the critical-path blame report
@@ -94,6 +94,63 @@ fn assert_blame_invariants(app: &str, implicit: &ExecRecord, spmd: &ExecRecord) 
     assert!(
         spmd_dep < imp_dep,
         "{app}: SPMD DepAnalysis time ({spmd_dep} ns) must be strictly below implicit ({imp_dep} ns)"
+    );
+}
+
+/// The shared-log executor's amortization acceptance: at 8 shards, the
+/// per-replica once-per-batch dependence analysis must cost strictly
+/// less than the implicit executor's per-task analysis of the same
+/// program — while still being nonzero (the log path *does* analyze,
+/// unlike SPMD whose compile-time transform removes analysis
+/// entirely) — and its sequencer/consume time lands in the dedicated
+/// `log_control` phase.
+#[test]
+fn blame_log_amortizes_analysis_below_implicit() {
+    let cfg = stencil::StencilConfig {
+        n: 64,
+        ntx: 4,
+        nty: 2,
+        radius: 2,
+        steps: 4,
+    };
+    let build = || {
+        let (prog, h) = stencil::stencil_program(cfg);
+        let mut store = Store::new(&prog);
+        stencil::init_stencil(&prog, &mut store, &h);
+        (prog, store)
+    };
+
+    let (prog, mut store) = build();
+    let tracer = Tracer::enabled();
+    let opts = ImplicitOptions {
+        tracer: tracer.clone(),
+        ..ImplicitOptions::with_workers(4)
+    };
+    let (_, stats) = execute_implicit(&prog, &mut store, opts);
+    assert!(stats.tasks_launched > 0);
+    let imp = phase_totals(&tracer.take());
+    let imp_dep = imp.get(Phase::DepAnalysis);
+    assert!(imp_dep > 0, "implicit must spend time in analysis");
+
+    let (prog, mut store) = build();
+    let spmd = control_replicate(prog, &CrOptions::new(8)).unwrap();
+    let tracer = Tracer::enabled();
+    let r = execute_log_traced(&spmd, &mut store, &tracer);
+    assert!(r.log.batches > 0);
+    let log = phase_totals(&tracer.take());
+    let log_dep = log.get(Phase::DepAnalysis);
+    assert!(
+        log_dep > 0,
+        "the log executor's replica leaders must record their analysis"
+    );
+    assert!(
+        log_dep < imp_dep,
+        "per-replica per-batch analysis ({log_dep} ns) must amortize strictly \
+         below implicit's per-task analysis ({imp_dep} ns) at 8 shards"
+    );
+    assert!(
+        log.get(Phase::LogControl) > 0,
+        "append/combine/consume time must land in the log_control phase"
     );
 }
 

@@ -12,7 +12,12 @@
 //!   app's reduction tolerance (0.0 for Stencil, which has none);
 //! * **hybrid** (range-local replication, §2.2) — must match the SPMD
 //!   run bit-for-bit: the apps' bodies are a single replicable range,
-//!   so both paths execute the identical sharded schedule.
+//!   so both paths execute the identical sharded schedule;
+//! * **log** (shared-log control replication) — a single sequencer
+//!   appends the control program to a flat-combining launch log and
+//!   per-shard executors tail it; the data plane is the SPMD one, so
+//!   regions must match the SPMD run bit-for-bit and the env must
+//!   match the sequential reference exactly.
 //!
 //! Every traced run is additionally certified by the Legion Spy-style
 //! validator: the happens-before graph reconstructed from the event log
@@ -25,7 +30,8 @@ use regent_cr::{control_replicate, CrOptions, ForestOracle};
 use regent_ir::{interp, Program, Store};
 use regent_region::{FieldType, RegionForest, RegionId};
 use regent_runtime::{
-    execute_hybrid_traced, execute_implicit, execute_spmd_traced, ImplicitOptions, MemoCache,
+    execute_hybrid_traced, execute_implicit, execute_log_traced, execute_spmd_traced,
+    ImplicitOptions, MemoCache,
 };
 use regent_trace::{memo_summary, validate, Trace, Tracer};
 
@@ -210,6 +216,43 @@ fn differential(name: &str, mk: &dyn Fn() -> (Program, Store), shard_counts: &[u
             &hybrid.base.forest,
             &store_h,
             0.0,
+        );
+
+        // Shared-log, traced: same checksummed data plane as SPMD, so
+        // regions are bit-identical to the SPMD run; scalar feedback
+        // keeps the env exact vs the sequential reference.
+        let (prog_l, mut store_l) = mk();
+        let spmd_l = control_replicate(prog_l, &CrOptions::new(ns)).unwrap();
+        let tracer = Tracer::enabled();
+        let rl = execute_log_traced(&spmd_l, &mut store_l, &tracer);
+        assert_eq!(env_seq, rl.env, "{name}/log ns={ns}: env diverged");
+        assert!(
+            rl.log.batches > 0 && rl.log.appended_records > 0,
+            "{name}/log ns={ns}: log never combined ({:?})",
+            rl.log
+        );
+        certify(
+            &format!("{name}/log ns={ns}"),
+            &spmd_l.forest,
+            &tracer.take(),
+        );
+        compare_roots(
+            &format!("{name}/log-vs-spmd ns={ns}"),
+            &roots,
+            &spmd.forest,
+            &store_cr,
+            &spmd_l.forest,
+            &store_l,
+            0.0,
+        );
+        compare_roots(
+            &format!("{name}/log ns={ns}"),
+            &roots,
+            &prog_seq.forest,
+            &store_seq,
+            &spmd_l.forest,
+            &store_l,
+            tol,
         );
     }
 }

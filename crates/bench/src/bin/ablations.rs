@@ -13,13 +13,19 @@
 //! 6. **Epoch-trace memoization**: real implicit execution of the
 //!    stencil with and without template capture/replay — dependence
 //!    checks, per-epoch analysis cost, and the steady-state hit rate.
+//! 7. **Shared-log execution**: real stencil execution through the
+//!    flat-combining operation-log executor vs plain SPMD — sequencer
+//!    appends/combines, combined-batch sizes, cursor lag, and the
+//!    per-replica amortized dependence analysis.
 
 use regent_apps::{circuit, stencil};
 use regent_cr::{control_replicate, CrOptions, SyncMode};
 use regent_ir::Store;
 use regent_region::intersect::{shallow_intersections_naive, shallow_intersections_of};
 use regent_region::{ops, Color, Domain, FieldSpace, RegionForest};
-use regent_runtime::{execute_implicit, execute_spmd_traced, metrics, ImplicitOptions, MemoCache};
+use regent_runtime::{
+    execute_implicit, execute_log_traced, execute_spmd_traced, metrics, ImplicitOptions, MemoCache,
+};
 use regent_trace::{
     blame_report, entries_to_json, memo_summary, merge_entries, parse_entries, BenchEntry, Tracer,
 };
@@ -281,6 +287,57 @@ fn ablation_memo(entries: &mut Vec<BenchEntry>) {
     println!();
 }
 
+fn ablation_log(entries: &mut Vec<BenchEntry>) {
+    println!("--- Ablation 7: shared-log executor vs plain SPMD (real execution) ---");
+    let cfg = stencil::StencilConfig {
+        n: 256,
+        ntx: 4,
+        nty: 2,
+        radius: 2,
+        steps: 10,
+    };
+    for (label, executor) in [("spmd", "spmd"), ("log", "log")] {
+        let (prog, h) = stencil::stencil_program(cfg);
+        let mut store = Store::new(&prog);
+        stencil::init_stencil(&prog, &mut store, &h);
+        let spmd = control_replicate(prog, &CrOptions::new(8)).unwrap();
+        metrics::global().reset();
+        let tracer = Tracer::enabled();
+        let t0 = Instant::now();
+        let mut e = real_entry("stencil-log", "n256", 8, executor, 0);
+        let trace = if executor == "log" {
+            let r = execute_log_traced(&spmd, &mut store, &tracer);
+            let dt = t0.elapsed().as_secs_f64() * 1e3;
+            println!(
+                "  {label:<6} {dt:>8.1} ms  {} appends, {} combines -> {} batches \
+                 ({} replicas, max cursor lag {})",
+                r.log.appended_records,
+                r.log.combines,
+                r.log.batches,
+                r.log.replicas,
+                r.log.max_cursor_lag
+            );
+            tracer.take()
+        } else {
+            let r = execute_spmd_traced(&spmd, &mut store, &tracer);
+            let dt = t0.elapsed().as_secs_f64() * 1e3;
+            println!(
+                "  {label:<6} {dt:>8.1} ms  ({} msgs, {} elements)",
+                r.stats.messages_sent, r.stats.elements_sent
+            );
+            tracer.take()
+        };
+        e.wall_ns = t0.elapsed().as_nanos() as u64;
+        e.metrics = metrics::global().snapshot_flat();
+        if let Ok(rep) = blame_report(&trace) {
+            e.critical_path_ns = rep.critical_path_ns;
+            e.blame = rep.total;
+        }
+        entries.push(e);
+    }
+    println!();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json: Option<String> = None;
@@ -300,6 +357,7 @@ fn main() {
     ablation_sync(&mut entries);
     ablation_hierarchy();
     ablation_memo(&mut entries);
+    ablation_log(&mut entries);
     if let Some(path) = json {
         let merged = match std::fs::read_to_string(&path)
             .ok()

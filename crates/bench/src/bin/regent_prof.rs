@@ -51,12 +51,16 @@ fn kind_label(kind: &EventKind) -> &'static str {
         EventKind::MemoInvalidate { .. } => "memo_invalidate",
         EventKind::MemoReplay { .. } => "memo_replay",
         EventKind::Pass { .. } => "pass",
+        EventKind::LogAppend { .. } => "log_append",
+        EventKind::LogCombine { .. } => "log_combine",
+        EventKind::LogConsume { .. } => "log_consume",
         EventKind::SimTask { kind, .. } => match kind {
             SimKind::Analysis => "sim_analysis",
             SimKind::Compute => "sim_compute",
             SimKind::Copy => "sim_copy",
             SimKind::Collective => "sim_collective",
             SimKind::Launch => "sim_launch",
+            SimKind::Log => "sim_log",
             SimKind::Other => "sim_other",
         },
         EventKind::Counter { .. } => "counter",
@@ -71,6 +75,7 @@ fn sim_phase(kind: SimKind) -> Phase {
         SimKind::Compute => Phase::Exec,
         SimKind::Copy => Phase::Copy,
         SimKind::Collective => Phase::CollectiveWait,
+        SimKind::Log => Phase::LogControl,
         SimKind::Launch | SimKind::Other => Phase::Other,
     }
 }

@@ -456,6 +456,7 @@ fn sim_kind_code(k: SimKind) -> u8 {
         SimKind::Copy => 3,
         SimKind::Collective => 4,
         SimKind::Other => 5,
+        SimKind::Log => 6,
     }
 }
 

@@ -35,6 +35,7 @@ pub use scenario::{
     sim_bench_entry, simulate_cr, simulate_cr_faulted, simulate_cr_resilient,
     simulate_cr_resilient_traced, simulate_cr_traced, simulate_implicit, simulate_implicit_faulted,
     simulate_implicit_memo, simulate_implicit_memo_faulted, simulate_implicit_memo_traced,
-    simulate_implicit_traced, simulate_mpi, simulate_mpi_faulted, simulate_mpi_traced, MpiVariant,
-    ResilienceSpec, ScenarioResult,
+    simulate_implicit_traced, simulate_log, simulate_log_faulted, simulate_log_traced,
+    simulate_mpi, simulate_mpi_faulted, simulate_mpi_traced, MpiVariant, ResilienceSpec,
+    ScenarioResult,
 };

@@ -15,6 +15,11 @@
 //!   (template capture), replay cost on every later step. The control
 //!   thread stays serial, so this amortizes the O(N) analysis without
 //!   replicating control.
+//! * [`simulate_log`] — **shared-log control replication**: one
+//!   sequencer appends the control program to an operation log (cost
+//!   independent of machine size); per-node replica executors tail it,
+//!   paying dependence analysis once per replica per batch before
+//!   issuing their shard launches at CR cost.
 //! * [`simulate_mpi`] — hand-written SPMD references (MPI,
 //!   MPI+OpenMP, MPI+Kokkos): no runtime overhead, all cores compute,
 //!   bulk-synchronous neighbor exchanges.
@@ -610,6 +615,157 @@ fn simulate_implicit_model(
     finish(sim, spec, steps, tb)
 }
 
+/// Simulates **shared-log control replication** (`log_exec`): a single
+/// sequencer runs the control program once and appends one launch
+/// record per index launch to a flat-combining operation log — cost
+/// independent of the machine size — while per-node replica executors
+/// tail the log, pay dependence analysis **once per replica per batch**
+/// (only the first step derives fresh signature pairs; later steps are
+/// dedup hits), and then issue their own shard launches at CR cost.
+pub fn simulate_log(machine: &MachineConfig, spec: &TimestepSpec, steps: u64) -> ScenarioResult {
+    let tracer = Tracer::disabled();
+    simulate_log_traced(machine, spec, steps, &mut tracer.buffer("sim"))
+}
+
+/// [`simulate_log`] recording the simulated schedule into `tb`: the
+/// sequencer's append/combine spans are tagged [`SimKind::Log`] (phase
+/// `log_control` under `sim_blame`), the replicas' first-step analysis
+/// spans `Analysis`, and their steady-state consume spans `Log`.
+pub fn simulate_log_traced(
+    machine: &MachineConfig,
+    spec: &TimestepSpec,
+    steps: u64,
+    tb: &mut TraceBuf,
+) -> ScenarioResult {
+    simulate_log_faulted(machine, spec, steps, &FaultPlan::default(), tb)
+}
+
+/// [`simulate_log_traced`] under message-level faults (loss /
+/// duplication / delay rates and slowdown windows).
+pub fn simulate_log_faulted(
+    machine: &MachineConfig,
+    spec: &TimestepSpec,
+    steps: u64,
+    plan: &FaultPlan,
+    tb: &mut TraceBuf,
+) -> ScenarioResult {
+    let n = spec.num_nodes;
+    let mut sim = Sim::new();
+    let compute: Vec<ResourceId> = (0..n)
+        .map(|_| sim.add_resource(machine.regent_compute_cores()))
+        .collect();
+    // The sequencer: one serial resource appending to the shared log.
+    let seq = sim.add_resource(1);
+    let control: Vec<ResourceId> = (0..n).map(|_| sim.add_resource(1)).collect();
+    let nic: Vec<ResourceId> = (0..n).map(|_| sim.add_resource(1)).collect();
+
+    let mut last_seq: Option<SimTaskId> = None;
+    let mut last_launch: Vec<Option<SimTaskId>> = vec![None; n];
+    let mut prev_tasks: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
+    let mut inbound: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
+    let mut pending_collective: Option<SimTaskId> = None;
+
+    let mut noise_key = 0u64;
+    for step in 0..steps {
+        for phase in &spec.phases {
+            // The sequencer appends one record per *index launch* and
+            // publishes the combined batch — O(tasks_per_node) work,
+            // independent of the machine size (the whole point of
+            // running the control program exactly once).
+            let combine = machine.shard_launch_time * (phase.tasks_per_node as f64 + 1.0);
+            let seq_op = sim.add_task_delayed(seq, combine, machine.network_latency);
+            sim.tag(seq_op, SimKind::Log, 0, step as u32);
+            if let Some(prev) = last_seq {
+                sim.add_dep(prev, seq_op);
+            }
+            last_seq = Some(seq_op);
+
+            let mut cur_tasks: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
+            for (node, node_tasks) in cur_tasks.iter_mut().enumerate() {
+                // The replica leader consumes the batch: full analysis
+                // only the first time a signature pair is seen (step
+                // 0), a cheap dedup-hit consume after — once per
+                // replica per batch, not per task.
+                let batch_op = if step == 0 {
+                    let analysis = machine.task_analysis_time * phase.tasks_per_node as f64;
+                    let op = sim.add_task(control[node], analysis);
+                    sim.tag(op, SimKind::Analysis, node as u32, step as u32);
+                    op
+                } else {
+                    let op = sim.add_task(control[node], machine.shard_launch_time);
+                    sim.tag(op, SimKind::Log, node as u32, step as u32);
+                    op
+                };
+                sim.add_dep(seq_op, batch_op);
+                if let Some(prev) = last_launch[node] {
+                    sim.add_dep(prev, batch_op);
+                }
+                last_launch[node] = Some(batch_op);
+                for _ in 0..phase.tasks_per_node {
+                    // The shard's own launch, exactly as under CR.
+                    let op = sim.add_task(control[node], machine.shard_launch_time);
+                    sim.tag(op, SimKind::Launch, node as u32, step as u32);
+                    if let Some(prev) = last_launch[node] {
+                        sim.add_dep(prev, op);
+                    }
+                    last_launch[node] = Some(op);
+                    noise_key += 1;
+                    let dur =
+                        phase.task_compute_s * noise_multiplier(machine.noise_fraction, noise_key);
+                    let t = sim.add_task(compute[node], dur);
+                    sim.tag(t, SimKind::Compute, node as u32, step as u32);
+                    sim.add_dep(op, t);
+                    for &p in &prev_tasks[node] {
+                        sim.add_dep(p, t);
+                    }
+                    for &c in &inbound[node] {
+                        sim.add_dep(c, t);
+                    }
+                    if phase.consumes_collective {
+                        if let Some(c) = pending_collective {
+                            sim.add_dep(c, t);
+                        }
+                    }
+                    node_tasks.push(t);
+                }
+            }
+            let mut new_inbound: Vec<Vec<SimTaskId>> = vec![Vec::new(); n];
+            for e in &phase.copies {
+                let c = sim.add_task_delayed(
+                    nic[e.src as usize],
+                    machine.message_overhead + e.bytes / machine.network_bandwidth,
+                    machine.network_latency,
+                );
+                sim.tag(c, SimKind::Copy, e.src, step as u32);
+                for &t in &cur_tasks[e.src as usize] {
+                    sim.add_dep(t, c);
+                }
+                new_inbound[e.dst as usize].push(c);
+            }
+            if phase.collective {
+                // The sequencer blocks on the reduced scalar (shard 0
+                // feeds the fold back), so the collective gates the
+                // *next combine*, not the shards' control flow.
+                let j = sim.add_task_delayed(control[0], 0.0, machine.collective_latency(n));
+                sim.tag(j, SimKind::Collective, 0, step as u32);
+                for tasks in &cur_tasks {
+                    for &t in tasks {
+                        sim.add_dep(t, j);
+                    }
+                }
+                pending_collective = Some(j);
+                last_seq = Some(j);
+            }
+            prev_tasks = cur_tasks;
+            inbound = new_inbound;
+        }
+    }
+    if plan.is_active() {
+        sim.set_faults(plan.clone(), RetryPolicy::default());
+    }
+    finish(sim, spec, steps, tb)
+}
+
 /// Configuration of a hand-written SPMD reference.
 #[derive(Clone, Copy, Debug)]
 pub struct MpiVariant {
@@ -862,6 +1018,44 @@ mod tests {
             assert!(
                 (c as f64) < first / 5.0,
                 "steady-state step cost {c} should be well under the capture cost {first}"
+            );
+        }
+    }
+
+    #[test]
+    fn log_scales_like_cr_and_blames_log_control() {
+        let machine1 = MachineConfig::piz_daint(1);
+        let machine64 = MachineConfig::piz_daint(64);
+        let steps = 5;
+        let l1 = simulate_log(&machine1, &ring_spec(1), steps);
+        let l64 = simulate_log(&machine64, &ring_spec(64), steps);
+        // The sequencer appends one record per index launch — cost
+        // independent of N — and replicas analyze once per batch, so
+        // the model weak-scales like CR, not like implicit.
+        let eff = l64.throughput_per_node / l1.throughput_per_node;
+        assert!(eff > 0.9, "log efficiency at 64 nodes: {eff}");
+        let cr64 = simulate_cr(&machine64, &ring_spec(64), steps);
+        assert!(
+            l64.makespan >= cr64.makespan * 0.99,
+            "the log path adds sequencer latency, it cannot beat CR: {} vs {}",
+            l64.makespan,
+            cr64.makespan
+        );
+
+        // The traced schedule blames sequencer time on `log_control`
+        // and keeps per-replica analysis to the first step only.
+        let tracer = Tracer::enabled();
+        simulate_log_traced(&machine64, &ring_spec(64), steps, &mut tracer.buffer("sim"));
+        let trace = tracer.take();
+        let (_, blame) = regent_trace::sim_blame(&trace, "sim").unwrap();
+        assert!(blame.get(regent_trace::Phase::LogControl) > 0);
+        let per_step = regent_trace::sim_control_cost_per_step(&trace, "sim");
+        assert_eq!(per_step.len(), steps as usize);
+        let first = per_step[0].1 as f64;
+        for &(_, c) in &per_step[1..] {
+            assert!(
+                (c as f64) < first,
+                "steady-state control cost {c} must sit under the first-batch analysis {first}"
             );
         }
     }

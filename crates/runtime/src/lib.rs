@@ -19,6 +19,12 @@
 //!   capture one epoch's dependence analysis as a template, replay it
 //!   on structurally identical epochs, invalidate on region-forest
 //!   changes.
+//! * [`launch_log`] / [`log_exec`] — shared-log control replication: a
+//!   single sequencer runs the control program once, appending leaf
+//!   statements to an epoch-segmented flat-combining operation log;
+//!   per-shard executors tail the log with lock-free cursors and
+//!   replica leaders amortize dependence analysis to once per replica
+//!   per batch.
 //! * [`metrics`] — always-on per-shard counters and latency histograms
 //!   (launches, copies, waits, memo hits, retransmits), aggregated at
 //!   executor shutdown and exported via `REGENT_METRICS=<path>` as
@@ -39,6 +45,8 @@
 pub mod collective;
 pub mod hybrid_exec;
 pub mod implicit;
+pub mod launch_log;
+pub mod log_exec;
 pub mod mapper;
 pub mod memo;
 pub mod metrics;
@@ -48,6 +56,11 @@ pub mod spmd_exec;
 pub use collective::{hang_timeout, DynamicCollective, FramedScalar, ShardBarrier};
 pub use hybrid_exec::{execute_hybrid, execute_hybrid_traced, HybridRunResult};
 pub use implicit::{execute_implicit, ImplicitOptions, ImplicitStats};
+pub use launch_log::{batch_limit_from_env, replicas_from_env, Batch, LaunchLog, LogCursor};
+pub use log_exec::{
+    execute_log, execute_log_resilient, execute_log_resilient_traced, execute_log_traced,
+    LogRunResult, LogStats,
+};
 pub use mapper::{DefaultMapper, Mapper, SingleWorkerMapper, TaskKindMapper};
 pub use memo::{epoch_key, launch_sig, EpochTemplate, MemoCache, MemoStats};
 pub use metrics::{

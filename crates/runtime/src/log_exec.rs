@@ -1,0 +1,677 @@
+//! Shared-log control replication: the flat-combining operation-log
+//! executor.
+//!
+//! The SPMD executor makes every shard re-execute the whole control
+//! program. Here the control program runs **once**, on a single
+//! *sequencer* thread, which unrolls the replicated control flow into
+//! an append-only, epoch-segmented [`LaunchLog`] of leaf-statement
+//! records (launches carry their [`launch_sig`] structural signature).
+//! The sequencer hands records to the log's flat combiner
+//! ([`LaunchLog::combine`]) once per epoch segment; per-shard executor
+//! threads tail the log with a lock-free [`LogCursor`] and drive the
+//! *same* `ShardExec` engine as `spmd_exec`, one record at a time —
+//! so exchanges, collectives, the integrity layer, and
+//! checkpoint–rollback behave identically under both strategies, and
+//! results stay bit-identical to the sequential reference.
+//!
+//! ## Replica topology
+//!
+//! Shards are grouped into *replicas* (one per simulated NUMA domain;
+//! `REGENT_LOG_REPLICAS`, default 2): each replica's leader shard runs
+//! dependence analysis **once per replica per batch** — pairwise
+//! overlap checks between the batch's launch records at the
+//! use/partition granularity, deduplicated by signature pair — instead
+//! of per shard (SPMD) or per point task (implicit). That is the
+//! control-cost amortization this executor exists to demonstrate; the
+//! `DepAnalysis` spans it emits are what the blame profiler compares
+//! across strategies.
+//!
+//! ## Scalar feedback
+//!
+//! The sequencer evaluates replicated control flow (`For`/`While`/`If`
+//! trip counts and conditions) in its own scalar environment. Scalars
+//! produced by `AllReduce` collectives exist only on the shards, so
+//! the sequencer publishes its pending segment (the shards cannot
+//! reach the collective otherwise), then blocks on a feedback channel
+//! from the designated shard 0, which sends each folded value exactly
+//! once (replays after a rollback are suppressed by the useful-work
+//! gate). The fold is bit-identical on every shard, so feeding the
+//! sequencer from shard 0 preserves replication.
+//!
+//! ## Rollback
+//!
+//! Epoch-boundary batches (`step = Some(it)`) drive the same
+//! snapshot/crash/integrity machinery as the SPMD executor
+//! (`ShardExec::boundary`); the snapshot's resume token is the
+//! boundary batch's log index, and a rollback simply rewinds the read
+//! cursor — the log itself is immutable, which is what makes replay
+//! trivially consistent.
+
+use crate::collective::{hang_timeout, DynamicCollective, ShardBarrier};
+use crate::launch_log::{batch_limit_from_env, replicas_from_env, LaunchLog, LogCursor};
+use crate::memo::launch_sig;
+use crate::metrics::{self, Counter, MetricsHandle, Timer};
+use crate::plan::{build_exchange_plan, SetupStats};
+use crate::spmd_exec::{
+    allocate_shard_data, finalize_into_store, panic_message, CopyMsg, PanicGuard, Resilience,
+    ResilienceOptions, ShardData, ShardExec, ShardStats,
+};
+use regent_cr::spmd::{block_range, owner_of, ForestOracle};
+use regent_cr::{SpmdArg, SpmdLaunch, SpmdProgram, SpmdStmt};
+use regent_geometry::DynPoint;
+use regent_ir::{Privilege, Store};
+use regent_region::RegionId;
+use regent_trace::{EventKind, OverlapOracle, TraceBuf, Tracer};
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+
+/// One operation in the launch log: a leaf statement of the compiled
+/// body plus, for launches, the [`launch_sig`] structural signature
+/// replica leaders use to amortize dependence analysis.
+pub(crate) struct LogRecord<'a> {
+    /// The leaf statement (never control flow — the sequencer unrolls
+    /// `For`/`While`/`If` while appending).
+    stmt: &'a SpmdStmt,
+    /// Structural signature of `Launch` records (task, representative
+    /// point, region requirements); 0 for every other statement kind.
+    sig: u64,
+}
+
+/// Shared-log execution statistics, reported beside the per-shard
+/// [`ShardStats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LogStats {
+    /// Records the sequencer appended (producer-side submissions).
+    pub appended_records: u64,
+    /// Flat-combining rounds the sequencer ran.
+    pub combines: u64,
+    /// Batches published to the log.
+    pub batches: u64,
+    /// Executor replicas (NUMA domains) the shards were grouped into.
+    pub replicas: u32,
+    /// Largest consumer cursor lag (in batches) observed by any shard.
+    pub max_cursor_lag: u64,
+}
+
+/// Result of a shared-log execution.
+pub struct LogRunResult {
+    /// Final scalar environment (identical on all shards and the
+    /// sequencer; shard 0's).
+    pub env: Vec<f64>,
+    /// Dynamic intersection timings (Table 1).
+    pub setup: SetupStats,
+    /// Aggregated execution statistics.
+    pub stats: ShardStats,
+    /// Per-shard statistics.
+    pub per_shard: Vec<ShardStats>,
+    /// Launch-log statistics.
+    pub log: LogStats,
+}
+
+/// Executes a control-replicated program through the shared launch
+/// log (see the module docs).
+pub fn execute_log(spmd: &SpmdProgram, store: &mut Store) -> LogRunResult {
+    execute_log_traced(spmd, store, &Tracer::disabled())
+}
+
+/// [`execute_log`] recording events into `tracer`: shard `s` records
+/// on track `shard-s`, the sequencer on track `log-seq`.
+pub fn execute_log_traced(
+    spmd: &SpmdProgram,
+    store: &mut Store,
+    tracer: &Arc<Tracer>,
+) -> LogRunResult {
+    let env: Vec<f64> = spmd.scalars.iter().map(|s| s.init).collect();
+    // CI fault smoke: REGENT_FAULT_SEED / REGENT_CORRUPT upgrade every
+    // plain run to a resilient one, exactly like the SPMD executor.
+    let env_opts = ResilienceOptions::from_env(spmd.num_shards);
+    execute_log_inner(spmd, store, env, tracer, env_opts.as_ref())
+}
+
+/// Executes through the shared log under an explicit fault plan with
+/// epoch-based checkpoint–restart (the log-cursor variant of
+/// `execute_spmd_resilient`).
+pub fn execute_log_resilient(
+    spmd: &SpmdProgram,
+    store: &mut Store,
+    opts: &ResilienceOptions,
+) -> LogRunResult {
+    execute_log_resilient_traced(spmd, store, opts, &Tracer::disabled())
+}
+
+/// [`execute_log_resilient`] recording events into `tracer`.
+pub fn execute_log_resilient_traced(
+    spmd: &SpmdProgram,
+    store: &mut Store,
+    opts: &ResilienceOptions,
+    tracer: &Arc<Tracer>,
+) -> LogRunResult {
+    let env: Vec<f64> = spmd.scalars.iter().map(|s| s.init).collect();
+    execute_log_inner(spmd, store, env, tracer, Some(opts))
+}
+
+/// A shard thread's return value: final scalar environment, execution
+/// stats, region data, and the maximum log-cursor lag it observed.
+type ShardOutcome = (Vec<f64>, ShardStats, ShardData, u64);
+
+/// Seals the log when dropped, so consumers wake (with `None`) even
+/// when the sequencer unwinds mid-program.
+struct SealOnDrop<'l, T>(&'l LaunchLog<T>);
+
+impl<T> Drop for SealOnDrop<'_, T> {
+    fn drop(&mut self) {
+        self.0.seal();
+    }
+}
+
+fn execute_log_inner(
+    spmd: &SpmdProgram,
+    store: &mut Store,
+    initial_env: Vec<f64>,
+    tracer: &Arc<Tracer>,
+    resilience: Option<&ResilienceOptions>,
+) -> LogRunResult {
+    let plan = build_exchange_plan(spmd);
+    let ns = spmd.num_shards;
+    let n_replicas = replicas_from_env(ns);
+    let collective = DynamicCollective::new(ns);
+    let barrier = ShardBarrier::new(ns);
+
+    // Mesh of channels between shards — identical to the SPMD
+    // executor: each shard owns its sender row, so a dead shard
+    // disconnects its peers instead of hanging them.
+    let mut senders: Vec<Vec<Sender<CopyMsg>>> = (0..ns).map(|_| Vec::new()).collect();
+    let mut rx_rows: Vec<Vec<Option<Receiver<CopyMsg>>>> =
+        (0..ns).map(|_| (0..ns).map(|_| None).collect()).collect();
+    for (src, row) in senders.iter_mut().enumerate() {
+        for slot in rx_rows.iter_mut() {
+            let (tx, rx) = channel();
+            row.push(tx);
+            slot[src] = Some(rx);
+        }
+    }
+    let receivers: Vec<Vec<Receiver<CopyMsg>>> = rx_rows
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|o| o.expect("channel mesh construction left a receiver slot empty"))
+                .collect()
+        })
+        .collect();
+
+    let log: LaunchLog<LogRecord<'_>> = LaunchLog::new(1, batch_limit_from_env());
+    let (fb_tx, fb_rx) = channel::<f64>();
+    let mut fb_slot = Some(fb_tx);
+
+    let mut results: Vec<Option<ShardOutcome>> = (0..ns).map(|_| None).collect();
+    let mut seq_result: Option<(Vec<f64>, LogStats)> = None;
+
+    std::thread::scope(|scope| {
+        let log = &log;
+        let seq_handle = {
+            let collective = &collective;
+            let barrier = &barrier;
+            let init_env = initial_env.clone();
+            let tracer = Arc::clone(tracer);
+            scope.spawn(move || {
+                // Poison the shared primitives if the sequencer
+                // unwinds, and always seal the log so consumers end.
+                let _guard = PanicGuard {
+                    barrier,
+                    collective,
+                };
+                let _seal = SealOnDrop(log);
+                let seq = Sequencer {
+                    spmd,
+                    log,
+                    feedback: fb_rx,
+                    env: init_env,
+                    epoch: 0,
+                    loop_depth: 0,
+                    pending_step: None,
+                    tb: tracer.buffer("log-seq"),
+                    mx: metrics::global().handle("log-seq"),
+                    stats: LogStats::default(),
+                };
+                seq.run()
+            })
+        };
+
+        let mut handles = Vec::with_capacity(ns);
+        for (shard, (rx_row, tx_row)) in receivers.into_iter().zip(senders).enumerate() {
+            let plan = &plan;
+            let collective = &collective;
+            let barrier = &barrier;
+            let store_ref: &Store = store;
+            let init_env = &initial_env;
+            let tracer = Arc::clone(tracer);
+            let fb = if shard == 0 { fb_slot.take() } else { None };
+            handles.push(scope.spawn(move || {
+                let _guard = PanicGuard {
+                    barrier,
+                    collective,
+                };
+                let mut data = allocate_shard_data(spmd, shard, store_ref);
+                if resilience.is_some_and(|o| o.integrity || o.plan.corrupt_rate > 0.0) {
+                    for inst in data.insts.values_mut() {
+                        inst.seal();
+                    }
+                }
+                let mut exec = ShardExec {
+                    spmd,
+                    plan,
+                    shard,
+                    data,
+                    env: init_env.clone(),
+                    tx: tx_row,
+                    rx: rx_row,
+                    collective,
+                    barrier,
+                    stats: ShardStats::default(),
+                    local_queue: HashMap::new(),
+                    offset_cache: HashMap::new(),
+                    tb: tracer.buffer(&format!("shard-{shard}")),
+                    mx: metrics::global().handle(&format!("shard-{shard}")),
+                    launch_seq: 0,
+                    loop_depth: 0,
+                    copy_occurrence: HashMap::new(),
+                    collective_seq: 0,
+                    epoch: 0,
+                    replay_until: 0,
+                    resilience: resilience.map(Resilience::new),
+                };
+                let replica = owner_of(ns, n_replicas, shard) as u32;
+                let (block_start, _) = block_range(ns, n_replicas, replica as usize);
+                let mut analysis = (shard == block_start).then(|| ReplicaAnalysis {
+                    oracle: ForestOracle::new(&spmd.forest),
+                    seen_pairs: HashSet::new(),
+                });
+                let max_lag = run_shard_driver(&mut exec, log, replica, analysis.as_mut(), fb);
+                exec.tb.flush();
+                (exec.env, exec.stats, exec.data, max_lag)
+            }));
+        }
+        // Join everything before reporting failures (avoids a
+        // double panic while the scope holds unjoined handles).
+        let mut failures: Vec<(String, String)> = Vec::new();
+        for (shard, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(r) => results[shard] = Some(r),
+                Err(e) => failures.push((format!("shard {shard}"), panic_message(&*e))),
+            }
+        }
+        match seq_handle.join() {
+            Ok(r) => seq_result = Some(r),
+            Err(e) => failures.push(("sequencer".to_string(), panic_message(&*e))),
+        }
+        if let Some((who, msg)) = failures.first() {
+            panic!(
+                "{who} panicked: {msg}{}",
+                if failures.len() > 1 {
+                    format!(" ({} threads failed in total)", failures.len())
+                } else {
+                    String::new()
+                }
+            );
+        }
+    });
+
+    let (seq_env, mut log_stats) = seq_result.expect("sequencer result missing after clean join");
+    log_stats.replicas = n_replicas as u32;
+
+    let mut per_shard = Vec::with_capacity(ns);
+    let mut env0: Option<Vec<f64>> = None;
+    let mut agg = ShardStats::default();
+    let mut datas = Vec::with_capacity(ns);
+    for r in results.into_iter() {
+        let (env, stats, data, max_lag) =
+            r.expect("shard result missing despite all threads joining cleanly");
+        if let Some(ref e0) = env0 {
+            debug_assert_eq!(
+                e0, &env,
+                "scalar environments diverged across shards (log replication bug)"
+            );
+        } else {
+            env0 = Some(env);
+        }
+        log_stats.max_cursor_lag = log_stats.max_cursor_lag.max(max_lag);
+        agg.merge_from(&stats);
+        per_shard.push(stats);
+        datas.push(data);
+    }
+    debug_assert_eq!(
+        env0.as_deref(),
+        Some(seq_env.as_slice()),
+        "sequencer environment diverged from the shards (feedback protocol bug)"
+    );
+    finalize_into_store(spmd, store, &datas);
+    metrics::export_env();
+
+    LogRunResult {
+        env: env0.unwrap_or(seq_env),
+        setup: plan.setup,
+        stats: agg,
+        per_shard,
+        log: log_stats,
+    }
+}
+
+/// The control program's single runner: walks the compiled body once,
+/// evaluating replicated control flow locally and appending every leaf
+/// statement to the log. See the module docs for the epoch-segmentation
+/// and AllReduce-feedback protocols.
+struct Sequencer<'a, 'l> {
+    spmd: &'a SpmdProgram,
+    log: &'l LaunchLog<LogRecord<'a>>,
+    feedback: Receiver<f64>,
+    env: Vec<f64>,
+    epoch: u64,
+    loop_depth: u32,
+    /// Boundary marker for the next published batch: `Some(it)` right
+    /// after entering outermost-loop iteration `it`.
+    pending_step: Option<u64>,
+    tb: TraceBuf,
+    mx: MetricsHandle,
+    stats: LogStats,
+}
+
+impl<'a> Sequencer<'a, '_> {
+    fn run(mut self) -> (Vec<f64>, LogStats) {
+        let spmd = self.spmd;
+        self.walk(&spmd.body);
+        // Tail records after the last loop.
+        self.flush();
+        self.log.seal();
+        self.tb.flush();
+        (self.env, self.stats)
+    }
+
+    fn walk(&mut self, stmts: &'a [SpmdStmt]) {
+        for s in stmts {
+            match s {
+                SpmdStmt::Launch(l) => {
+                    let sig = launch_record_sig(self.spmd, l);
+                    self.submit(s, sig);
+                }
+                SpmdStmt::Copy(_) | SpmdStmt::ResetTemp(_) | SpmdStmt::Barrier => {
+                    self.submit(s, 0);
+                }
+                SpmdStmt::SetScalar { var, expr } => {
+                    // Replicated assignment: evaluated locally (the
+                    // sequencer's env drives control flow) *and*
+                    // appended (each shard re-evaluates it in its own
+                    // identical env).
+                    self.env[var.0 as usize] = expr.eval(&self.env);
+                    self.submit(s, 0);
+                }
+                SpmdStmt::AllReduce { var, .. } => {
+                    self.submit(s, 0);
+                    // The fold happens on the shards. Publish the
+                    // pending segment — the shards cannot reach the
+                    // collective otherwise — then block for shard 0's
+                    // feedback of the folded value.
+                    self.flush();
+                    let folded = self
+                        .feedback
+                        .recv_timeout(hang_timeout())
+                        .unwrap_or_else(|e| {
+                            panic!(
+                            "sequencer: AllReduce feedback for scalar {} never arrived ({e:?}) — \
+                             shard 0 stalled or died",
+                            var.0
+                        )
+                        });
+                    self.env[var.0 as usize] = folded;
+                }
+                SpmdStmt::For { count, body } => {
+                    let n = count.eval(&self.env).max(0.0) as u64;
+                    let mut it = 0u64;
+                    while it < n {
+                        self.iteration(it, body);
+                        it += 1;
+                    }
+                }
+                SpmdStmt::While { cond, body } => {
+                    let mut it = 0u64;
+                    while cond.eval(&self.env) != 0.0 {
+                        self.iteration(it, body);
+                        it += 1;
+                    }
+                }
+                SpmdStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    if cond.eval(&self.env) != 0.0 {
+                        self.walk(then_body);
+                    } else {
+                        self.walk(else_body);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One loop iteration. At the outermost level this is an epoch
+    /// segment: publish whatever preceded it, mark the next batch as
+    /// the boundary of iteration `it`, and publish the segment's tail
+    /// before the epoch counter advances (so every batch carries the
+    /// epoch its records belong to).
+    fn iteration(&mut self, it: u64, body: &'a [SpmdStmt]) {
+        if self.loop_depth == 0 {
+            self.flush();
+            self.pending_step = Some(it);
+        }
+        self.loop_depth += 1;
+        self.walk(body);
+        self.loop_depth -= 1;
+        if self.loop_depth == 0 {
+            self.flush();
+            self.epoch += 1;
+        }
+    }
+
+    fn submit(&mut self, stmt: &'a SpmdStmt, sig: u64) {
+        self.log.submit(0, LogRecord { stmt, sig });
+        self.stats.appended_records += 1;
+        self.mx.incr(Counter::LogAppends);
+    }
+
+    /// Runs the flat combiner over the sequencer's pending submissions
+    /// (a no-op when nothing is pending and no boundary marker is
+    /// due).
+    fn flush(&mut self) {
+        let step = self.pending_step.take();
+        if self.log.pending(0) == 0 && step.is_none() {
+            return;
+        }
+        let t0 = self.tb.now();
+        let m0 = self.mx.start();
+        let first = self.log.published();
+        let n = self.log.combine(self.epoch, step);
+        let published = self.log.published() - first;
+        self.stats.combines += 1;
+        self.stats.batches += published as u64;
+        self.mx.add(Counter::LogCombinedRecords, n as u64);
+        self.mx.add(Counter::LogCombinedBatches, published as u64);
+        self.mx.record_since(m0, Timer::LogCombineNs);
+        if self.tb.is_enabled() {
+            self.tb.push(
+                t0,
+                0,
+                EventKind::LogAppend {
+                    epoch: self.epoch,
+                    batch: first as u32,
+                    records: n as u32,
+                },
+            );
+            self.tb.span_since(
+                t0,
+                EventKind::LogCombine {
+                    batch: first as u32,
+                    records: n as u32,
+                },
+            );
+        }
+    }
+}
+
+/// The region requirements of one launch record at the use/partition
+/// granularity — the inputs to both the record signature and the
+/// per-replica batch analysis.
+fn launch_accesses(spmd: &SpmdProgram, l: &SpmdLaunch) -> Vec<(RegionId, Privilege)> {
+    let decl = spmd.task(l.task);
+    l.args
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let base = match a {
+                SpmdArg::Use(u) => spmd.uses[*u].base,
+                SpmdArg::Temp(t) => spmd.temps[t.0 as usize].base,
+            };
+            (
+                regent_cr::analysis::base_region(&spmd.forest, base),
+                decl.params[i].privilege,
+            )
+        })
+        .collect()
+}
+
+/// [`launch_sig`] of a launch record: the task, a representative point
+/// of the launch domain, and the use-level region requirements.
+fn launch_record_sig(spmd: &SpmdProgram, l: &SpmdLaunch) -> u64 {
+    let accesses = launch_accesses(spmd, l);
+    let point = spmd.launch_domains[l.domain.0 as usize]
+        .first()
+        .copied()
+        .unwrap_or_else(|| DynPoint::new(&[0]));
+    launch_sig(l.task.0, &point, &accesses)
+}
+
+/// Per-replica dependence-analysis state, held by the replica's leader
+/// shard. Signature pairs already analyzed are skipped — analysis cost
+/// is amortized across epochs, the same economy the memoized implicit
+/// executor gets from epoch templates.
+struct ReplicaAnalysis<'a> {
+    oracle: ForestOracle<'a>,
+    seen_pairs: HashSet<(u64, u64)>,
+}
+
+/// Runs the once-per-replica-per-batch dependence analysis: pairwise
+/// overlap/privilege checks between the batch's launch records at the
+/// use/partition granularity. Emits one `DepAnalysis` span (`pos` is
+/// the replica id) so the blame profiler can compare control cost
+/// across strategies.
+fn analyze_batch(
+    exec: &mut ShardExec<'_>,
+    records: &[LogRecord<'_>],
+    replica: u32,
+    an: &mut ReplicaAnalysis<'_>,
+) {
+    let launches: Vec<(&SpmdLaunch, u64)> = records
+        .iter()
+        .filter_map(|r| match r.stmt {
+            SpmdStmt::Launch(l) => Some((l, r.sig)),
+            _ => None,
+        })
+        .collect();
+    if launches.is_empty() {
+        return;
+    }
+    let t0 = exec.tb.now();
+    let m0 = exec.mx.start();
+    let first_launch = exec.launch_seq;
+    let accesses: Vec<Vec<(RegionId, Privilege)>> = launches
+        .iter()
+        .map(|(l, _)| launch_accesses(exec.spmd, l))
+        .collect();
+    let mut checks = 0u32;
+    for i in 0..launches.len() {
+        for j in 0..i {
+            let (si, sj) = (launches[i].1, launches[j].1);
+            let key = if si <= sj { (si, sj) } else { (sj, si) };
+            if !an.seen_pairs.insert(key) {
+                continue;
+            }
+            for &(ra, pa) in &accesses[i] {
+                for &(rb, pb) in &accesses[j] {
+                    checks += 1;
+                    // The conflict verdict is what the SPMD transform
+                    // already baked into the copy placement; computing
+                    // it here is the per-batch analysis cost being
+                    // measured, not a scheduling input.
+                    let _conflict = an.oracle.overlaps(ra.0, rb.0)
+                        && (!matches!(pa, Privilege::Read) || !matches!(pb, Privilege::Read));
+                }
+            }
+        }
+    }
+    exec.mx.incr(Counter::LogAnalyses);
+    exec.mx.record_since(m0, Timer::LogAnalysisNs);
+    exec.tb.span_since(
+        t0,
+        EventKind::DepAnalysis {
+            launch: first_launch,
+            pos: replica,
+            checks,
+        },
+    );
+}
+
+/// Tails the log and executes every record through the shared
+/// [`ShardExec`] engine. Returns the largest cursor lag observed.
+fn run_shard_driver(
+    exec: &mut ShardExec<'_>,
+    log: &LaunchLog<LogRecord<'_>>,
+    replica: u32,
+    mut analysis: Option<&mut ReplicaAnalysis<'_>>,
+    fb: Option<Sender<f64>>,
+) -> u64 {
+    let mut cursor = LogCursor::new();
+    let mut max_lag = 0u64;
+    while let Some(batch) = log.wait(cursor.next) {
+        // Lag counts this batch too: published minus consumed.
+        let lag = cursor.lag(log) as u64;
+        max_lag = max_lag.max(lag);
+        cursor.next += 1;
+        exec.epoch = batch.epoch;
+        if let Some(it) = batch.step {
+            // Epoch boundary: snapshot / crash / integrity sweep, with
+            // the boundary batch's log index as the resume token.
+            if let Some(token) = exec.boundary(it == 0, batch.index as u64) {
+                cursor.rewind(token as usize);
+                continue;
+            }
+            exec.tb.instant(EventKind::StepBegin { step: it });
+        }
+        if let Some(an) = analysis.as_deref_mut() {
+            // Replica leader: consumption event, lag metric, and the
+            // once-per-replica-per-batch dependence analysis.
+            exec.mx.add(Counter::LogCursorLag, lag);
+            if exec.tb.is_enabled() {
+                exec.tb.instant(EventKind::LogConsume {
+                    replica,
+                    batch: batch.index as u32,
+                    records: batch.records.len() as u32,
+                    lag: lag as u32,
+                });
+            }
+            analyze_batch(exec, &batch.records, replica, an);
+        }
+        for rec in &batch.records {
+            exec.run_stmt(rec.stmt);
+            if let (Some(fb), SpmdStmt::AllReduce { var, .. }) = (&fb, rec.stmt) {
+                // Designated feedback shard: return the folded value
+                // to the sequencer — once per logical collective (the
+                // useful-work gate suppresses post-rollback replays).
+                if exec.useful_work() {
+                    fb.send(exec.env[var.0 as usize])
+                        .expect("sequencer died before the run finished");
+                }
+            }
+        }
+    }
+    max_lag
+}

@@ -55,11 +55,21 @@ pub enum Counter {
     SequentialTasks,
     /// Replicated segments executed (hybrid programs).
     ReplicatedSegments,
+    /// Records appended to the shared launch log (sequencer side).
+    LogAppends,
+    /// Batches published by the flat combiner.
+    LogCombinedBatches,
+    /// Records combined into published batches.
+    LogCombinedRecords,
+    /// Sum of per-batch consumer cursor lags (replica leaders).
+    LogCursorLag,
+    /// Per-replica per-batch dependence analyses run.
+    LogAnalyses,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 21;
 
     /// All counters, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -79,6 +89,11 @@ impl Counter {
         Counter::Restores,
         Counter::SequentialTasks,
         Counter::ReplicatedSegments,
+        Counter::LogAppends,
+        Counter::LogCombinedBatches,
+        Counter::LogCombinedRecords,
+        Counter::LogCursorLag,
+        Counter::LogAnalyses,
     ];
 
     /// Stable snake_case name (used in exports).
@@ -100,6 +115,11 @@ impl Counter {
             Counter::Restores => "restores",
             Counter::SequentialTasks => "sequential_tasks",
             Counter::ReplicatedSegments => "replicated_segments",
+            Counter::LogAppends => "log_appends",
+            Counter::LogCombinedBatches => "log_combined_batches",
+            Counter::LogCombinedRecords => "log_combined_records",
+            Counter::LogCursorLag => "log_cursor_lag",
+            Counter::LogAnalyses => "log_analyses",
         }
     }
 
@@ -127,11 +147,15 @@ pub enum Timer {
     CheckpointNs,
     /// Checkpoint restore time.
     RestoreNs,
+    /// Flat-combining round time (sequencer side).
+    LogCombineNs,
+    /// Per-replica per-batch dependence-analysis time.
+    LogAnalysisNs,
 }
 
 impl Timer {
     /// Number of timers.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 10;
 
     /// All timers, in declaration order.
     pub const ALL: [Timer; Timer::COUNT] = [
@@ -143,6 +167,8 @@ impl Timer {
         Timer::CollectiveWaitNs,
         Timer::CheckpointNs,
         Timer::RestoreNs,
+        Timer::LogCombineNs,
+        Timer::LogAnalysisNs,
     ];
 
     /// Stable snake_case name (used in exports).
@@ -156,6 +182,8 @@ impl Timer {
             Timer::CollectiveWaitNs => "collective_wait_ns",
             Timer::CheckpointNs => "checkpoint_ns",
             Timer::RestoreNs => "restore_ns",
+            Timer::LogCombineNs => "log_combine_ns",
+            Timer::LogAnalysisNs => "log_analysis_ns",
         }
     }
 

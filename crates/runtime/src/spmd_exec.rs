@@ -106,7 +106,7 @@ const COLLECTIVE_TAG: u64 = 0x434F_4C4C;
 /// One field's payload within a copy message, in the canonical element
 /// order of the pair's intersection domain.
 #[derive(Clone, Debug)]
-enum Chunk {
+pub(crate) enum Chunk {
     F64(Vec<f64>),
     I64(Vec<i64>),
 }
@@ -116,7 +116,7 @@ enum Chunk {
 /// *intended* chunks, so a frame corrupted in flight fails verification
 /// on receipt, and `attempt` numbers the retransmissions of one logical
 /// payload.
-struct CopyMsg {
+pub(crate) struct CopyMsg {
     copy: CopyId,
     pair_seq: u32,
     /// Retransmission number of this frame (0 = first transmission).
@@ -517,18 +517,7 @@ fn execute_spmd_inner(
         per_shard.push(stats);
         datas.push(data);
     }
-    for data in &datas {
-        for (key, inst) in data.iter_sorted() {
-            if let InstKey::UsePart(u, _) = key {
-                let decl = &spmd.uses[*u as usize];
-                if decl.writes {
-                    let region = regent_cr::analysis::base_region(&spmd.forest, decl.base);
-                    let root_inst = store.instance_mut_in(&spmd.forest, region);
-                    copy_fields(inst, root_inst, &decl.fields, inst.domain());
-                }
-            }
-        }
-    }
+    finalize_into_store(spmd, store, &datas);
 
     // Every shard handle merged when its thread finished above.
     metrics::export_env();
@@ -541,12 +530,31 @@ fn execute_spmd_inner(
     }
 }
 
+/// Finalization (§3.1): flush every written partition instance back to
+/// the root store. All instances covering an element agree at this
+/// point, so the flush order is immaterial; iterate deterministically
+/// anyway. Shared by the SPMD and shared-log executors.
+pub(crate) fn finalize_into_store(spmd: &SpmdProgram, store: &mut Store, datas: &[ShardData]) {
+    for data in datas {
+        for (key, inst) in data.iter_sorted() {
+            if let InstKey::UsePart(u, _) = key {
+                let decl = &spmd.uses[*u as usize];
+                if decl.writes {
+                    let region = regent_cr::analysis::base_region(&spmd.forest, decl.base);
+                    let root_inst = store.instance_mut_in(&spmd.forest, region);
+                    copy_fields(inst, root_inst, &decl.fields, inst.domain());
+                }
+            }
+        }
+    }
+}
+
 /// Poisons the shared synchronization primitives when a shard thread
 /// unwinds, so surviving shards fail fast with a diagnostic instead of
 /// waiting forever on an arrival that will never come.
-struct PanicGuard<'a> {
-    barrier: &'a ShardBarrier,
-    collective: &'a DynamicCollective,
+pub(crate) struct PanicGuard<'a> {
+    pub(crate) barrier: &'a ShardBarrier,
+    pub(crate) collective: &'a DynamicCollective,
 }
 
 impl Drop for PanicGuard<'_> {
@@ -560,7 +568,7 @@ impl Drop for PanicGuard<'_> {
 
 /// Renders a panic payload (`&str` or `String`) for the aggregated
 /// shard-failure diagnostic.
-fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
     e.downcast_ref::<&str>()
         .map(|s| s.to_string())
         .or_else(|| e.downcast_ref::<String>().cloned())
@@ -569,7 +577,7 @@ fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
 
 /// Per-shard checkpoint–restart and integrity state for a resilient
 /// run.
-struct Resilience {
+pub(crate) struct Resilience {
     /// Crash schedule as (epoch, shard), sorted; `cursor` advances once
     /// per event so each injected crash fires exactly once.
     schedule: Vec<(u64, u32)>,
@@ -593,7 +601,7 @@ struct Resilience {
 }
 
 impl Resilience {
-    fn new(opts: &ResilienceOptions) -> Resilience {
+    pub(crate) fn new(opts: &ResilienceOptions) -> Resilience {
         Resilience {
             schedule: opts
                 .plan
@@ -616,8 +624,12 @@ impl Resilience {
 /// An epoch-boundary snapshot: everything a shard must restore to
 /// deterministically replay from that boundary. Trace identities and
 /// statistics are deliberately excluded (see the module docs).
+///
+/// `token` is the executor's resume position — the outermost-loop
+/// iteration for the SPMD executor, the log batch index for the
+/// shared-log executor.
 struct Snapshot {
-    it: u64,
+    token: u64,
     epoch: u64,
     insts: HashMap<InstKey, Instance>,
     env: Vec<f64>,
@@ -625,19 +637,19 @@ struct Snapshot {
 
 /// Stable identity hash of a shard-local physical instance (the `inst`
 /// field of trace events).
-fn inst_hash(key: &InstKey) -> u64 {
+pub(crate) fn inst_hash(key: &InstKey) -> u64 {
     let mut h = DefaultHasher::new();
     key.hash(&mut h);
     h.finish()
 }
 
 /// Shard-local storage.
-struct ShardData {
-    insts: HashMap<InstKey, Instance>,
+pub(crate) struct ShardData {
+    pub(crate) insts: HashMap<InstKey, Instance>,
 }
 
 impl ShardData {
-    fn iter_sorted(&self) -> impl Iterator<Item = (&InstKey, &Instance)> {
+    pub(crate) fn iter_sorted(&self) -> impl Iterator<Item = (&InstKey, &Instance)> {
         let mut keys: Vec<&InstKey> = self.insts.keys().collect();
         keys.sort();
         keys.into_iter().map(move |k| (k, &self.insts[k]))
@@ -647,7 +659,7 @@ impl ShardData {
 /// Allocates and initializes a shard's instances: one per owned
 /// partition color per use, one replica per whole-region use, and the
 /// reduction temporaries (§3.1 initialization + §4.3 temps).
-fn allocate_shard_data(spmd: &SpmdProgram, shard: usize, store: &Store) -> ShardData {
+pub(crate) fn allocate_shard_data(spmd: &SpmdProgram, shard: usize, store: &Store) -> ShardData {
     let mut insts = HashMap::new();
     for (u, decl) in spmd.uses.iter().enumerate() {
         if !decl.needs_instances() {
@@ -696,149 +708,165 @@ fn allocate_shard_data(spmd: &SpmdProgram, shard: usize, store: &Store) -> Shard
     ShardData { insts }
 }
 
-struct ShardExec<'a> {
-    spmd: &'a SpmdProgram,
-    plan: &'a ExchangePlan,
-    shard: usize,
-    data: ShardData,
-    env: Vec<f64>,
-    tx: Vec<Sender<CopyMsg>>,
-    rx: Vec<Receiver<CopyMsg>>,
-    collective: &'a DynamicCollective,
-    barrier: &'a ShardBarrier,
-    stats: ShardStats,
+/// The per-shard execution engine: shard-local storage, the exchange
+/// channels, trace/metrics recorders, and the resilience state. The
+/// SPMD executor drives it through [`ShardExec::run_stmts`] (every
+/// shard re-executes the whole control program); the shared-log
+/// executor (`log_exec`) drives the *same* engine one leaf statement
+/// at a time through [`ShardExec::run_stmt`], so exchanges,
+/// collectives, integrity, and rollback behave identically under both
+/// strategies.
+pub(crate) struct ShardExec<'a> {
+    pub(crate) spmd: &'a SpmdProgram,
+    pub(crate) plan: &'a ExchangePlan,
+    pub(crate) shard: usize,
+    pub(crate) data: ShardData,
+    pub(crate) env: Vec<f64>,
+    pub(crate) tx: Vec<Sender<CopyMsg>>,
+    pub(crate) rx: Vec<Receiver<CopyMsg>>,
+    pub(crate) collective: &'a DynamicCollective,
+    pub(crate) barrier: &'a ShardBarrier,
+    pub(crate) stats: ShardStats,
     /// Payloads for self-pairs (producer == consumer == this shard),
     /// keyed by (copy id, pair seq). Self-pairs never leave the
     /// shard's memory, so they are exempt from in-flight corruption.
-    local_queue: HashMap<(u32, u32), CopyMsg>,
+    pub(crate) local_queue: HashMap<(u32, u32), CopyMsg>,
     /// Memoized element→storage-offset lists per (intersection, pair,
     /// side): copies run every iteration, the offsets never change.
-    offset_cache: HashMap<(u32, u32, bool), std::sync::Arc<Vec<usize>>>,
+    pub(crate) offset_cache: HashMap<(u32, u32, bool), std::sync::Arc<Vec<usize>>>,
     /// Event recorder for this shard's track.
-    tb: TraceBuf,
+    pub(crate) tb: TraceBuf,
     /// Always-on metrics recorder for this shard (merged into the
     /// global registry when the shard thread finishes).
-    mx: MetricsHandle,
+    pub(crate) mx: MetricsHandle,
     /// Dynamic launch sequence number. Control flow is replicated, so
     /// every shard assigns the same number to the same logical launch —
     /// the cross-shard trace identity (§3.5).
-    launch_seq: u32,
+    pub(crate) launch_seq: u32,
     /// Current loop nesting depth (0 ⇒ outermost, a timestep loop).
-    loop_depth: u32,
+    pub(crate) loop_depth: u32,
     /// Dynamic occurrence counters per (copy id, pair index), matching
     /// producer and consumer counts by replicated control flow.
-    copy_occurrence: HashMap<(u32, u32), u32>,
+    pub(crate) copy_occurrence: HashMap<(u32, u32), u32>,
     /// Dynamic collective sequence number — the replicated identity
     /// that keys per-contribution corruption decisions. Like the trace
     /// identities, deliberately not rolled back on restore.
-    collective_seq: u32,
+    pub(crate) collective_seq: u32,
     /// Global epoch counter: increments once per outermost-loop
     /// iteration, across all outermost loops of the program.
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// Epochs below this are replays of already-counted work: the
     /// useful-work statistics are suppressed for them, so a recovered
     /// run reports the *same* stats as a fault-free run (the replayed
     /// volume is visible through `epochs_replayed` instead).
-    replay_until: u64,
+    pub(crate) replay_until: u64,
     /// Checkpoint–restart state; `None` for plain (non-resilient) runs.
-    resilience: Option<Resilience>,
+    pub(crate) resilience: Option<Resilience>,
 }
 
 impl<'a> ShardExec<'a> {
-    fn run_stmts(&mut self, stmts: &[SpmdStmt]) {
+    pub(crate) fn run_stmts(&mut self, stmts: &[SpmdStmt]) {
         for s in stmts {
-            match s {
-                SpmdStmt::Launch(l) => self.run_launch(l),
-                SpmdStmt::Copy(c) => self.run_copy(c),
-                SpmdStmt::ResetTemp(t) => self.reset_temp(*t),
-                SpmdStmt::AllReduce { var, op } => {
-                    let local = self.env[var.0 as usize];
-                    let t0 = self.tb.now();
-                    let m0 = self.mx.start();
-                    let coll_seq = self.collective_seq;
-                    self.collective_seq += 1;
-                    let (folded, generation) = if self.integrity_on() {
-                        self.framed_reduce(var.0, coll_seq, local, *op)
-                    } else {
-                        self.collective.reduce_counted(self.shard, local, *op)
-                    };
-                    self.env[var.0 as usize] = folded;
-                    self.mx.incr(Counter::CollectiveWaits);
-                    self.mx.record_since(m0, Timer::CollectiveWaitNs);
-                    if self.useful_work() {
-                        self.stats.collectives += 1;
-                    }
-                    if self.tb.is_enabled() {
-                        // Arrival is stamped at the pre-wait time: the
-                        // contribution was available from t0 on.
-                        self.tb
-                            .push(t0, 0, EventKind::CollectiveArrive { generation });
-                        self.tb.instant(EventKind::CollectiveLeave { generation });
-                    }
+            self.run_stmt(s);
+        }
+    }
+
+    /// Executes one statement. Control-flow statements recurse through
+    /// [`ShardExec::run_stmts`]; the shared-log executor dispatches
+    /// only leaf statements here (its sequencer unrolls control flow
+    /// into the log).
+    pub(crate) fn run_stmt(&mut self, s: &SpmdStmt) {
+        match s {
+            SpmdStmt::Launch(l) => self.run_launch(l),
+            SpmdStmt::Copy(c) => self.run_copy(c),
+            SpmdStmt::ResetTemp(t) => self.reset_temp(*t),
+            SpmdStmt::AllReduce { var, op } => {
+                let local = self.env[var.0 as usize];
+                let t0 = self.tb.now();
+                let m0 = self.mx.start();
+                let coll_seq = self.collective_seq;
+                self.collective_seq += 1;
+                let (folded, generation) = if self.integrity_on() {
+                    self.framed_reduce(var.0, coll_seq, local, *op)
+                } else {
+                    self.collective.reduce_counted(self.shard, local, *op)
+                };
+                self.env[var.0 as usize] = folded;
+                self.mx.incr(Counter::CollectiveWaits);
+                self.mx.record_since(m0, Timer::CollectiveWaitNs);
+                if self.useful_work() {
+                    self.stats.collectives += 1;
                 }
-                SpmdStmt::SetScalar { var, expr } => {
-                    self.env[var.0 as usize] = expr.eval(&self.env);
+                if self.tb.is_enabled() {
+                    // Arrival is stamped at the pre-wait time: the
+                    // contribution was available from t0 on.
+                    self.tb
+                        .push(t0, 0, EventKind::CollectiveArrive { generation });
+                    self.tb.instant(EventKind::CollectiveLeave { generation });
                 }
-                SpmdStmt::For { count, body } => {
-                    let n = count.eval(&self.env).max(0.0) as u64;
-                    let mut it = 0u64;
-                    while it < n {
-                        if self.loop_depth == 0 {
-                            if let Some(restored_it) = self.epoch_boundary(it) {
-                                it = restored_it;
-                                continue;
-                            }
-                            self.tb.instant(EventKind::StepBegin { step: it });
+            }
+            SpmdStmt::SetScalar { var, expr } => {
+                self.env[var.0 as usize] = expr.eval(&self.env);
+            }
+            SpmdStmt::For { count, body } => {
+                let n = count.eval(&self.env).max(0.0) as u64;
+                let mut it = 0u64;
+                while it < n {
+                    if self.loop_depth == 0 {
+                        if let Some(restored_it) = self.epoch_boundary(it) {
+                            it = restored_it;
+                            continue;
                         }
-                        self.loop_depth += 1;
-                        self.run_stmts(body);
-                        self.loop_depth -= 1;
-                        if self.loop_depth == 0 {
-                            self.epoch += 1;
-                        }
-                        it += 1;
+                        self.tb.instant(EventKind::StepBegin { step: it });
                     }
+                    self.loop_depth += 1;
+                    self.run_stmts(body);
+                    self.loop_depth -= 1;
+                    if self.loop_depth == 0 {
+                        self.epoch += 1;
+                    }
+                    it += 1;
                 }
-                SpmdStmt::While { cond, body } => {
-                    let mut it = 0u64;
-                    while cond.eval(&self.env) != 0.0 {
-                        if self.loop_depth == 0 {
-                            if let Some(restored_it) = self.epoch_boundary(it) {
-                                it = restored_it;
-                                continue;
-                            }
-                            self.tb.instant(EventKind::StepBegin { step: it });
+            }
+            SpmdStmt::While { cond, body } => {
+                let mut it = 0u64;
+                while cond.eval(&self.env) != 0.0 {
+                    if self.loop_depth == 0 {
+                        if let Some(restored_it) = self.epoch_boundary(it) {
+                            it = restored_it;
+                            continue;
                         }
-                        self.loop_depth += 1;
-                        self.run_stmts(body);
-                        self.loop_depth -= 1;
-                        if self.loop_depth == 0 {
-                            self.epoch += 1;
-                        }
-                        it += 1;
+                        self.tb.instant(EventKind::StepBegin { step: it });
                     }
+                    self.loop_depth += 1;
+                    self.run_stmts(body);
+                    self.loop_depth -= 1;
+                    if self.loop_depth == 0 {
+                        self.epoch += 1;
+                    }
+                    it += 1;
                 }
-                SpmdStmt::If {
-                    cond,
-                    then_body,
-                    else_body,
-                } => {
-                    if cond.eval(&self.env) != 0.0 {
-                        self.run_stmts(then_body);
-                    } else {
-                        self.run_stmts(else_body);
-                    }
+            }
+            SpmdStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if cond.eval(&self.env) != 0.0 {
+                    self.run_stmts(then_body);
+                } else {
+                    self.run_stmts(else_body);
                 }
-                SpmdStmt::Barrier => {
-                    let t0 = self.tb.now();
-                    let m0 = self.mx.start();
-                    let generation = self.barrier.wait_counted();
-                    self.mx.incr(Counter::BarrierWaits);
-                    self.mx.record_since(m0, Timer::BarrierWaitNs);
-                    if self.tb.is_enabled() {
-                        self.tb.push(t0, 0, EventKind::BarrierArrive { generation });
-                        self.tb.instant(EventKind::BarrierLeave { generation });
-                    }
+            }
+            SpmdStmt::Barrier => {
+                let t0 = self.tb.now();
+                let m0 = self.mx.start();
+                let generation = self.barrier.wait_counted();
+                self.mx.incr(Counter::BarrierWaits);
+                self.mx.record_since(m0, Timer::BarrierWaitNs);
+                if self.tb.is_enabled() {
+                    self.tb.push(t0, 0, EventKind::BarrierArrive { generation });
+                    self.tb.instant(EventKind::BarrierLeave { generation });
                 }
             }
         }
@@ -874,7 +902,7 @@ impl<'a> ShardExec<'a> {
 
     /// Whether the integrity layer (sealing, framing, verification) is
     /// active for this run.
-    fn integrity_on(&self) -> bool {
+    pub(crate) fn integrity_on(&self) -> bool {
         self.resilience.as_ref().is_some_and(|r| r.integrity)
     }
 
@@ -1389,38 +1417,48 @@ impl<'a> ShardExec<'a> {
     /// Whether the current epoch is first-time (useful) work rather
     /// than a post-rollback replay. Work counters only advance for
     /// useful epochs, keeping recovered and fault-free stats equal.
-    fn useful_work(&self) -> bool {
+    pub(crate) fn useful_work(&self) -> bool {
         self.epoch >= self.replay_until
     }
 
     /// Epoch boundary of a resilient run, called at the top of every
-    /// outermost-loop iteration: takes a snapshot when one is due, then
-    /// fires a scheduled crash by rolling back to the last snapshot.
-    /// Returns `Some(restored_it)` when a rollback happened — the
-    /// caller restarts the loop from that iteration; `None` otherwise
-    /// (including for plain runs). Every shard makes the same decision
-    /// at the same epoch (replicated control flow + shared plan), which
-    /// is what keeps the recovery coordination-free.
+    /// outermost-loop iteration. See [`ShardExec::boundary`].
     fn epoch_boundary(&mut self, it: u64) -> Option<u64> {
+        self.boundary(it == 0, it)
+    }
+
+    /// Epoch boundary of a resilient run: takes a snapshot when one is
+    /// due, then fires a scheduled crash by rolling back to the last
+    /// snapshot. `first` marks the first boundary of an outermost loop
+    /// (forces a fresh snapshot so a rollback never crosses loop
+    /// boundaries); `token` is the executor's resume position stored in
+    /// the snapshot — the loop iteration for the SPMD executor, the log
+    /// batch index for the shared-log executor. Returns
+    /// `Some(restored_token)` when a rollback happened — the caller
+    /// resumes from that position; `None` otherwise (including for
+    /// plain runs). Every shard makes the same decision at the same
+    /// epoch (replicated control flow / a replicated log + shared
+    /// plan), which is what keeps the recovery coordination-free.
+    pub(crate) fn boundary(&mut self, first: bool, token: u64) -> Option<u64> {
         self.resilience.as_ref()?;
         // Integrity sweep first: inject and detect resident corruption
         // *before* the snapshot logic, so a snapshot can never capture
         // corrupted state.
-        if let Some(restored_it) = self.integrity_boundary(it) {
-            return Some(restored_it);
+        if let Some(restored) = self.integrity_boundary(first) {
+            return Some(restored);
         }
         let epoch = self.epoch;
         let r = self.resilience.as_ref().unwrap();
         // Snapshot at the first epoch of each loop and every `interval`
         // epochs after — but not twice at the same epoch (a rollback
         // lands us back on a boundary whose snapshot is already live).
-        let due = (it == 0 || (r.interval > 0 && epoch.is_multiple_of(r.interval)))
+        let due = (first || (r.interval > 0 && epoch.is_multiple_of(r.interval)))
             && r.snapshot.as_ref().is_none_or(|s| s.epoch != epoch);
         if due {
             let t0 = self.tb.now();
             let m0 = self.mx.start();
             let snap = Snapshot {
-                it,
+                token,
                 epoch,
                 insts: self.data.insts.clone(),
                 env: self.env.clone(),
@@ -1451,17 +1489,17 @@ impl<'a> ShardExec<'a> {
     /// detected resident corruption to a coordinated rollback.
     /// Localized repair is impossible for resident state — no peer
     /// holds a redundant copy — so the checkpoint *is* the redundancy.
-    /// Returns `Some(restored_it)` when the boundary rolled back.
-    fn integrity_boundary(&mut self, it: u64) -> Option<u64> {
+    /// Returns `Some(restored_token)` when the boundary rolled back.
+    fn integrity_boundary(&mut self, first: bool) -> Option<u64> {
         let r = self.resilience.as_ref()?;
         if !r.integrity {
             return None;
         }
         let epoch = self.epoch;
         // Resident corruption only fires past the first boundary of a
-        // loop: `it > 0` guarantees the live snapshot belongs to the
-        // current loop, so the restored iteration number is valid here.
-        let decision = if it > 0 && epoch >= r.corrupt_handled {
+        // loop: `!first` guarantees the live snapshot belongs to the
+        // current loop, so the restored resume token is valid here.
+        let decision = if !first && epoch >= r.corrupt_handled {
             r.plan.resident_corruption(epoch, self.spmd.num_shards)
         } else {
             None
@@ -1514,15 +1552,15 @@ impl<'a> ShardExec<'a> {
 
     /// Coordinated rollback to the live snapshot: restores instances,
     /// scalars, and the epoch counter, suppresses useful-work stats
-    /// for the replayed range, and returns the outermost-loop
-    /// iteration to resume from.
+    /// for the replayed range, and returns the resume token the
+    /// snapshot stored (loop iteration or log batch index).
     fn rollback(&mut self, epoch: u64) -> u64 {
         let r = self.resilience.as_ref().unwrap();
         let snap = r
             .snapshot
             .as_ref()
             .expect("rollback before any snapshot (epoch 0 always checkpoints)");
-        let (snap_it, snap_epoch) = (snap.it, snap.epoch);
+        let (snap_token, snap_epoch) = (snap.token, snap.epoch);
         let insts = snap.insts.clone();
         let env = snap.env.clone();
         let t0 = self.tb.now();
@@ -1543,7 +1581,7 @@ impl<'a> ShardExec<'a> {
                 to_epoch: snap_epoch,
             },
         );
-        snap_it
+        snap_token
     }
 
     /// Verifies every resident instance seal, panicking on a mismatch

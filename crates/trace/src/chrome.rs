@@ -159,6 +159,7 @@ pub fn sim_kind_name(k: SimKind) -> &'static str {
         SimKind::Compute => "compute",
         SimKind::Copy => "copy",
         SimKind::Collective => "collective",
+        SimKind::Log => "log",
         SimKind::Other => "sim",
     }
 }
@@ -197,6 +198,9 @@ fn kind_name(k: &EventKind) -> String {
         EventKind::MemoMiss { epoch, at } => format!("memo miss e{epoch}@{at}"),
         EventKind::MemoInvalidate { templates } => format!("memo invalidate ({templates})"),
         EventKind::MemoReplay { launch, pos } => format!("memo replay L{launch}[{pos}]"),
+        EventKind::LogAppend { epoch, records, .. } => format!("log append e{epoch} ({records})"),
+        EventKind::LogCombine { batch, records } => format!("log combine b{batch} ({records})"),
+        EventKind::LogConsume { replica, batch, .. } => format!("log consume r{replica} b{batch}"),
         EventKind::Pass { name } => format!("pass {name}"),
         EventKind::SimTask { kind, step, .. } => {
             format!("{} s{step}", sim_kind_name(*kind))
@@ -246,6 +250,22 @@ fn kind_args(k: &EventKind) -> String {
         | EventKind::CollectiveArrive { generation }
         | EventKind::CollectiveLeave { generation } => format!("\"generation\":{generation}"),
         EventKind::SimTask { node, step, .. } => format!("\"node\":{node},\"step\":{step}"),
+        EventKind::LogAppend {
+            epoch,
+            batch,
+            records,
+        } => {
+            format!("\"epoch\":{epoch},\"batch\":{batch},\"records\":{records}")
+        }
+        EventKind::LogCombine { batch, records } => {
+            format!("\"batch\":{batch},\"records\":{records}")
+        }
+        EventKind::LogConsume {
+            replica,
+            batch,
+            records,
+            lag,
+        } => format!("\"replica\":{replica},\"batch\":{batch},\"records\":{records},\"lag\":{lag}"),
         EventKind::MemoCapture { key, tasks, .. } | EventKind::MemoHit { key, tasks, .. } => {
             format!("\"key\":{key},\"tasks\":{tasks}")
         }

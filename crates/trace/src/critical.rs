@@ -47,13 +47,16 @@ pub enum Phase {
     CollectiveWait,
     /// Application kernel execution.
     Exec,
+    /// Shared-log control work: sequencer appends/combines and replica
+    /// batch consumption (`log_exec`).
+    LogControl,
     /// Everything else on the path (launches, drains, checkpoints).
     Other,
 }
 
 impl Phase {
     /// Number of phases (length of a [`Blame`] vector).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// All phases, in display order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -63,6 +66,7 @@ impl Phase {
         Phase::BarrierWait,
         Phase::CollectiveWait,
         Phase::Exec,
+        Phase::LogControl,
         Phase::Other,
     ];
 
@@ -75,6 +79,7 @@ impl Phase {
             Phase::BarrierWait => "barrier_wait",
             Phase::CollectiveWait => "collective_wait",
             Phase::Exec => "exec",
+            Phase::LogControl => "log_control",
             Phase::Other => "other",
         }
     }
@@ -148,11 +153,10 @@ impl BlameReport {
         .unwrap();
         writeln!(out, "{:>16}  {:>14}  {:>6}", "phase", "ns", "%").unwrap();
         let total = self.critical_path_ns.max(1);
+        // Every phase prints, including 0.0% rows: blame tables from
+        // different strategies stay column-aligned and diffable.
         for p in Phase::ALL {
             let ns = self.total.get(p);
-            if ns == 0 {
-                continue;
-            }
             writeln!(
                 out,
                 "{:>16}  {:>14}  {:>5.1}%",
@@ -198,6 +202,9 @@ pub fn classify(kind: &EventKind) -> Phase {
         EventKind::CollectiveArrive { .. } | EventKind::CollectiveLeave { .. } => {
             Phase::CollectiveWait
         }
+        EventKind::LogAppend { .. }
+        | EventKind::LogCombine { .. }
+        | EventKind::LogConsume { .. } => Phase::LogControl,
         _ => Phase::Other,
     }
 }
@@ -417,6 +424,7 @@ pub fn sim_blame(trace: &Trace, track: &str) -> Option<(u64, Blame)> {
                 SimKind::Compute => Phase::Exec,
                 SimKind::Copy => Phase::Copy,
                 SimKind::Collective => Phase::CollectiveWait,
+                SimKind::Log => Phase::LogControl,
                 SimKind::Launch | SimKind::Other => Phase::Other,
             };
             per.entry((step, node)).or_default().add(phase, e.dur);

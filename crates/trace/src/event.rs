@@ -76,6 +76,9 @@ pub enum SimKind {
     Copy,
     /// Collective participation.
     Collective,
+    /// Shared-log control work: sequencer append/combine and replica
+    /// batch consumption (`log_exec`).
+    Log,
     /// Anything untagged.
     Other,
 }
@@ -315,6 +318,39 @@ pub enum EventKind {
         launch: u32,
         /// Position of the replayed task.
         pos: u32,
+    },
+    /// The shared-log sequencer appended a segment of launch records
+    /// to the operation log (instant; paired with the
+    /// [`EventKind::LogCombine`] span covering the combiner round that
+    /// published it).
+    LogAppend {
+        /// Epoch (outermost-loop iteration) the records belong to.
+        epoch: u64,
+        /// Log index of the first batch the segment was published as.
+        batch: u32,
+        /// Records appended in this segment.
+        records: u32,
+    },
+    /// The flat combiner ran: drained the producer slots and published
+    /// one or more batches (span covers the combining round).
+    LogCombine {
+        /// Log index of the first batch published by this round.
+        batch: u32,
+        /// Records combined across the published batches.
+        records: u32,
+    },
+    /// A replica leader consumed one log batch: advanced its read
+    /// cursor and ran the once-per-replica dependence analysis.
+    LogConsume {
+        /// Consuming replica id.
+        replica: u32,
+        /// Log index of the consumed batch.
+        batch: u32,
+        /// Records in the batch.
+        records: u32,
+        /// Cursor lag when the batch was taken: published batches not
+        /// yet consumed by this replica (including this one).
+        lag: u32,
     },
     /// A compiler pass of the CR pipeline (span).
     Pass {

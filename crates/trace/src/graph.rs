@@ -127,6 +127,9 @@ fn is_node(kind: &EventKind) -> bool {
             | EventKind::CollectiveLeave { .. }
             | EventKind::DepAnalysis { .. }
             | EventKind::MemoReplay { .. }
+            | EventKind::LogAppend { .. }
+            | EventKind::LogCombine { .. }
+            | EventKind::LogConsume { .. }
     )
 }
 

@@ -82,6 +82,7 @@ fn sim_str(k: SimKind) -> &'static str {
         SimKind::Compute => "compute",
         SimKind::Copy => "copy",
         SimKind::Collective => "collective",
+        SimKind::Log => "log",
         SimKind::Other => "other",
     }
 }
@@ -240,6 +241,30 @@ fn write_event(out: &mut String, e: &Event) {
         EventKind::MemoReplay { launch, pos } => {
             write!(out, "\"memo_replay\",\"launch\":{launch},\"pos\":{pos}")
         }
+        EventKind::LogAppend {
+            epoch,
+            batch,
+            records,
+        } => write!(
+            out,
+            "\"log_append\",\"epoch\":{epoch},\"batch\":{batch},\"records\":{records}"
+        ),
+        EventKind::LogCombine { batch, records } => {
+            write!(
+                out,
+                "\"log_combine\",\"batch\":{batch},\"records\":{records}"
+            )
+        }
+        EventKind::LogConsume {
+            replica,
+            batch,
+            records,
+            lag,
+        } => write!(
+            out,
+            "\"log_consume\",\"replica\":{replica},\"batch\":{batch},\
+             \"records\":{records},\"lag\":{lag}"
+        ),
         EventKind::Pass { name } => {
             out.push_str("\"pass\",\"name\":\"");
             escape_into(out, name);
@@ -305,6 +330,7 @@ fn parse_sim(s: &str) -> Result<SimKind, String> {
         "compute" => Ok(SimKind::Compute),
         "copy" => Ok(SimKind::Copy),
         "collective" => Ok(SimKind::Collective),
+        "log" => Ok(SimKind::Log),
         "other" => Ok(SimKind::Other),
         _ => Err(format!("unknown sim kind {s:?}")),
     }
@@ -437,6 +463,21 @@ fn parse_event(v: &Value) -> Result<Event, String> {
         "memo_replay" => EventKind::MemoReplay {
             launch: get_u32(o, "launch")?,
             pos: get_u32(o, "pos")?,
+        },
+        "log_append" => EventKind::LogAppend {
+            epoch: get_u64(o, "epoch")?,
+            batch: get_u32(o, "batch")?,
+            records: get_u32(o, "records")?,
+        },
+        "log_combine" => EventKind::LogCombine {
+            batch: get_u32(o, "batch")?,
+            records: get_u32(o, "records")?,
+        },
+        "log_consume" => EventKind::LogConsume {
+            replica: get_u32(o, "replica")?,
+            batch: get_u32(o, "batch")?,
+            records: get_u32(o, "records")?,
+            lag: get_u32(o, "lag")?,
         },
         "pass" => EventKind::Pass {
             name: intern(get_str(o, "name")?),
