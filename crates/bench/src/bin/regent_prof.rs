@@ -63,6 +63,10 @@ fn kind_label(kind: &EventKind) -> &'static str {
             SimKind::Log => "sim_log",
             SimKind::Other => "sim_other",
         },
+        EventKind::JobAdmit { .. } => "job_admit",
+        EventKind::JobShed { .. } => "job_shed",
+        EventKind::JobRetry { .. } => "job_retry",
+        EventKind::JobDegrade { .. } => "job_degrade",
         EventKind::Counter { .. } => "counter",
         EventKind::Mark { .. } => "mark",
     }
@@ -102,6 +106,46 @@ fn collapsed_stacks(trace: &Trace) -> String {
         writeln!(out, "{stack} {ns}").unwrap();
     }
     out
+}
+
+/// Per-tenant service counters reconstructed from `Job*` trace events.
+#[derive(Default, Clone, Copy)]
+struct TenantSummary {
+    admitted: u64,
+    shed: u64,
+    retried: u64,
+    degraded: u64,
+    queue_wait_ns: u64,
+}
+
+/// Aggregates supervisor `Job*` events by tenant. Returns `None` when
+/// the trace records no service activity (plain executor runs).
+fn service_summary(trace: &Trace) -> Option<BTreeMap<u32, TenantSummary>> {
+    let mut by_tenant: BTreeMap<u32, TenantSummary> = BTreeMap::new();
+    for t in &trace.tracks {
+        for e in &t.events {
+            match e.kind {
+                EventKind::JobAdmit { tenant, .. } => {
+                    let s = by_tenant.entry(tenant).or_default();
+                    s.admitted += 1;
+                    s.queue_wait_ns += e.dur;
+                }
+                EventKind::JobShed { tenant, .. } => by_tenant.entry(tenant).or_default().shed += 1,
+                EventKind::JobRetry { tenant, .. } => {
+                    by_tenant.entry(tenant).or_default().retried += 1
+                }
+                EventKind::JobDegrade { tenant, .. } => {
+                    by_tenant.entry(tenant).or_default().degraded += 1
+                }
+                _ => {}
+            }
+        }
+    }
+    if by_tenant.is_empty() {
+        None
+    } else {
+        Some(by_tenant)
+    }
 }
 
 /// True when the track records a simulated schedule (`SimTask` spans).
@@ -184,6 +228,20 @@ fn main() {
         println!();
         println!("== load imbalance ==");
         print!("{}", imbalance_report(&trace).format());
+        println!();
+    }
+    if let Some(by_tenant) = service_summary(&trace) {
+        println!("== service summary (per tenant) ==");
+        println!(
+            "{:>8} {:>9} {:>6} {:>8} {:>9} {:>16}",
+            "tenant", "admitted", "shed", "retried", "degraded", "queue_wait_ns"
+        );
+        for (tenant, s) in &by_tenant {
+            println!(
+                "{:>8} {:>9} {:>6} {:>8} {:>9} {:>16}",
+                tenant, s.admitted, s.shed, s.retried, s.degraded, s.queue_wait_ns
+            );
+        }
         println!();
     }
     if !sim_tracks.is_empty() {

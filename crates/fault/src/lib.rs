@@ -422,9 +422,148 @@ fn unit_f64(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// Diagnostic prefix of a cooperative cancellation unwind (deadline
+/// exhaustion or explicit supervisor cancel). The cancellation token
+/// panics with this prefix; [`classify_failure`] maps it back to
+/// [`FailureClass::Cancelled`].
+pub const CANCEL_PREFIX: &str = "job cancelled";
+
+/// Diagnostic prefix of an injected transient fault — a deterministic,
+/// seeded "machine hiccup" a supervisor should retry through rather
+/// than surface.
+pub const TRANSIENT_PREFIX: &str = "injected transient fault";
+
+/// Supervisor-level classification of a failed executor run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureClass {
+    /// The job was cooperatively cancelled (deadline budget exhausted
+    /// or an explicit supervisor cancel): terminal, do not retry, not a
+    /// defect.
+    Cancelled,
+    /// A transient environmental fault (injected transient, likely
+    /// deadlock under load): retry with backoff is warranted.
+    Transient,
+    /// Anything else — an application or runtime defect. Retrying
+    /// cannot help; the job must be quarantined.
+    Permanent,
+}
+
+/// Classifies a panic diagnostic captured from an executor run (the
+/// aggregated shard-failure message). Matching is substring-based
+/// because the executors wrap the root cause ("shard 3 panicked:
+/// ...").
+///
+/// * [`CANCEL_PREFIX`] → [`FailureClass::Cancelled`]
+/// * [`TRANSIENT_PREFIX`] or a `"likely deadlock"` hang-timeout
+///   diagnostic → [`FailureClass::Transient`]
+/// * everything else → [`FailureClass::Permanent`]
+pub fn classify_failure(msg: &str) -> FailureClass {
+    if msg.contains(CANCEL_PREFIX) {
+        FailureClass::Cancelled
+    } else if msg.contains(TRANSIENT_PREFIX) || msg.contains("likely deadlock") {
+        FailureClass::Transient
+    } else {
+        FailureClass::Permanent
+    }
+}
+
+/// Seeded exponential backoff with deterministic jitter for
+/// supervisor-level job retries. Unlike [`RetryPolicy`] (the
+/// message-retransmit policy of the simulated transport), this is
+/// wall-clock milliseconds, and the jitter is derived from
+/// `(seed, job, attempt)` so a replayed serving run backs off
+/// identically.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryBackoff {
+    /// Base delay before the first retry, milliseconds.
+    pub base_ms: u64,
+    /// Multiplier applied per failed attempt.
+    pub multiplier: f64,
+    /// Upper bound on any single delay, milliseconds.
+    pub cap_ms: u64,
+    /// Attempts after which the job is declared permanently failed.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryBackoff {
+    fn default() -> Self {
+        RetryBackoff {
+            base_ms: 10,
+            multiplier: 2.0,
+            cap_ms: 2_000,
+            max_attempts: 3,
+        }
+    }
+}
+
+impl RetryBackoff {
+    /// Delay before retrying failed attempt `attempt` (zero-based) of
+    /// `job`, in milliseconds: `min(cap, base × multiplier^attempt)`
+    /// plus up to 50% seeded jitter (full-jitter on the top half, the
+    /// standard thundering-herd mitigation).
+    pub fn delay_ms(&self, seed: u64, job: u64, attempt: u32) -> u64 {
+        let raw = self.base_ms as f64 * self.multiplier.powi(attempt.min(63) as i32);
+        let capped = raw.min(self.cap_ms as f64);
+        let h = splitmix64(seed ^ splitmix64(job ^ splitmix64(0x4241_434B ^ attempt as u64)));
+        let jitter = unit_f64(h); // [0, 1)
+        (capped * (0.5 + 0.5 * jitter)) as u64
+    }
+
+    /// Whether attempt `attempt` (zero-based, counting the first run
+    /// as 0) may be followed by another try.
+    pub fn may_retry(&self, attempt: u32) -> bool {
+        attempt + 1 < self.max_attempts
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn failure_classification() {
+        assert_eq!(
+            classify_failure("shard 2 panicked: job cancelled: deadline budget exhausted"),
+            FailureClass::Cancelled
+        );
+        assert_eq!(
+            classify_failure("shard 0 panicked: injected transient fault: shard 0 unavailable"),
+            FailureClass::Transient
+        );
+        assert_eq!(
+            classify_failure("likely deadlock: shard 1 waited 30s on copy 0 pair 2"),
+            FailureClass::Transient
+        );
+        assert_eq!(
+            classify_failure("index out of bounds: the len is 4"),
+            FailureClass::Permanent
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let b = RetryBackoff::default();
+        // Deterministic per (seed, job, attempt).
+        assert_eq!(b.delay_ms(1, 7, 0), b.delay_ms(1, 7, 0));
+        // Jitter separates jobs.
+        let spread = (0..64u64).map(|j| b.delay_ms(1, j, 2)).collect::<Vec<_>>();
+        assert!(spread.iter().any(|&d| d != spread[0]));
+        // Every delay stays within [base/2, cap] for its attempt.
+        for attempt in 0..16 {
+            for job in 0..32u64 {
+                let d = b.delay_ms(9, job, attempt);
+                assert!(d <= b.cap_ms, "delay {d} above cap");
+                let nominal =
+                    (b.base_ms as f64 * b.multiplier.powi(attempt as i32)).min(b.cap_ms as f64);
+                assert!(
+                    d as f64 >= nominal * 0.5 - 1.0,
+                    "delay {d} below jitter floor"
+                );
+            }
+        }
+        // Attempt budget: first run is attempt 0.
+        assert!(b.may_retry(0) && b.may_retry(1) && !b.may_retry(2));
+    }
 
     #[test]
     fn message_fate_is_deterministic() {

@@ -55,12 +55,19 @@ impl FramedScalar {
 /// stall before the executor declares a likely deadlock and panics
 /// with a diagnostic instead of hanging a CI job for hours. Override
 /// with `REGENT_HANG_TIMEOUT_MS`.
+///
+/// The variable is parsed once per process and cached: this sits on
+/// every `recv_timeout` of the hot exchange paths, and a `getenv` +
+/// parse per message is measurable there.
 pub fn hang_timeout() -> Duration {
-    let ms = std::env::var("REGENT_HANG_TIMEOUT_MS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(30_000u64);
-    Duration::from_millis(ms)
+    static CACHED: std::sync::OnceLock<Duration> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        let ms = std::env::var("REGENT_HANG_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(30_000u64);
+        Duration::from_millis(ms)
+    })
 }
 
 struct CollectiveState {

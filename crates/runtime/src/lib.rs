@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod collective;
 pub mod hybrid_exec;
 pub mod implicit;
@@ -53,6 +54,7 @@ pub mod metrics;
 pub mod plan;
 pub mod spmd_exec;
 
+pub use cancel::CancelToken;
 pub use collective::{hang_timeout, DynamicCollective, FramedScalar, ShardBarrier};
 pub use hybrid_exec::{execute_hybrid, execute_hybrid_traced, HybridRunResult};
 pub use implicit::{execute_implicit, ImplicitOptions, ImplicitStats};
@@ -67,9 +69,12 @@ pub use metrics::{
     export_env as export_metrics_env, Counter, Hist, MetricsHandle, MetricsRegistry, Timer,
 };
 pub use plan::{build_exchange_plan, ExchangePlan, InstKey, PairPlan, SetupStats};
-pub use regent_fault::{FaultPlan, RetryPolicy};
+pub use regent_fault::{
+    classify_failure, FailureClass, FaultPlan, RetryBackoff, RetryPolicy, CANCEL_PREFIX,
+    TRANSIENT_PREFIX,
+};
 pub use spmd_exec::{
     execute_spmd, execute_spmd_resilient, execute_spmd_resilient_traced, execute_spmd_traced,
-    execute_spmd_with_env, execute_spmd_with_env_traced, ResilienceOptions, ShardStats,
+    execute_spmd_with_env, execute_spmd_with_env_traced, RescueSlot, ResilienceOptions, ShardStats,
     SpmdRunResult,
 };

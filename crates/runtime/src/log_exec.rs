@@ -63,8 +63,19 @@ use regent_ir::{Privilege, Store};
 use regent_region::RegionId;
 use regent_trace::{EventKind, OverlapOracle, TraceBuf, Tracer};
 use std::collections::{HashMap, HashSet};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Capacity of the shard-0 → sequencer scalar-feedback channel. The
+/// protocol sends exactly one folded value per `AllReduce` and the
+/// sequencer blocks for it immediately after publishing the segment,
+/// so in a correct run depth never exceeds 1; the slack only exists so
+/// a slow sequencer doesn't stall shard 0 between nearby collectives.
+/// A full channel therefore means the sequencer has stopped consuming
+/// — the sender gives it one hang-timeout to drain, then declares a
+/// likely deadlock instead of blocking forever on an unbounded queue.
+const FEEDBACK_BOUND: usize = 4;
 
 /// One operation in the launch log: a leaf statement of the compiled
 /// body plus, for launches, the [`launch_sig`] structural signature
@@ -201,7 +212,7 @@ fn execute_log_inner(
         .collect();
 
     let log: LaunchLog<LogRecord<'_>> = LaunchLog::new(1, batch_limit_from_env());
-    let (fb_tx, fb_rx) = channel::<f64>();
+    let (fb_tx, fb_rx) = sync_channel::<f64>(FEEDBACK_BOUND);
     let mut fb_slot = Some(fb_tx);
 
     let mut results: Vec<Option<ShardOutcome>> = (0..ns).map(|_| None).collect();
@@ -280,6 +291,7 @@ fn execute_log_inner(
                     epoch: 0,
                     replay_until: 0,
                     resilience: resilience.map(Resilience::new),
+                    outer_loop_seq: 0,
                 };
                 let replica = owner_of(ns, n_replicas, shard) as u32;
                 let (block_start, _) = block_range(ns, n_replicas, replica as usize);
@@ -305,7 +317,13 @@ fn execute_log_inner(
             Ok(r) => seq_result = Some(r),
             Err(e) => failures.push(("sequencer".to_string(), panic_message(&*e))),
         }
-        if let Some((who, msg)) = failures.first() {
+        // Prefer the root cause over secondary "poisoned" unwinds —
+        // that is the message a supervisor classifies.
+        if let Some((who, msg)) = failures
+            .iter()
+            .find(|(_, m)| !m.contains("poisoned"))
+            .or(failures.first())
+        {
             panic!(
                 "{who} panicked: {msg}{}",
                 if failures.len() > 1 {
@@ -417,10 +435,11 @@ impl<'a> Sequencer<'a, '_> {
                         .recv_timeout(hang_timeout())
                         .unwrap_or_else(|e| {
                             panic!(
-                            "sequencer: AllReduce feedback for scalar {} never arrived ({e:?}) — \
-                             shard 0 stalled or died",
-                            var.0
-                        )
+                                "likely deadlock: sequencer waited {:?} for AllReduce feedback on \
+                             scalar {} ({e:?}) — shard 0 stalled or died",
+                                hang_timeout(),
+                                var.0
+                            )
                         });
                     self.env[var.0 as usize] = folded;
                 }
@@ -620,6 +639,36 @@ fn analyze_batch(
     );
 }
 
+/// Sends one folded `AllReduce` value to the sequencer over the
+/// bounded feedback channel, giving a stalled sequencer one hang
+/// timeout to drain the backlog before declaring a likely deadlock
+/// (`std` sync channels have no `send_timeout`, so this polls
+/// `try_send` against a deadline).
+fn send_feedback(fb: &SyncSender<f64>, var: u32, value: f64) {
+    let deadline = Instant::now() + hang_timeout();
+    let mut v = value;
+    loop {
+        match fb.try_send(v) {
+            Ok(()) => return,
+            Err(TrySendError::Disconnected(_)) => {
+                panic!("sequencer died before the run finished (feedback channel disconnected)")
+            }
+            Err(TrySendError::Full(back)) => {
+                if Instant::now() >= deadline {
+                    panic!(
+                        "likely deadlock: shard 0 waited {:?} to feed back AllReduce scalar {} — \
+                         feedback channel full ({FEEDBACK_BOUND} pending), sequencer stalled",
+                        hang_timeout(),
+                        var
+                    );
+                }
+                v = back;
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
 /// Tails the log and executes every record through the shared
 /// [`ShardExec`] engine. Returns the largest cursor lag observed.
 fn run_shard_driver(
@@ -627,7 +676,7 @@ fn run_shard_driver(
     log: &LaunchLog<LogRecord<'_>>,
     replica: u32,
     mut analysis: Option<&mut ReplicaAnalysis<'_>>,
-    fb: Option<Sender<f64>>,
+    fb: Option<SyncSender<f64>>,
 ) -> u64 {
     let mut cursor = LogCursor::new();
     let mut max_lag = 0u64;
@@ -667,8 +716,7 @@ fn run_shard_driver(
                 // to the sequencer — once per logical collective (the
                 // useful-work gate suppresses post-rollback replays).
                 if exec.useful_work() {
-                    fb.send(exec.env[var.0 as usize])
-                        .expect("sequencer died before the run finished");
+                    send_feedback(fb, var.0, exec.env[var.0 as usize]);
                 }
             }
         }

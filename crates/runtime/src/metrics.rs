@@ -65,11 +65,23 @@ pub enum Counter {
     LogCursorLag,
     /// Per-replica per-batch dependence analyses run.
     LogAnalyses,
+    /// Jobs admitted into a service shard pool.
+    JobsAdmitted,
+    /// Jobs rejected by admission control (`Overloaded`).
+    JobsShed,
+    /// Job retry attempts after transient failures.
+    JobsRetried,
+    /// Tenant shard-allocation reductions under sustained pressure.
+    JobsDegraded,
+    /// Jobs that ran to completion under supervision.
+    JobsCompleted,
+    /// Jobs quarantined after a permanent (non-retryable) failure.
+    JobsQuarantined,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 27;
 
     /// All counters, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -94,6 +106,12 @@ impl Counter {
         Counter::LogCombinedRecords,
         Counter::LogCursorLag,
         Counter::LogAnalyses,
+        Counter::JobsAdmitted,
+        Counter::JobsShed,
+        Counter::JobsRetried,
+        Counter::JobsDegraded,
+        Counter::JobsCompleted,
+        Counter::JobsQuarantined,
     ];
 
     /// Stable snake_case name (used in exports).
@@ -120,6 +138,12 @@ impl Counter {
             Counter::LogCombinedRecords => "log_combined_records",
             Counter::LogCursorLag => "log_cursor_lag",
             Counter::LogAnalyses => "log_analyses",
+            Counter::JobsAdmitted => "jobs_admitted",
+            Counter::JobsShed => "jobs_shed",
+            Counter::JobsRetried => "jobs_retried",
+            Counter::JobsDegraded => "jobs_degraded",
+            Counter::JobsCompleted => "jobs_completed",
+            Counter::JobsQuarantined => "jobs_quarantined",
         }
     }
 
@@ -151,11 +175,13 @@ pub enum Timer {
     LogCombineNs,
     /// Per-replica per-batch dependence-analysis time.
     LogAnalysisNs,
+    /// Time a supervised job waited in the service admission queue.
+    QueueWaitNs,
 }
 
 impl Timer {
     /// Number of timers.
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
 
     /// All timers, in declaration order.
     pub const ALL: [Timer; Timer::COUNT] = [
@@ -169,6 +195,7 @@ impl Timer {
         Timer::RestoreNs,
         Timer::LogCombineNs,
         Timer::LogAnalysisNs,
+        Timer::QueueWaitNs,
     ];
 
     /// Stable snake_case name (used in exports).
@@ -184,6 +211,7 @@ impl Timer {
             Timer::RestoreNs => "restore_ns",
             Timer::LogCombineNs => "log_combine_ns",
             Timer::LogAnalysisNs => "log_analysis_ns",
+            Timer::QueueWaitNs => "queue_wait_ns",
         }
     }
 

@@ -81,6 +81,7 @@
 //! validator's unrepaired-corruption check. Recovered results remain
 //! bit-identical to a fault-free run.
 
+use crate::cancel::CancelToken;
 use crate::collective::{hang_timeout, DynamicCollective, FramedScalar, ShardBarrier};
 use crate::memo::MemoCache;
 use crate::metrics::{self, Counter, MetricsHandle, Timer};
@@ -269,6 +270,19 @@ pub struct ResilienceOptions {
     /// state from the undone epochs); see
     /// [`MemoCache::invalidate_for_repair`].
     pub memo: Option<Arc<Mutex<MemoCache>>>,
+    /// Cooperative cancellation token for supervised runs, checked by
+    /// every shard at every epoch boundary (deadline budgets, explicit
+    /// supervisor cancels, injected transient faults). `None` for
+    /// unsupervised runs.
+    pub cancel: Option<CancelToken>,
+    /// Supervisor-provided cross-attempt checkpoint slot: boundary
+    /// snapshots are offered into it, and a fresh run with a committed
+    /// checkpoint fast-forwards to it instead of starting from scratch
+    /// — this is what makes a retried job resume from the last
+    /// checkpoint. SPMD executor only (the shared-log sequencer cannot
+    /// re-derive skipped `AllReduce` feedback, so log jobs retry from
+    /// scratch).
+    pub rescue: Option<Arc<RescueSlot>>,
 }
 
 impl ResilienceOptions {
@@ -297,6 +311,8 @@ impl ResilienceOptions {
             plan,
             integrity: corrupt.is_some(),
             memo: None,
+            cancel: None,
+            rescue: None,
         })
     }
 }
@@ -416,6 +432,13 @@ fn execute_spmd_inner(
     let mut results: Vec<Option<(Vec<f64>, ShardStats, ShardData)>> =
         (0..ns).map(|_| None).collect();
 
+    // Resolve a committed rescue checkpoint once, on the driver
+    // thread, so every shard makes the same resume decision even if
+    // new offers land while shards are spawning.
+    let resume: Option<Arc<ResumeState>> = resilience
+        .and_then(|o| o.rescue.as_ref())
+        .and_then(|s| s.resume_state());
+
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(ns);
         // Each shard takes ownership of exactly its sender row: when a
@@ -428,6 +451,7 @@ fn execute_spmd_inner(
             let store_ref: &Store = store;
             let init_env = &initial_env;
             let tracer = Arc::clone(tracer);
+            let resume = resume.clone();
             handles.push(scope.spawn(move || {
                 // If this shard panics (e.g. a kernel bug), poison the
                 // shared primitives on the way out so peers blocked in
@@ -466,7 +490,12 @@ fn execute_spmd_inner(
                     collective_seq: 0,
                     epoch: 0,
                     replay_until: 0,
-                    resilience: resilience.map(Resilience::new),
+                    resilience: resilience.map(|o| {
+                        let mut r = Resilience::new(o);
+                        r.resume = resume;
+                        r
+                    }),
+                    outer_loop_seq: 0,
                 };
                 shard_exec.run_stmts(&spmd.body);
                 shard_exec.tb.flush();
@@ -483,7 +512,15 @@ fn execute_spmd_inner(
                 Err(e) => failures.push((shard, panic_message(&*e))),
             }
         }
-        if let Some((shard, msg)) = failures.first() {
+        // Report the root cause: a "poisoned" unwind is a secondary
+        // diagnostic (the victim of another shard's death), so prefer
+        // the first failure that isn't one — that is the message a
+        // supervisor classifies.
+        if let Some((shard, msg)) = failures
+            .iter()
+            .find(|(_, m)| !m.contains("poisoned"))
+            .or(failures.first())
+        {
             panic!(
                 "shard {shard} panicked: {msg}{}",
                 if failures.len() > 1 {
@@ -598,6 +635,16 @@ pub(crate) struct Resilience {
     corrupt_handled: u64,
     /// Memo-template cache to invalidate on corruption escalation.
     memo: Option<Arc<Mutex<MemoCache>>>,
+    /// Cooperative cancellation token, checked at every boundary.
+    cancel: Option<CancelToken>,
+    /// Cross-attempt checkpoint slot boundary snapshots are offered
+    /// into.
+    rescue: Option<Arc<RescueSlot>>,
+    /// Committed checkpoint this run fast-forwards to at the first
+    /// boundary of its matching outermost loop; taken from the rescue
+    /// slot on the driver thread before the shards spawn, so every
+    /// shard resumes (or doesn't) identically.
+    pub(crate) resume: Option<Arc<ResumeState>>,
 }
 
 impl Resilience {
@@ -617,6 +664,9 @@ impl Resilience {
             retry_max: RetryPolicy::default().max_attempts,
             corrupt_handled: 0,
             memo: opts.memo.clone(),
+            cancel: opts.cancel.clone(),
+            rescue: opts.rescue.clone(),
+            resume: None,
         }
     }
 }
@@ -633,6 +683,140 @@ struct Snapshot {
     epoch: u64,
     insts: HashMap<InstKey, Instance>,
     env: Vec<f64>,
+}
+
+/// One shard's boundary offer into a [`RescueSlot`]: its snapshot plus
+/// the coordinates every shard must agree on before the set commits.
+struct PendingPart {
+    epoch: u64,
+    token: u64,
+    loop_seq: u64,
+    env: Vec<f64>,
+    insts: HashMap<InstKey, Instance>,
+}
+
+/// A complete, consistent cross-attempt checkpoint: every shard's
+/// instances plus the replicated scalar environment and resume
+/// position, all captured at the same epoch boundary.
+pub(crate) struct ResumeState {
+    pub(crate) epoch: u64,
+    token: u64,
+    /// Which outermost loop (1-based entry order) the resume token
+    /// indexes into — a token is an iteration number and means nothing
+    /// in a different loop.
+    loop_seq: u64,
+    env: Vec<f64>,
+    parts: Vec<HashMap<InstKey, Instance>>,
+}
+
+/// A supervisor-provided slot that carries checkpoint state *across
+/// executor invocations*: each shard offers its epoch-boundary
+/// snapshot into the slot, and once every shard has offered the same
+/// `(epoch, token)` the set commits atomically. A later run handed the
+/// same slot (a retry after a transient failure) fast-forwards every
+/// shard to the committed checkpoint instead of recomputing from
+/// scratch — in-run rollback handles faults the run survives, the
+/// rescue slot handles faults it does not.
+///
+/// Torn offers (shards at different epochs when the run died) simply
+/// never commit; the retry then starts from scratch, which is always
+/// correct because execution is deterministic.
+pub struct RescueSlot {
+    inner: Mutex<RescueInner>,
+}
+
+struct RescueInner {
+    pending: Vec<Option<PendingPart>>,
+    committed: Option<Arc<ResumeState>>,
+}
+
+impl std::fmt::Debug for RescueSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.inner.lock().expect("rescue slot poisoned");
+        f.debug_struct("RescueSlot")
+            .field("shards", &g.pending.len())
+            .field("committed_epoch", &g.committed.as_ref().map(|c| c.epoch))
+            .finish()
+    }
+}
+
+impl RescueSlot {
+    /// An empty slot for a job running on `num_shards` shards.
+    pub fn new(num_shards: usize) -> RescueSlot {
+        RescueSlot {
+            inner: Mutex::new(RescueInner {
+                pending: (0..num_shards).map(|_| None).collect(),
+                committed: None,
+            }),
+        }
+    }
+
+    /// Epoch of the committed checkpoint, if any — what a retry will
+    /// resume from.
+    pub fn checkpoint_epoch(&self) -> Option<u64> {
+        self.inner
+            .lock()
+            .expect("rescue slot poisoned")
+            .committed
+            .as_ref()
+            .map(|c| c.epoch)
+    }
+
+    /// The committed checkpoint for a fresh attempt to resume from
+    /// (leaves it in place — a later attempt may need it again).
+    pub(crate) fn resume_state(&self) -> Option<Arc<ResumeState>> {
+        self.inner
+            .lock()
+            .expect("rescue slot poisoned")
+            .committed
+            .clone()
+    }
+
+    /// One shard's boundary snapshot offer; commits the set when every
+    /// shard has offered the same `(epoch, token)`. Mixing offers from
+    /// different attempts is benign: state at a given epoch is
+    /// bit-identical across attempts by determinism.
+    fn offer(
+        &self,
+        shard: usize,
+        epoch: u64,
+        token: u64,
+        loop_seq: u64,
+        env: &[f64],
+        insts: &HashMap<InstKey, Instance>,
+    ) {
+        let mut g = self.inner.lock().expect("rescue slot poisoned");
+        assert!(shard < g.pending.len(), "rescue offer from unknown shard");
+        g.pending[shard] = Some(PendingPart {
+            epoch,
+            token,
+            loop_seq,
+            env: env.to_vec(),
+            insts: insts.clone(),
+        });
+        let complete = g.pending.iter().all(|p| {
+            p.as_ref()
+                .is_some_and(|q| q.epoch == epoch && q.token == token && q.loop_seq == loop_seq)
+        });
+        if complete {
+            let taken: Vec<PendingPart> = g
+                .pending
+                .iter_mut()
+                .map(|p| p.take().expect("completeness checked above"))
+                .collect();
+            // The scalar environment is replicated; commit shard 0's.
+            let env = taken[0].env.clone();
+            let parts: Vec<HashMap<InstKey, Instance>> =
+                taken.into_iter().map(|q| q.insts).collect();
+            g.committed = Some(Arc::new(ResumeState {
+                epoch,
+                token,
+                loop_seq,
+                env,
+                parts,
+            }));
+        }
+    }
 }
 
 /// Stable identity hash of a shard-local physical instance (the `inst`
@@ -762,6 +946,9 @@ pub(crate) struct ShardExec<'a> {
     pub(crate) replay_until: u64,
     /// Checkpoint–restart state; `None` for plain (non-resilient) runs.
     pub(crate) resilience: Option<Resilience>,
+    /// 1-based count of outermost (`loop_depth == 0`) loops entered —
+    /// the namespace a rescue resume token's iteration number lives in.
+    pub(crate) outer_loop_seq: u64,
 }
 
 impl<'a> ShardExec<'a> {
@@ -810,6 +997,9 @@ impl<'a> ShardExec<'a> {
             }
             SpmdStmt::For { count, body } => {
                 let n = count.eval(&self.env).max(0.0) as u64;
+                if self.loop_depth == 0 {
+                    self.outer_loop_seq += 1;
+                }
                 let mut it = 0u64;
                 while it < n {
                     if self.loop_depth == 0 {
@@ -829,6 +1019,9 @@ impl<'a> ShardExec<'a> {
                 }
             }
             SpmdStmt::While { cond, body } => {
+                if self.loop_depth == 0 {
+                    self.outer_loop_seq += 1;
+                }
                 let mut it = 0u64;
                 while cond.eval(&self.env) != 0.0 {
                     if self.loop_depth == 0 {
@@ -1441,6 +1634,37 @@ impl<'a> ShardExec<'a> {
     /// plan), which is what keeps the recovery coordination-free.
     pub(crate) fn boundary(&mut self, first: bool, token: u64) -> Option<u64> {
         self.resilience.as_ref()?;
+        // Cooperative cancellation: supervised jobs stop at epoch
+        // boundaries (never mid-exchange), unwinding with a structured
+        // diagnostic the supervisor classifies. Every shard fires at
+        // the same replicated epoch for deterministic causes; the
+        // wall-clock deadline may fire on one shard first, whose
+        // PanicGuard then poisons the rest.
+        if let Some(tok) = self.resilience.as_ref().unwrap().cancel.clone() {
+            tok.check_boundary(self.shard, self.epoch);
+        }
+        // Cross-attempt rescue resume: at the first boundary of the
+        // outermost loop the committed checkpoint belongs to, install
+        // its state and fast-forward to its iteration. The decision was
+        // resolved once on the driver thread, so all shards agree.
+        if first
+            && self
+                .resilience
+                .as_ref()
+                .unwrap()
+                .resume
+                .as_ref()
+                .is_some_and(|rs| rs.loop_seq == self.outer_loop_seq)
+        {
+            let rs = self
+                .resilience
+                .as_mut()
+                .unwrap()
+                .resume
+                .take()
+                .expect("checked above");
+            return Some(self.install_resume(&rs));
+        }
         // Integrity sweep first: inject and detect resident corruption
         // *before* the snapshot logic, so a snapshot can never capture
         // corrupted state.
@@ -1468,6 +1692,18 @@ impl<'a> ShardExec<'a> {
             self.mx.incr(Counter::Checkpoints);
             self.mx.record_since(m0, Timer::CheckpointNs);
             self.tb.span_since(t0, EventKind::CheckpointSave { epoch });
+            // Offer the snapshot into the supervisor's rescue slot so
+            // a retry after an unrecoverable failure resumes here.
+            if let Some(slot) = self.resilience.as_ref().unwrap().rescue.clone() {
+                slot.offer(
+                    self.shard,
+                    epoch,
+                    token,
+                    self.outer_loop_seq,
+                    &self.env,
+                    &self.data.insts,
+                );
+            }
         }
         let r = self.resilience.as_mut().unwrap();
         let crashed_shard = match r.schedule.get(r.cursor) {
@@ -1548,6 +1784,40 @@ impl<'a> ShardExec<'a> {
             self.verify_clean();
         }
         Some(self.rollback(epoch))
+    }
+
+    /// Installs a committed rescue checkpoint at the start of a fresh
+    /// attempt: region instances, scalar environment, and epoch jump
+    /// to the checkpoint, the installed state becomes the live
+    /// snapshot (so later in-run rollbacks restore to it), and fault
+    /// events from epochs at or before the checkpoint are skipped —
+    /// they already fired in the attempt that produced it. Returns the
+    /// resume token the caller fast-forwards to. Work counters are
+    /// *not* suppressed: this run only executes (and only counts) the
+    /// epochs after the checkpoint.
+    fn install_resume(&mut self, rs: &ResumeState) -> u64 {
+        self.data.insts = rs.parts[self.shard].clone();
+        self.env = rs.env.clone();
+        self.epoch = rs.epoch;
+        let r = self.resilience.as_mut().unwrap();
+        r.snapshot = Some(Snapshot {
+            token: rs.token,
+            epoch: rs.epoch,
+            insts: rs.parts[self.shard].clone(),
+            env: rs.env.clone(),
+        });
+        while r
+            .schedule
+            .get(r.cursor)
+            .is_some_and(|&(e, _)| e <= rs.epoch)
+        {
+            r.cursor += 1;
+        }
+        r.corrupt_handled = r.corrupt_handled.max(rs.epoch + 1);
+        self.tb.instant(EventKind::Mark {
+            name: "rescue-resume",
+        });
+        rs.token
     }
 
     /// Coordinated rollback to the live snapshot: restores instances,

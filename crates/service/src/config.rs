@@ -1,0 +1,116 @@
+//! Service tuning knobs, each with a `REGENT_SERVE_*` environment
+//! override so deployments (and the CI soak job) can reshape the
+//! service without recompiling.
+
+use regent_fault::{FaultPlan, RetryBackoff};
+use regent_trace::Tracer;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything a [`Service`](crate::Service) needs to know at start-up.
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue (`REGENT_SERVE_WORKERS`,
+    /// default 2). Each worker runs one job at a time.
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before admission rejects
+    /// with [`Overloaded`](crate::Overloaded) (`REGENT_SERVE_QUEUE`,
+    /// default 16).
+    pub queue_depth: usize,
+    /// Cost budget: a job is shed when the queued cost plus its own
+    /// [`cost`](crate::JobSpec::cost) would exceed this
+    /// (`REGENT_SERVE_SHED_BUDGET`, default 256 cost units).
+    pub shed_budget: u64,
+    /// Per-job wall-clock deadline measured from *admission* and
+    /// spanning all retry attempts (`REGENT_SERVE_DEADLINE_MS`,
+    /// default none; `0` also means none).
+    pub deadline: Option<Duration>,
+    /// Retry schedule for transient failures; delays are seeded
+    /// per-(job, attempt) so reruns are reproducible.
+    pub retry: RetryBackoff,
+    /// Initial per-tenant shard allocation cap
+    /// (`REGENT_SERVE_SHARDS`, default 4). A job asking for more
+    /// shards than its tenant's current cap runs at the cap.
+    pub shard_cap: usize,
+    /// Sheds a tenant absorbs before its shard cap is halved, floor 1
+    /// (`REGENT_SERVE_DEGRADE`, default 0 = degradation off).
+    pub degrade_after: u32,
+    /// Seed for fault injection (`REGENT_FAULT_SEED`): arms seeded
+    /// in-run crash schedules for SPMD/log jobs and supervisor-level
+    /// transient faults on a deterministic ~25% of first attempts.
+    pub fault_seed: Option<u64>,
+    /// Checkpoint cadence handed to resilient executors (epochs).
+    pub checkpoint_interval: u64,
+    /// Trace sink for `Job*` supervisor events and executor spans.
+    /// Use [`Tracer::disabled`] when no trace is wanted.
+    pub tracer: Arc<Tracer>,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+impl ServiceConfig {
+    /// Defaults suitable for tests: small pool, generous budgets, no
+    /// deadline, no fault injection, tracing off.
+    pub fn new() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            queue_depth: 16,
+            shed_budget: 256,
+            deadline: None,
+            retry: RetryBackoff::default(),
+            shard_cap: 4,
+            degrade_after: 0,
+            fault_seed: None,
+            checkpoint_interval: 2,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Reads every `REGENT_SERVE_*` knob (and `REGENT_FAULT_SEED`)
+    /// from the environment on top of [`ServiceConfig::new`].
+    pub fn from_env() -> ServiceConfig {
+        let base = ServiceConfig::new();
+        let deadline_ms = env_u64("REGENT_SERVE_DEADLINE_MS", 0);
+        ServiceConfig {
+            workers: env_u64("REGENT_SERVE_WORKERS", base.workers as u64).max(1) as usize,
+            queue_depth: env_u64("REGENT_SERVE_QUEUE", base.queue_depth as u64) as usize,
+            shed_budget: env_u64("REGENT_SERVE_SHED_BUDGET", base.shed_budget),
+            deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+            shard_cap: env_u64("REGENT_SERVE_SHARDS", base.shard_cap as u64).max(1) as usize,
+            degrade_after: env_u64("REGENT_SERVE_DEGRADE", 0) as u32,
+            fault_seed: FaultPlan::seed_from_env(),
+            ..base
+        }
+    }
+
+    /// Builder-style tracer override.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> ServiceConfig {
+        self.tracer = tracer;
+        self
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServiceConfig::new();
+        assert!(c.workers >= 1);
+        assert!(c.queue_depth > 0);
+        assert!(c.deadline.is_none());
+        assert!(c.fault_seed.is_none());
+    }
+}

@@ -1,0 +1,100 @@
+//! Prefabricated job specs over the evaluation applications, sized so
+//! a job completes in tens of milliseconds — the scale the service
+//! tests and the `fig_service` closed-loop bench drive thousands of.
+
+use crate::job::{JobSpec, ProgramFactory, Strategy};
+use regent_apps::{circuit, pennant, stencil};
+use regent_ir::Store;
+use std::sync::Arc;
+
+/// Factory for a small PRK stencil (bit-exact across all six
+/// strategies — no reduction reassociation).
+pub fn stencil_factory(n: u64, steps: u64) -> ProgramFactory {
+    Arc::new(move || {
+        let cfg = stencil::StencilConfig {
+            n,
+            ntx: 2,
+            nty: 2,
+            radius: 2,
+            steps,
+        };
+        let (prog, h) = stencil::stencil_program(cfg);
+        let mut store = Store::new(&prog);
+        stencil::init_stencil(&prog, &mut store, &h);
+        (prog, store)
+    })
+}
+
+/// A stencil job (cost scales with steps).
+pub fn stencil_job(tenant: u32, strategy: Strategy, shards: usize) -> JobSpec {
+    JobSpec::new(
+        tenant,
+        format!("stencil/{}", strategy.label()),
+        strategy,
+        shards,
+        8,
+        stencil_factory(24, 6),
+    )
+}
+
+/// Factory for a small circuit simulation (seeded graph).
+pub fn circuit_factory(seed: u64) -> ProgramFactory {
+    Arc::new(move || {
+        let cfg = circuit::CircuitConfig {
+            pieces: 3,
+            nodes_per_piece: 12,
+            wires_per_piece: 30,
+            cross_fraction: 0.12,
+            steps: 3,
+            substeps: 3,
+            seed,
+        };
+        let g = circuit::generate_graph(&cfg);
+        let (prog, h) = circuit::circuit_program(cfg, &g);
+        let mut store = Store::new(&prog);
+        circuit::init_circuit(&prog, &mut store, &h, &g);
+        (prog, store)
+    })
+}
+
+/// A circuit job.
+pub fn circuit_job(tenant: u32, strategy: Strategy, shards: usize) -> JobSpec {
+    JobSpec::new(
+        tenant,
+        format!("circuit/{}", strategy.label()),
+        strategy,
+        shards,
+        12,
+        circuit_factory(7),
+    )
+}
+
+/// Factory for a small PENNANT hydrodynamics run.
+pub fn pennant_factory() -> ProgramFactory {
+    Arc::new(|| {
+        let cfg = pennant::PennantConfig {
+            nzx: 8,
+            nzy: 4,
+            pieces: 2,
+            tstop: 2e-2,
+            dtmax: 2e-2,
+        };
+        let mesh = pennant::build_mesh(&cfg);
+        let (prog, h) = pennant::pennant_program(cfg, &mesh);
+        let mut store = Store::new(&prog);
+        pennant::init_pennant(&prog, &mut store, &h, &cfg, &mesh);
+        (prog, store)
+    })
+}
+
+/// A PENNANT job.
+pub fn pennant_job(tenant: u32, strategy: Strategy, shards: usize) -> JobSpec {
+    JobSpec::new(
+        tenant,
+        format!("pennant/{}", strategy.label()),
+        strategy,
+        shards,
+        10,
+        pennant_factory(),
+    )
+}

@@ -201,6 +201,14 @@ fn kind_name(k: &EventKind) -> String {
         EventKind::LogAppend { epoch, records, .. } => format!("log append e{epoch} ({records})"),
         EventKind::LogCombine { batch, records } => format!("log combine b{batch} ({records})"),
         EventKind::LogConsume { replica, batch, .. } => format!("log consume r{replica} b{batch}"),
+        EventKind::JobAdmit { job, tenant, .. } => format!("job {job} admit (t{tenant})"),
+        EventKind::JobShed { job, tenant, .. } => format!("job {job} shed (t{tenant})"),
+        EventKind::JobRetry { job, attempt, .. } => format!("job {job} retry #{attempt}"),
+        EventKind::JobDegrade {
+            tenant,
+            from_shards,
+            to_shards,
+        } => format!("degrade t{tenant} {from_shards}->{to_shards}"),
         EventKind::Pass { name } => format!("pass {name}"),
         EventKind::SimTask { kind, step, .. } => {
             format!("{} s{step}", sim_kind_name(*kind))
@@ -269,6 +277,12 @@ fn kind_args(k: &EventKind) -> String {
         EventKind::MemoCapture { key, tasks, .. } | EventKind::MemoHit { key, tasks, .. } => {
             format!("\"key\":{key},\"tasks\":{tasks}")
         }
+        EventKind::JobAdmit { tenant, queued, .. } | EventKind::JobShed { tenant, queued, .. } => {
+            format!("\"tenant\":{tenant},\"queued\":{queued}")
+        }
+        EventKind::JobRetry {
+            tenant, attempt, ..
+        } => format!("\"tenant\":{tenant},\"attempt\":{attempt}"),
         _ => String::new(),
     }
 }

@@ -50,13 +50,16 @@ pub enum Phase {
     /// Shared-log control work: sequencer appends/combines and replica
     /// batch consumption (`log_exec`).
     LogControl,
+    /// Time a supervised job spent in the service admission queue
+    /// before a shard pool picked it up (`regent-serve`).
+    QueueWait,
     /// Everything else on the path (launches, drains, checkpoints).
     Other,
 }
 
 impl Phase {
     /// Number of phases (length of a [`Blame`] vector).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// All phases, in display order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -67,6 +70,7 @@ impl Phase {
         Phase::CollectiveWait,
         Phase::Exec,
         Phase::LogControl,
+        Phase::QueueWait,
         Phase::Other,
     ];
 
@@ -80,6 +84,7 @@ impl Phase {
             Phase::CollectiveWait => "collective_wait",
             Phase::Exec => "exec",
             Phase::LogControl => "log_control",
+            Phase::QueueWait => "queue_wait",
             Phase::Other => "other",
         }
     }
@@ -205,6 +210,7 @@ pub fn classify(kind: &EventKind) -> Phase {
         EventKind::LogAppend { .. }
         | EventKind::LogCombine { .. }
         | EventKind::LogConsume { .. } => Phase::LogControl,
+        EventKind::JobAdmit { .. } => Phase::QueueWait,
         _ => Phase::Other,
     }
 }

@@ -265,6 +265,45 @@ fn write_event(out: &mut String, e: &Event) {
             "\"log_consume\",\"replica\":{replica},\"batch\":{batch},\
              \"records\":{records},\"lag\":{lag}"
         ),
+        EventKind::JobAdmit {
+            job,
+            tenant,
+            queued,
+        } => {
+            write!(
+                out,
+                "\"job_admit\",\"job\":\"{job}\",\"tenant\":{tenant},\"queued\":{queued}"
+            )
+        }
+        EventKind::JobShed {
+            job,
+            tenant,
+            queued,
+        } => {
+            write!(
+                out,
+                "\"job_shed\",\"job\":\"{job}\",\"tenant\":{tenant},\"queued\":{queued}"
+            )
+        }
+        EventKind::JobRetry {
+            job,
+            tenant,
+            attempt,
+        } => {
+            write!(
+                out,
+                "\"job_retry\",\"job\":\"{job}\",\"tenant\":{tenant},\"attempt\":{attempt}"
+            )
+        }
+        EventKind::JobDegrade {
+            tenant,
+            from_shards,
+            to_shards,
+        } => write!(
+            out,
+            "\"job_degrade\",\"tenant\":{tenant},\"from_shards\":{from_shards},\
+             \"to_shards\":{to_shards}"
+        ),
         EventKind::Pass { name } => {
             out.push_str("\"pass\",\"name\":\"");
             escape_into(out, name);
@@ -479,6 +518,26 @@ fn parse_event(v: &Value) -> Result<Event, String> {
             records: get_u32(o, "records")?,
             lag: get_u32(o, "lag")?,
         },
+        "job_admit" => EventKind::JobAdmit {
+            job: get_u64(o, "job")?,
+            tenant: get_u32(o, "tenant")?,
+            queued: get_u32(o, "queued")?,
+        },
+        "job_shed" => EventKind::JobShed {
+            job: get_u64(o, "job")?,
+            tenant: get_u32(o, "tenant")?,
+            queued: get_u32(o, "queued")?,
+        },
+        "job_retry" => EventKind::JobRetry {
+            job: get_u64(o, "job")?,
+            tenant: get_u32(o, "tenant")?,
+            attempt: get_u32(o, "attempt")?,
+        },
+        "job_degrade" => EventKind::JobDegrade {
+            tenant: get_u32(o, "tenant")?,
+            from_shards: get_u32(o, "from_shards")?,
+            to_shards: get_u32(o, "to_shards")?,
+        },
         "pass" => EventKind::Pass {
             name: intern(get_str(o, "name")?),
         },
@@ -611,6 +670,33 @@ mod tests {
                 id: 1,
                 sub: 2,
                 epoch: 5,
+            },
+        );
+        b.push(
+            32,
+            6,
+            EventKind::JobAdmit {
+                job: u64::MAX - 3, // exercises the >2^53 string path
+                tenant: 2,
+                queued: 5,
+            },
+        );
+        b.push(
+            40,
+            0,
+            EventKind::JobRetry {
+                job: 7,
+                tenant: 2,
+                attempt: 1,
+            },
+        );
+        b.push(
+            41,
+            0,
+            EventKind::JobDegrade {
+                tenant: 2,
+                from_shards: 4,
+                to_shards: 2,
             },
         );
         drop(b);
