@@ -30,7 +30,7 @@ pub mod intersect;
 pub mod interval;
 pub mod ops;
 
-pub use checksum::{fnv1a, fnv1a_mix};
+pub use checksum::{fnv1a, fnv1a_mix, mul_fold, striped_fnv, MulFold, StripedFnv};
 pub use field::{FieldDef, FieldId, FieldSpace, FieldType};
 pub use forest::{Color, Disjointness, PartitionId, RegionForest, RegionId};
 pub use hierarchy::{private_ghost_split, PrivateGhost};

@@ -6,16 +6,20 @@
 //!   broadcast to all shards." Fold order is shard-index order, which —
 //!   combined with block ownership — reproduces the sequential fold
 //!   order bit-for-bit.
-//! * [`ShardBarrier`] — a reusable sense-reversing barrier for the
-//!   naive synchronization mode (Fig. 4c).
+//! * [`ShardBarrier`] — a reusable lock-free barrier for the naive
+//!   synchronization mode (Fig. 4c): atomic arrival counter plus a
+//!   published generation word, with backoff parking instead of a
+//!   mutex/condvar rendezvous.
 //!
 //! Both primitives expose their *generation* numbers (`*_counted`
 //! variants) so callers can record synchronization events the trace
 //! validator can correlate across shard event logs.
 
+use crate::ring::{Backoff, CachePadded};
 use regent_region::{fnv1a, ReductionOp};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A checksum-framed collective contribution: the scalar's bit pattern
 /// plus an FNV-1a checksum computed by the producer *before* the value
@@ -205,17 +209,29 @@ impl DynamicCollective {
     }
 }
 
-struct BarrierState {
-    generation: u64,
-    arrived: usize,
-    poisoned: bool,
-}
-
 /// A reusable barrier over `n` participants.
+///
+/// Lock-free: arrival is one `fetch_add` on a padded counter and the
+/// epoch is published through a generation word, so the per-round cost
+/// is two cache-line transfers instead of a mutex/condvar rendezvous.
+/// Waiters park with [`Backoff`] (spin → yield → micro-sleep) bounded
+/// by [`hang_timeout`], and a poisoned flag preserves the unwinding
+/// diagnostics of the lock-based barrier it replaced.
+///
+/// Ordering argument: each arrival's `AcqRel` `fetch_add` reads the
+/// previous arrival's, so the last arriver happens-after every
+/// participant's pre-barrier writes; it then `Release`-stores the next
+/// generation, which every waiter `Acquire`-loads — making all
+/// pre-barrier writes visible to all post-barrier reads, transitively.
+/// The `arrived` counter is reset *before* the generation is
+/// published, and waiters never touch `arrived` while parked, so
+/// re-entrant arrivals for the next round (which must first observe
+/// the new generation) always see the reset.
 pub struct ShardBarrier {
     n: usize,
-    state: Mutex<BarrierState>,
-    cv: Condvar,
+    generation: CachePadded<AtomicU64>,
+    arrived: CachePadded<AtomicUsize>,
+    poisoned: AtomicBool,
 }
 
 impl ShardBarrier {
@@ -224,22 +240,18 @@ impl ShardBarrier {
         assert!(n > 0);
         ShardBarrier {
             n,
-            state: Mutex::new(BarrierState {
-                generation: 0,
-                arrived: 0,
-                poisoned: false,
-            }),
-            cv: Condvar::new(),
+            generation: CachePadded(AtomicU64::new(0)),
+            arrived: CachePadded(AtomicUsize::new(0)),
+            poisoned: AtomicBool::new(false),
         }
     }
 
     /// Marks the barrier dead — called when a participating shard
     /// panics so the survivors unwind with a diagnostic instead of
-    /// waiting forever for an arrival that will never come.
+    /// waiting forever for an arrival that will never come. Parked
+    /// waiters poll the flag, so no wakeup broadcast is needed.
     pub fn poison(&self) {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        st.poisoned = true;
-        self.cv.notify_all();
+        self.poisoned.store(true, Ordering::Release);
     }
 
     /// Blocks until all `n` participants have arrived.
@@ -250,37 +262,39 @@ impl ShardBarrier {
     /// Like [`ShardBarrier::wait`], returning the generation number
     /// this arrival belonged to.
     pub fn wait_counted(&self) -> u64 {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if st.poisoned {
+        if self.poisoned.load(Ordering::Acquire) {
             panic!("shard barrier poisoned: a participating shard died");
         }
-        let my_gen = st.generation;
-        st.arrived += 1;
-        if st.arrived == self.n {
-            st.arrived = 0;
-            st.generation += 1;
-            self.cv.notify_all();
+        if self.n == 1 {
+            // Single-shard fast path: there is nobody to rendezvous
+            // with — advance the generation and keep going.
+            return self.generation.fetch_add(1, Ordering::Relaxed);
+        }
+        // Safe to read before arriving: the generation cannot advance
+        // until all `n` participants (including us) have arrived.
+        let my_gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.store(my_gen + 1, Ordering::Release);
             return my_gen;
         }
-        while st.generation == my_gen {
-            let (guard, timeout) = self
-                .cv
-                .wait_timeout(st, hang_timeout())
-                .unwrap_or_else(|e| e.into_inner());
-            st = guard;
-            if st.poisoned {
+        let deadline = Instant::now() + hang_timeout();
+        let mut backoff = Backoff::new();
+        while self.generation.load(Ordering::Acquire) == my_gen {
+            if self.poisoned.load(Ordering::Acquire) {
                 panic!(
                     "shard barrier poisoned: a participating shard died (unwinding at generation {my_gen})"
                 );
             }
-            if timeout.timed_out() && st.generation == my_gen {
+            if Instant::now() >= deadline {
                 panic!(
                     "likely deadlock: waited {:?} at barrier generation {my_gen} ({}/{} arrived)",
                     hang_timeout(),
-                    st.arrived,
+                    self.arrived.load(Ordering::Relaxed),
                     self.n
                 );
             }
+            backoff.snooze();
         }
         my_gen
     }
@@ -449,5 +463,25 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(counter.load(Ordering::SeqCst), n * 20);
+    }
+
+    /// A single-shard barrier must be a wait-free formality: no peers
+    /// exist, so arrival alone advances the generation (previously it
+    /// took the mutex even for `n == 1`).
+    #[test]
+    fn single_shard_barrier_is_a_fast_path() {
+        let b = ShardBarrier::new(1);
+        for round in 0..1000u64 {
+            assert_eq!(b.wait_counted(), round);
+        }
+        b.wait(); // generation 1000, uncounted
+        assert_eq!(b.wait_counted(), 1001);
+        // Poison still unwinds late arrivals, fast path or not.
+        b.poison();
+        let msg = panic_msg(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.wait()))
+                .expect_err("poisoned barrier should unwind"),
+        );
+        assert!(msg.contains("poisoned"), "diagnostic: {msg}");
     }
 }

@@ -11,6 +11,12 @@
 //! The traced entry point records a `Pass` span per segment on a
 //! `hybrid` control track, bracketing the shard tracks the replicated
 //! segments produce.
+//!
+//! Replicated segments inherit the SPMD executor's data plane
+//! wholesale: each segment's shards exchange over the SPSC ring mesh
+//! (or the legacy channel mesh under `REGENT_DATA_PLANE=channel`) and
+//! pin under `REGENT_PIN_CORES`, with per-segment meshes constructed
+//! inside [`execute_spmd_with_env_traced`].
 
 use crate::metrics::{self, Counter};
 use crate::spmd_exec::{execute_spmd_with_env_traced, ShardStats};

@@ -29,6 +29,11 @@
 //!   (launches, copies, waits, memo hits, retransmits), aggregated at
 //!   executor shutdown and exported via `REGENT_METRICS=<path>` as
 //!   JSON plus Prometheus text.
+//! * [`mod@ring`] / [`pool`] — the lock-free data plane: bounded SPSC
+//!   rings with batched publication carrying the exchange messages
+//!   (one ring per ordered shard pair; `REGENT_DATA_PLANE=channel`
+//!   restores the legacy mpsc mesh), pooled payload buffers, and
+//!   core pinning behind `REGENT_PIN_CORES`.
 //!
 //! Both executors are tested to produce results bit-identical to the
 //! sequential reference interpreter in `regent-ir`.
@@ -52,6 +57,8 @@ pub mod mapper;
 pub mod memo;
 pub mod metrics;
 pub mod plan;
+pub mod pool;
+pub mod ring;
 pub mod spmd_exec;
 
 pub use cancel::CancelToken;
@@ -69,6 +76,12 @@ pub use metrics::{
     export_env as export_metrics_env, Counter, Hist, MetricsHandle, MetricsRegistry, Timer,
 };
 pub use plan::{build_exchange_plan, ExchangePlan, InstKey, PairPlan, SetupStats};
+pub use pool::ChunkPool;
+pub use ring::{
+    copy_mesh, data_plane_from_env, pin_cores_enabled, pin_thread_to_core, ring, ring_cap_from_env,
+    Backoff, CachePadded, CopyRx, CopyTx, DataPlane, RingReceiver, RingSender, SendError,
+};
+
 pub use regent_fault::{
     classify_failure, FailureClass, FaultPlan, RetryBackoff, RetryPolicy, CANCEL_PREFIX,
     TRANSIENT_PREFIX,

@@ -52,6 +52,8 @@ use crate::launch_log::{batch_limit_from_env, replicas_from_env, LaunchLog, LogC
 use crate::memo::launch_sig;
 use crate::metrics::{self, Counter, MetricsHandle, Timer};
 use crate::plan::{build_exchange_plan, SetupStats};
+use crate::pool::ChunkPool;
+use crate::ring;
 use crate::spmd_exec::{
     allocate_shard_data, finalize_into_store, panic_message, CopyMsg, PanicGuard, Resilience,
     ResilienceOptions, ShardData, ShardExec, ShardStats,
@@ -63,7 +65,7 @@ use regent_ir::{Privilege, Store};
 use regent_region::RegionId;
 use regent_trace::{EventKind, OverlapOracle, TraceBuf, Tracer};
 use std::collections::{HashMap, HashSet};
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -189,27 +191,12 @@ fn execute_log_inner(
     let collective = DynamicCollective::new(ns);
     let barrier = ShardBarrier::new(ns);
 
-    // Mesh of channels between shards — identical to the SPMD
+    // Mesh of rings between shards — identical to the SPMD
     // executor: each shard owns its sender row, so a dead shard
     // disconnects its peers instead of hanging them.
-    let mut senders: Vec<Vec<Sender<CopyMsg>>> = (0..ns).map(|_| Vec::new()).collect();
-    let mut rx_rows: Vec<Vec<Option<Receiver<CopyMsg>>>> =
-        (0..ns).map(|_| (0..ns).map(|_| None).collect()).collect();
-    for (src, row) in senders.iter_mut().enumerate() {
-        for slot in rx_rows.iter_mut() {
-            let (tx, rx) = channel();
-            row.push(tx);
-            slot[src] = Some(rx);
-        }
-    }
-    let receivers: Vec<Vec<Receiver<CopyMsg>>> = rx_rows
-        .into_iter()
-        .map(|row| {
-            row.into_iter()
-                .map(|o| o.expect("channel mesh construction left a receiver slot empty"))
-                .collect()
-        })
-        .collect();
+    let (senders, receivers) =
+        ring::copy_mesh::<CopyMsg>(ns, ring::data_plane_from_env(), ring::ring_cap_from_env());
+    let pin = ring::pin_cores_enabled();
 
     let log: LaunchLog<LogRecord<'_>> = LaunchLog::new(1, batch_limit_from_env());
     let (fb_tx, fb_rx) = sync_channel::<f64>(FEEDBACK_BOUND);
@@ -263,6 +250,9 @@ fn execute_log_inner(
                     barrier,
                     collective,
                 };
+                if pin {
+                    ring::pin_thread_to_core(shard);
+                }
                 let mut data = allocate_shard_data(spmd, shard, store_ref);
                 if resilience.is_some_and(|o| o.integrity || o.plan.corrupt_rate > 0.0) {
                     for inst in data.insts.values_mut() {
@@ -292,6 +282,7 @@ fn execute_log_inner(
                     replay_until: 0,
                     resilience: resilience.map(Resilience::new),
                     outer_loop_seq: 0,
+                    pool: ChunkPool::new(),
                 };
                 let replica = owner_of(ns, n_replicas, shard) as u32;
                 let (block_start, _) = block_range(ns, n_replicas, replica as usize);
@@ -300,6 +291,7 @@ fn execute_log_inner(
                     seen_pairs: HashSet::new(),
                 });
                 let max_lag = run_shard_driver(&mut exec, log, replica, analysis.as_mut(), fb);
+                exec.flush_pool_metrics();
                 exec.tb.flush();
                 (exec.env, exec.stats, exec.data, max_lag)
             }));

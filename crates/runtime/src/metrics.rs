@@ -77,11 +77,18 @@ pub enum Counter {
     JobsCompleted,
     /// Jobs quarantined after a permanent (non-retryable) failure.
     JobsQuarantined,
+    /// Exchange payload buffers served from the shard's freelist.
+    PoolReuses,
+    /// Exchange payload buffers that had to be freshly allocated.
+    PoolAllocs,
+    /// Ring sends that found the ring full and had to wait
+    /// (back-pressure stalls on the lock-free data plane).
+    RingStalls,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 27;
+    pub const COUNT: usize = 30;
 
     /// All counters, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -112,6 +119,9 @@ impl Counter {
         Counter::JobsDegraded,
         Counter::JobsCompleted,
         Counter::JobsQuarantined,
+        Counter::PoolReuses,
+        Counter::PoolAllocs,
+        Counter::RingStalls,
     ];
 
     /// Stable snake_case name (used in exports).
@@ -144,6 +154,9 @@ impl Counter {
             Counter::JobsDegraded => "jobs_degraded",
             Counter::JobsCompleted => "jobs_completed",
             Counter::JobsQuarantined => "jobs_quarantined",
+            Counter::PoolReuses => "pool_reuses",
+            Counter::PoolAllocs => "pool_allocs",
+            Counter::RingStalls => "ring_stalls",
         }
     }
 
@@ -177,11 +190,14 @@ pub enum Timer {
     LogAnalysisNs,
     /// Time a supervised job waited in the service admission queue.
     QueueWaitNs,
+    /// Time spent in the integrity layer: sealing instance columns,
+    /// verifying seals at epoch boundaries, and checksumming exchange frames.
+    IntegrityNs,
 }
 
 impl Timer {
     /// Number of timers.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 12;
 
     /// All timers, in declaration order.
     pub const ALL: [Timer; Timer::COUNT] = [
@@ -196,6 +212,7 @@ impl Timer {
         Timer::LogCombineNs,
         Timer::LogAnalysisNs,
         Timer::QueueWaitNs,
+        Timer::IntegrityNs,
     ];
 
     /// Stable snake_case name (used in exports).
@@ -212,6 +229,7 @@ impl Timer {
             Timer::LogCombineNs => "log_combine_ns",
             Timer::LogAnalysisNs => "log_analysis_ns",
             Timer::QueueWaitNs => "queue_wait_ns",
+            Timer::IntegrityNs => "integrity_ns",
         }
     }
 
@@ -321,6 +339,84 @@ impl MetricSet {
     pub fn is_empty(&self) -> bool {
         self.counters.iter().all(|&c| c == 0) && self.timers.iter().all(|t| t.count == 0)
     }
+}
+
+/// Nanoseconds of CPU time consumed by the calling thread
+/// (`CLOCK_THREAD_CPUTIME_ID`). Unlike a wall clock, time spent
+/// descheduled does not accumulate, so a probe bracketing a short
+/// section does not blow up when a preemption lands inside it — the
+/// right clock for sub-millisecond instrumented sections on a busy
+/// machine. Falls back to the wall clock where the raw syscall is
+/// unavailable.
+pub fn thread_cpu_ns() -> u64 {
+    clock_ns(3) // CLOCK_THREAD_CPUTIME_ID
+}
+
+/// Nanoseconds of CPU time consumed by the whole process
+/// (`CLOCK_PROCESS_CPUTIME_ID`) — the load-immune denominator for
+/// "share of useful work" statistics: background load stretches wall
+/// clock but not CPU time. Falls back to the wall clock where the raw
+/// syscall is unavailable.
+pub fn process_cpu_ns() -> u64 {
+    clock_ns(2) // CLOCK_PROCESS_CPUTIME_ID
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn clock_ns(clockid: usize) -> u64 {
+    let mut ts = [0i64; 2]; // struct timespec { tv_sec, tv_nsec }
+    let ret: isize;
+    // SAFETY: clock_gettime(clockid, &mut ts) writes `ts` only for
+    // the duration of the call.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 228isize => ret, // __NR_clock_gettime
+            in("rdi") clockid,
+            in("rsi") ts.as_mut_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    if ret == 0 {
+        ts[0] as u64 * 1_000_000_000 + ts[1] as u64
+    } else {
+        wall_fallback_ns()
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+fn clock_ns(clockid: usize) -> u64 {
+    let mut ts = [0i64; 2];
+    let ret: isize;
+    // SAFETY: as above; aarch64 passes the syscall number in x8.
+    unsafe {
+        std::arch::asm!(
+            "svc #0",
+            inlateout("x0") clockid => ret,
+            in("x1") ts.as_mut_ptr(),
+            in("x8") 113usize, // __NR_clock_gettime
+            options(nostack),
+        );
+    }
+    if ret == 0 {
+        ts[0] as u64 * 1_000_000_000 + ts[1] as u64
+    } else {
+        wall_fallback_ns()
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+fn clock_ns(_clockid: usize) -> u64 {
+    wall_fallback_ns()
+}
+
+fn wall_fallback_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
 /// The process-global registry. Threads record into private
@@ -586,6 +682,27 @@ impl MetricsHandle {
     pub fn record_since(&mut self, t0: u64, t: Timer) {
         if self.enabled {
             let now = self.epoch.elapsed().as_nanos() as u64;
+            self.set.timers[t.index()].record(now.saturating_sub(t0));
+        }
+    }
+
+    /// An opaque thread-CPU-time start stamp for
+    /// [`MetricsHandle::record_cpu_since`] (0 — no clock read — when
+    /// disabled). Use for short sections whose measurement must not
+    /// absorb a preemption gap; see [`thread_cpu_ns`].
+    pub fn start_cpu(&self) -> u64 {
+        if self.enabled {
+            thread_cpu_ns()
+        } else {
+            0
+        }
+    }
+
+    /// Records the thread-CPU time since `t0` (from
+    /// [`MetricsHandle::start_cpu`]) into `t`.
+    pub fn record_cpu_since(&mut self, t0: u64, t: Timer) {
+        if self.enabled {
+            let now = thread_cpu_ns();
             self.set.timers[t.index()].record(now.saturating_sub(t0));
         }
     }

@@ -1,0 +1,637 @@
+//! Lock-free shard data plane: bounded SPSC rings with batched
+//! publication, the transport abstraction the executors exchange
+//! [`crate::spmd_exec`] copy messages over, and core pinning.
+//!
+//! The SPMD executors connect every ordered shard pair with exactly one
+//! producer and one consumer, so the natural transport is a
+//! single-producer single-consumer ring:
+//!
+//! * **Layout** — a power-of-two slot array indexed by free-running
+//!   `head` (consumer) and `tail` (producer) counters, each on its own
+//!   cache line ([`CachePadded`]) so producer and consumer never
+//!   false-share. Wrap-around is a mask, full/empty are counter
+//!   differences (`tail - head == capacity` / `tail == head`), and the
+//!   counters never overflow in practice (a `usize` of messages).
+//! * **Memory ordering** — the producer writes the slot *then*
+//!   publishes with `tail.store(Release)`; the consumer observes the
+//!   new tail with an `Acquire` load, so the slot write
+//!   *happens-before* the slot read. Symmetrically the consumer frees
+//!   a slot with `head.store(Release)` and the producer re-checks
+//!   occupancy with an `Acquire` load, so the consumer's read
+//!   happens-before the producer's overwrite. This is the classic
+//!   Lamport queue argument; no other synchronization exists on the
+//!   hot path.
+//! * **Batched publication** — [`RingSender::push`] writes slots
+//!   without publishing; one [`RingSender::flush`] makes a whole
+//!   producer phase visible with a single `Release` store instead of
+//!   one per message. The executors flush before entering a consumer
+//!   phase (and `push` self-flushes when the ring fills or the batch
+//!   bound is hit), so a peer never waits on an unpublished frame.
+//! * **Parking** — waits spin briefly, then yield, then sleep in short
+//!   slices ([`Backoff`]); every blocking wait is bounded by
+//!   [`crate::collective::hang_timeout`] exactly like the channel path
+//!   (`REGENT_HANG_TIMEOUT_MS`).
+//! * **Disconnect semantics** — dropping the sender (including during a
+//!   panic unwind) flushes pending slots and seals the ring: the
+//!   consumer drains what was published, then sees `Disconnected` —
+//!   the same drop-based peer-death unwinding `std::sync::mpsc` gave
+//!   the executors. Dropping the receiver makes further sends fail.
+//!
+//! [`CopyTx`]/[`CopyRx`] wrap a ring or a legacy `std::sync::mpsc`
+//! channel behind one interface; `REGENT_DATA_PLANE=channel` restores
+//! the channel mesh (the ring is the default), which is what the
+//! `fig_dataplane` benchmark compares against.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::collective::hang_timeout;
+
+/// Pads (and aligns) a value to a cache line so two adjacent atomics
+/// never share one — the producer hammers `tail`, the consumer `head`,
+/// and false sharing between them would serialize the whole point of
+/// the ring.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T>(pub T);
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Exponential backoff for lock-free waits: spin with a hint first
+/// (the common case is nanoseconds), then yield the timeslice, then
+/// sleep in short slices so an oversubscribed machine still makes
+/// progress. Deliberately futex-free: the workspace has no libc
+/// dependency, and the hang-timeout bound keeps the worst case finite.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// A fresh (fully spinning) backoff.
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Waits a little longer than the previous call.
+    pub fn snooze(&mut self) {
+        if self.step < 7 {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+        } else if self.step < 12 {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        self.step = self.step.saturating_add(1);
+    }
+}
+
+/// The shared core of one SPSC ring.
+struct RingCore<T> {
+    /// `capacity - 1`; capacity is a power of two.
+    mask: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot the consumer will read (free-running).
+    head: CachePadded<AtomicUsize>,
+    /// First unpublished slot (free-running): the consumer may read
+    /// everything in `[head, tail)`.
+    tail: CachePadded<AtomicUsize>,
+    /// Cleared (after a final flush) when the sender drops.
+    tx_alive: AtomicBool,
+    /// Cleared when the receiver drops.
+    rx_alive: AtomicBool,
+}
+
+// SAFETY: the sender and receiver halves hand `T`s across threads
+// (requiring `T: Send`) and partition all slot access by the SPSC
+// head/tail protocol documented on the module.
+unsafe impl<T: Send> Send for RingCore<T> {}
+unsafe impl<T: Send> Sync for RingCore<T> {}
+
+impl<T> Drop for RingCore<T> {
+    fn drop(&mut self) {
+        // Both halves are gone (`&mut self`), so plain loads are fine;
+        // drop every published-but-unconsumed element. The sender's
+        // drop flushed, so nothing sits unpublished above `tail`.
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
+        for i in head..tail {
+            unsafe { (*self.slots[i & self.mask].get()).assume_init_drop() };
+        }
+    }
+}
+
+/// Why a ring send failed, carrying the unsent value back.
+#[derive(Debug)]
+pub enum SendError<T> {
+    /// The receiver dropped; the message can never be delivered.
+    Closed(T),
+    /// The ring stayed full for the whole hang timeout — the consumer
+    /// is stuck, which in a correctly synchronized run is a deadlock.
+    Full(T),
+}
+
+/// Producer half of an SPSC ring. Not `Clone` — exactly one producer.
+pub struct RingSender<T> {
+    core: Arc<RingCore<T>>,
+    /// Next slot to write (includes unpublished pushes).
+    local_tail: usize,
+    /// The value last stored into `core.tail`.
+    published: usize,
+    /// Last observed consumer position (refreshed only when the ring
+    /// looks full, keeping the hot path load-free).
+    cached_head: usize,
+}
+
+/// Publish at least every this many pushes even without an explicit
+/// flush, bounding consumer latency under long producer phases.
+const AUTO_FLUSH: usize = 32;
+
+impl<T: Send> RingSender<T> {
+    /// Writes `v` into the ring without necessarily publishing it —
+    /// call [`RingSender::flush`] before blocking on anything a peer
+    /// must act on. Blocks (bounded by the hang timeout) while the
+    /// ring is full. Returns whether the ring was momentarily full
+    /// (a back-pressure stall).
+    pub fn push(&mut self, v: T) -> Result<bool, SendError<T>> {
+        if !self.core.rx_alive.load(Ordering::Acquire) {
+            return Err(SendError::Closed(v));
+        }
+        let cap = self.core.mask + 1;
+        let mut stalled = false;
+        if self.local_tail - self.cached_head == cap {
+            self.cached_head = self.core.head.load(Ordering::Acquire);
+            if self.local_tail - self.cached_head == cap {
+                // Publish what we have so the consumer can drain it,
+                // then wait for a slot.
+                self.flush();
+                stalled = true;
+                let deadline = Instant::now() + hang_timeout();
+                let mut b = Backoff::new();
+                loop {
+                    if !self.core.rx_alive.load(Ordering::Acquire) {
+                        return Err(SendError::Closed(v));
+                    }
+                    self.cached_head = self.core.head.load(Ordering::Acquire);
+                    if self.local_tail - self.cached_head < cap {
+                        break;
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(SendError::Full(v));
+                    }
+                    b.snooze();
+                }
+            }
+        }
+        unsafe { (*self.core.slots[self.local_tail & self.core.mask].get()).write(v) };
+        self.local_tail += 1;
+        if self.local_tail - self.published >= AUTO_FLUSH {
+            self.flush();
+        }
+        Ok(stalled)
+    }
+
+    /// Publishes every pending push with a single `Release` store.
+    pub fn flush(&mut self) {
+        if self.local_tail != self.published {
+            self.core.tail.0.store(self.local_tail, Ordering::Release);
+            self.published = self.local_tail;
+        }
+    }
+
+    /// [`RingSender::push`] + [`RingSender::flush`]: `mpsc`-style
+    /// immediate send.
+    pub fn send(&mut self, v: T) -> Result<bool, SendError<T>> {
+        let r = self.push(v);
+        self.flush();
+        r
+    }
+}
+
+impl<T> Drop for RingSender<T> {
+    fn drop(&mut self) {
+        // Seal: publish everything written (harmless if the receiver
+        // is already gone), then mark the producer dead so the
+        // consumer unwinds with `Disconnected` after draining. Runs
+        // during panic unwinds too — that is the peer-death semantics
+        // the executors' diagnostics rely on.
+        if self.local_tail != self.published {
+            self.core.tail.0.store(self.local_tail, Ordering::Release);
+        }
+        self.core.tx_alive.store(false, Ordering::Release);
+    }
+}
+
+/// Consumer half of an SPSC ring. Not `Clone` — exactly one consumer.
+pub struct RingReceiver<T> {
+    core: Arc<RingCore<T>>,
+    /// Next slot to read (mirror of `core.head`, owned here).
+    local_head: usize,
+    /// Last observed published tail.
+    cached_tail: usize,
+}
+
+impl<T: Send> RingReceiver<T> {
+    /// Takes the next published element, if any.
+    pub fn try_recv(&mut self) -> Option<T> {
+        if self.local_head == self.cached_tail {
+            self.cached_tail = self.core.tail.0.load(Ordering::Acquire);
+            if self.local_head == self.cached_tail {
+                return None;
+            }
+        }
+        let v = unsafe {
+            (*self.core.slots[self.local_head & self.core.mask].get()).assume_init_read()
+        };
+        self.local_head += 1;
+        self.core.head.0.store(self.local_head, Ordering::Release);
+        Some(v)
+    }
+
+    /// Blocks for the next element, up to `timeout`. Mirrors
+    /// `mpsc::Receiver::recv_timeout`, including `Disconnected` once
+    /// the sender dropped *and* the ring is drained (the sender's drop
+    /// publishes before sealing, so no message is ever lost).
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        if let Some(v) = self.try_recv() {
+            return Ok(v);
+        }
+        let deadline = Instant::now() + timeout;
+        let mut b = Backoff::new();
+        loop {
+            if let Some(v) = self.try_recv() {
+                return Ok(v);
+            }
+            if !self.core.tx_alive.load(Ordering::Acquire) {
+                // The sender's final publish happened-before the seal
+                // we just observed; one more look drains it.
+                return self.try_recv().ok_or(RecvTimeoutError::Disconnected);
+            }
+            if Instant::now() >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            b.snooze();
+        }
+    }
+}
+
+impl<T> Drop for RingReceiver<T> {
+    fn drop(&mut self) {
+        self.core.rx_alive.store(false, Ordering::Release);
+        // Undelivered elements are dropped by `RingCore::drop` once
+        // the sender's Arc is gone too.
+    }
+}
+
+/// Creates a bounded SPSC ring holding up to `capacity` elements
+/// (rounded up to a power of two, minimum 2).
+pub fn ring<T: Send>(capacity: usize) -> (RingSender<T>, RingReceiver<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let core = Arc::new(RingCore {
+        mask: cap - 1,
+        slots,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+        tx_alive: AtomicBool::new(true),
+        rx_alive: AtomicBool::new(true),
+    });
+    (
+        RingSender {
+            core: Arc::clone(&core),
+            local_tail: 0,
+            published: 0,
+            cached_head: 0,
+        },
+        RingReceiver {
+            core,
+            local_head: 0,
+            cached_tail: 0,
+        },
+    )
+}
+
+/// Which transport the exchange mesh uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DataPlane {
+    /// Lock-free SPSC rings (the default).
+    Ring,
+    /// The legacy `std::sync::mpsc` channel mesh
+    /// (`REGENT_DATA_PLANE=channel`), kept as the baseline the
+    /// `fig_dataplane` benchmark and the dual-plane tests compare
+    /// against.
+    Channel,
+}
+
+/// Reads `REGENT_DATA_PLANE` (default [`DataPlane::Ring`]; `channel`
+/// or `chan`, case-insensitive, selects the legacy mesh). Parsed per
+/// executor launch — once per run, not per message — so tests can
+/// toggle it.
+pub fn data_plane_from_env() -> DataPlane {
+    match std::env::var("REGENT_DATA_PLANE") {
+        Ok(v)
+            if v.trim().eq_ignore_ascii_case("channel")
+                || v.trim().eq_ignore_ascii_case("chan") =>
+        {
+            DataPlane::Channel
+        }
+        _ => DataPlane::Ring,
+    }
+}
+
+/// Per-pair ring capacity in messages: `REGENT_RING_CAP`, default 256,
+/// clamped to at least 2 and rounded up to a power of two. The
+/// capacity must exceed the frames one producer can address to one
+/// peer inside a single copy statement (a handful per pair, plus
+/// bounded retransmissions), or producers back-pressure against
+/// consumers that have not reached their consumer phase yet — the
+/// hang timeout turns that misconfiguration into a diagnostic instead
+/// of a silent hang.
+pub fn ring_cap_from_env() -> usize {
+    std::env::var("REGENT_RING_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&c| c >= 2)
+        .unwrap_or(256)
+}
+
+/// Whether `REGENT_PIN_CORES` asks for shard-thread core pinning
+/// (`1`/`true`/`on`/`yes`, case-insensitive).
+pub fn pin_cores_enabled() -> bool {
+    std::env::var("REGENT_PIN_CORES").is_ok_and(|v| {
+        let v = v.trim();
+        v == "1"
+            || v.eq_ignore_ascii_case("true")
+            || v.eq_ignore_ascii_case("on")
+            || v.eq_ignore_ascii_case("yes")
+    })
+}
+
+/// Pins the calling thread to `core` (modulo the machine's available
+/// parallelism). Returns whether the affinity call succeeded; on
+/// non-Linux targets (or unsupported architectures) this is a no-op
+/// returning `false`. Implemented as a raw `sched_setaffinity`
+/// syscall: the workspace links no libc crate.
+pub fn pin_thread_to_core(core: usize) -> bool {
+    let ncpu = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    let cpu = core % ncpu.max(1);
+    pin_syscall(cpu)
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn pin_syscall(cpu: usize) -> bool {
+    let mut mask = [0u64; 16]; // 1024-CPU mask
+    mask[cpu / 64] = 1u64 << (cpu % 64);
+    let ret: isize;
+    // SAFETY: sched_setaffinity(0, sizeof mask, &mask) reads `mask`
+    // only for the duration of the call.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 203isize => ret, // __NR_sched_setaffinity
+            in("rdi") 0usize,
+            in("rsi") std::mem::size_of_val(&mask),
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+fn pin_syscall(cpu: usize) -> bool {
+    let mut mask = [0u64; 16];
+    mask[cpu / 64] = 1u64 << (cpu % 64);
+    let ret: isize;
+    // SAFETY: as above; aarch64 passes the syscall number in x8.
+    unsafe {
+        std::arch::asm!(
+            "svc #0",
+            inlateout("x0") 0usize => ret,
+            in("x1") std::mem::size_of_val(&mask),
+            in("x2") mask.as_ptr(),
+            in("x8") 122usize, // __NR_sched_setaffinity
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+fn pin_syscall(_cpu: usize) -> bool {
+    false
+}
+
+/// Sender half of the exchange transport: a ring or a legacy channel.
+pub enum CopyTx<T> {
+    /// Lock-free SPSC ring.
+    Ring(RingSender<T>),
+    /// `std::sync::mpsc` channel (legacy plane).
+    Channel(Sender<T>),
+}
+
+impl<T: Send> CopyTx<T> {
+    /// Enqueues `v`, possibly without publishing it yet (ring plane);
+    /// returns whether the transport momentarily back-pressured.
+    pub fn push(&mut self, v: T) -> Result<bool, SendError<T>> {
+        match self {
+            CopyTx::Ring(s) => s.push(v),
+            CopyTx::Channel(s) => s
+                .send(v)
+                .map(|()| false)
+                .map_err(|e| SendError::Closed(e.0)),
+        }
+    }
+
+    /// Makes every pending push visible to the consumer.
+    pub fn flush(&mut self) {
+        if let CopyTx::Ring(s) = self {
+            s.flush();
+        }
+    }
+
+    /// Immediate (published) send.
+    pub fn send(&mut self, v: T) -> Result<bool, SendError<T>> {
+        match self {
+            CopyTx::Ring(s) => s.send(v),
+            CopyTx::Channel(s) => s
+                .send(v)
+                .map(|()| false)
+                .map_err(|e| SendError::Closed(e.0)),
+        }
+    }
+}
+
+/// Receiver half of the exchange transport.
+pub enum CopyRx<T> {
+    /// Lock-free SPSC ring.
+    Ring(RingReceiver<T>),
+    /// `std::sync::mpsc` channel (legacy plane).
+    Channel(Receiver<T>),
+}
+
+impl<T: Send> CopyRx<T> {
+    /// Blocks for the next message up to `timeout`, with
+    /// `mpsc::recv_timeout` semantics on both planes.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        match self {
+            CopyRx::Ring(r) => r.recv_timeout(timeout),
+            CopyRx::Channel(r) => r.recv_timeout(timeout),
+        }
+    }
+
+    /// Takes the next message if one is already available.
+    pub fn try_recv(&mut self) -> Option<T> {
+        match self {
+            CopyRx::Ring(r) => r.try_recv(),
+            CopyRx::Channel(r) => r.try_recv().ok(),
+        }
+    }
+}
+
+/// Builds the full exchange mesh for `ns` shards on the chosen plane:
+/// `senders[src][dst]` paired with `receivers[dst][src]`, one
+/// independent SPSC link per ordered pair. Each shard thread takes
+/// ownership of its sender row, so a dying shard seals every link it
+/// produces into and its peers unwind instead of hanging.
+#[allow(clippy::type_complexity)]
+pub fn copy_mesh<T: Send>(
+    ns: usize,
+    plane: DataPlane,
+    cap: usize,
+) -> (Vec<Vec<CopyTx<T>>>, Vec<Vec<CopyRx<T>>>) {
+    let mut senders: Vec<Vec<CopyTx<T>>> = (0..ns).map(|_| Vec::with_capacity(ns)).collect();
+    let mut rx_rows: Vec<Vec<Option<CopyRx<T>>>> =
+        (0..ns).map(|_| (0..ns).map(|_| None).collect()).collect();
+    for (src, row) in senders.iter_mut().enumerate() {
+        for slot in rx_rows.iter_mut() {
+            let (tx, rx) = match plane {
+                DataPlane::Ring => {
+                    let (tx, rx) = ring::<T>(cap);
+                    (CopyTx::Ring(tx), CopyRx::Ring(rx))
+                }
+                DataPlane::Channel => {
+                    let (tx, rx) = channel::<T>();
+                    (CopyTx::Channel(tx), CopyRx::Channel(rx))
+                }
+            };
+            row.push(tx);
+            slot[src] = Some(rx);
+        }
+    }
+    let receivers = rx_rows
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|o| o.expect("mesh construction left a receiver slot empty"))
+                .collect()
+        })
+        .collect();
+    (senders, receivers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_through_wraparound() {
+        let (mut tx, mut rx) = ring::<u64>(4);
+        for round in 0..64u64 {
+            for i in 0..3 {
+                tx.push(round * 10 + i).unwrap();
+            }
+            tx.flush();
+            for i in 0..3 {
+                assert_eq!(rx.try_recv(), Some(round * 10 + i));
+            }
+            assert!(rx.try_recv().is_none());
+        }
+    }
+
+    #[test]
+    fn unflushed_pushes_are_invisible_until_flush() {
+        let (mut tx, mut rx) = ring::<u32>(16);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert!(rx.try_recv().is_none(), "batched pushes must not publish");
+        tx.flush();
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.try_recv(), Some(2));
+    }
+
+    #[test]
+    fn sender_drop_seals_after_publishing() {
+        let (mut tx, mut rx) = ring::<u32>(8);
+        tx.push(7).unwrap();
+        drop(tx); // drop must flush the pending push, then seal
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(7));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn receiver_drop_fails_sends() {
+        let (mut tx, rx) = ring::<u32>(8);
+        drop(rx);
+        assert!(matches!(tx.push(1), Err(SendError::Closed(1))));
+    }
+
+    #[test]
+    fn empty_ring_times_out() {
+        let (_tx, mut rx) = ring::<u32>(8);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn dropped_ring_drops_undelivered_elements() {
+        use std::sync::atomic::AtomicU32;
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, rx) = ring::<D>(8);
+        tx.push(D).unwrap();
+        tx.push(D).unwrap();
+        tx.flush();
+        drop(rx);
+        drop(tx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+}

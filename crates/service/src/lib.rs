@@ -32,7 +32,7 @@
 //!
 //! # The robustness envelope
 //!
-//! Every attempt runs under `catch_unwind` with a [`CancelToken`]
+//! Every attempt runs under `catch_unwind` with a [`CancelToken`](regent_runtime::CancelToken)
 //! threaded through the executor's epoch boundary. The unwind message
 //! is classified by `regent_fault::classify_failure`:
 //!
