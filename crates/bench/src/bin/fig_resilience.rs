@@ -83,6 +83,7 @@ fn simulator_sweep(nodes: usize, steps: u64) {
         let rspec = ResilienceSpec {
             plan: FaultPlan::new(42).crash_shard(1, crash_step),
             ckpt_interval: k,
+            ..ResilienceSpec::default()
         };
         rows.push((
             format!("crash @{crash_step} K={k}"),

@@ -17,8 +17,8 @@
 //! lines) suitable for any flamegraph renderer.
 
 use regent_trace::{
-    blame_report, build_graph, imbalance_report, import_trace, integrity_summary, sim_blame,
-    EventKind, Phase, ProfReport, SimKind, Trace,
+    blame_report, build_graph, failover_summary, imbalance_report, import_trace, integrity_summary,
+    sim_blame, EventKind, Phase, ProfReport, SimKind, Trace,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -42,6 +42,9 @@ fn kind_label(kind: &EventKind) -> &'static str {
         EventKind::CheckpointSave { .. } => "checkpoint_save",
         EventKind::CheckpointRestore { .. } => "checkpoint_restore",
         EventKind::ShardCrash { .. } => "shard_crash",
+        EventKind::PeerDeath { .. } => "peer_death",
+        EventKind::MembershipChange { .. } => "membership_change",
+        EventKind::FailoverReconstruct { .. } => "failover_reconstruct",
         EventKind::CorruptDetected { .. } => "corrupt_detected",
         EventKind::CorruptRepaired { .. } => "corrupt_repaired",
         EventKind::CorruptEscalated { .. } => "corrupt_escalated",
@@ -173,6 +176,13 @@ fn certify(trace: &Trace) -> Result<(), Vec<String>> {
             integ.detected, integ.repair_attempts, integ.escalated
         ));
     }
+    let fo = failover_summary(trace);
+    if !fo.coherent() {
+        problems.push(format!(
+            "failover record incoherent: {} deaths vs {} membership changes",
+            fo.deaths, fo.membership_changes
+        ));
+    }
     if problems.is_empty() {
         Ok(())
     } else {
@@ -242,6 +252,25 @@ fn main() {
                 tenant, s.admitted, s.shed, s.retried, s.degraded, s.queue_wait_ns
             );
         }
+        println!();
+    }
+    let fo = failover_summary(&trace);
+    if fo.deaths > 0 || fo.membership_changes > 0 {
+        println!("== failover summary ==");
+        println!(
+            "deaths: {} (killed {}, panicked {}, hung {})",
+            fo.deaths, fo.killed, fo.panicked, fo.hung
+        );
+        println!(
+            "membership changes: {} (final membership {} shards)",
+            fo.membership_changes, fo.final_shards
+        );
+        println!(
+            "reconstructions: {} ({} instances rebuilt, {:.1} us)",
+            fo.reconstructions,
+            fo.insts_rebuilt,
+            fo.reconstruct_ns as f64 / 1e3
+        );
         println!();
     }
     if !sim_tracks.is_empty() {

@@ -31,7 +31,7 @@ pub use analysis::{
     bases_provably_disjoint, collect_accesses, find_replicable_ranges, CrError, ReplicableRange,
 };
 pub use hybrid::{replicate_ranges, HybridProgram, Segment};
-pub use placement::PlacementStats;
+pub use placement::{MembershipRemap, PlacementStats};
 pub use replicate::{control_replicate, control_replicate_traced, CrOptions, SyncMode};
 pub use spmd::{
     block_range, owner_of, CopyId, CopySource, CopyStmt, CrStats, DomainId, ForestOracle,

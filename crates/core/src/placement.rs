@@ -22,9 +22,83 @@
 //! the same placement through LICM, §3.3: "the shallow intersections
 //! were all lifted up to the beginning of the program execution").
 
-use crate::spmd::{CopySource, SpmdArg, SpmdStmt, TempId, UseDecl};
+use crate::spmd::{owner_of, CopySource, SpmdArg, SpmdStmt, TempId, UseDecl};
 use regent_ir::{Privilege, TaskDecl};
 use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------
+// Elastic membership: shard-ownership remapping.
+// ---------------------------------------------------------------------
+
+/// The survivor relabeling that removes one dead shard from an N-shard
+/// membership. A compiled SPMD program is shard-agnostic — ownership is
+/// always *derived* from `(domain length, shard count)` through the
+/// contiguous block split ([`crate::spmd::block_range`]) — so shrinking
+/// the membership is purely a relabeling plus a re-derivation: survivor
+/// `s` keeps its identity as `new_id(s)`, and every color's new owner
+/// follows from the block split at `new_shards`. The DES crash model
+/// and the real executors' live failover share this plan so simulated
+/// and real recovery redistribute state the same way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MembershipRemap {
+    /// Shards before the loss.
+    pub old_shards: usize,
+    /// Shards after the loss (`old_shards − 1`).
+    pub new_shards: usize,
+    /// The old shard id removed from the membership.
+    pub dead: u32,
+}
+
+impl MembershipRemap {
+    /// Plans the removal of `dead` from an `old_shards`-strong
+    /// membership. `None` when the membership cannot shrink (already a
+    /// single shard) or `dead` is not a member.
+    pub fn shrink(old_shards: usize, dead: u32) -> Option<MembershipRemap> {
+        if old_shards <= 1 || (dead as usize) >= old_shards {
+            return None;
+        }
+        Some(MembershipRemap {
+            old_shards,
+            new_shards: old_shards - 1,
+            dead,
+        })
+    }
+
+    /// The old identity of new shard `new_shard`: survivors below the
+    /// dead shard keep their id, survivors above shift down by one.
+    pub fn old_id(&self, new_shard: usize) -> usize {
+        debug_assert!(new_shard < self.new_shards);
+        if new_shard < self.dead as usize {
+            new_shard
+        } else {
+            new_shard + 1
+        }
+    }
+
+    /// The new identity of surviving old shard `old_shard`; `None` for
+    /// the dead shard.
+    pub fn new_id(&self, old_shard: usize) -> Option<usize> {
+        use std::cmp::Ordering;
+        match (old_shard as u32).cmp(&self.dead) {
+            Ordering::Less => Some(old_shard),
+            Ordering::Equal => None,
+            Ordering::Greater => Some(old_shard - 1),
+        }
+    }
+
+    /// The *new* owner (a new shard id) of position `pos` in a launch
+    /// domain of `len` colors, under the shrunken membership's block
+    /// split.
+    pub fn new_owner(&self, len: usize, pos: usize) -> usize {
+        owner_of(len, self.new_shards, pos)
+    }
+
+    /// The *old* owner (an old shard id) of position `pos` under the
+    /// pre-loss membership — where the data to redistribute lives.
+    pub fn old_owner(&self, len: usize, pos: usize) -> usize {
+        owner_of(len, self.old_shards, pos)
+    }
+}
 
 /// Result of the placement passes.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -334,6 +408,59 @@ fn bwd_transfer(
             | SpmdStmt::Barrier => {}
         }
         *idx_end = my_idx;
+    }
+}
+
+#[cfg(test)]
+mod membership_tests {
+    use super::MembershipRemap;
+    use crate::spmd::block_range;
+
+    #[test]
+    fn shrink_rejects_degenerate_memberships() {
+        assert!(MembershipRemap::shrink(1, 0).is_none());
+        assert!(MembershipRemap::shrink(0, 0).is_none());
+        assert!(MembershipRemap::shrink(4, 4).is_none());
+        assert!(MembershipRemap::shrink(4, 2).is_some());
+    }
+
+    #[test]
+    fn relabel_is_a_bijection_onto_survivors() {
+        for old in 2..8usize {
+            for dead in 0..old as u32 {
+                let m = MembershipRemap::shrink(old, dead).unwrap();
+                assert_eq!(m.new_shards, old - 1);
+                let mut seen = vec![false; old];
+                for s in 0..m.new_shards {
+                    let o = m.old_id(s);
+                    assert_ne!(o as u32, dead, "dead shard must not survive");
+                    assert!(!seen[o], "old shard {o} mapped twice");
+                    seen[o] = true;
+                    assert_eq!(m.new_id(o), Some(s), "old_id/new_id must invert");
+                }
+                assert_eq!(m.new_id(dead as usize), None);
+            }
+        }
+    }
+
+    #[test]
+    fn new_ownership_covers_every_color_exactly_once() {
+        for old in 2..6usize {
+            for dead in 0..old as u32 {
+                let m = MembershipRemap::shrink(old, dead).unwrap();
+                for len in [1usize, 3, 7, 16] {
+                    let mut owners = vec![0u32; len];
+                    for s in 0..m.new_shards {
+                        let (lo, hi) = block_range(len, m.new_shards, s);
+                        for c in lo..hi {
+                            owners[c] += 1;
+                            assert_eq!(m.new_owner(len, c), s);
+                        }
+                    }
+                    assert!(owners.iter().all(|&n| n == 1), "colors must partition");
+                }
+            }
+        }
     }
 }
 

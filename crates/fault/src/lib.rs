@@ -47,6 +47,35 @@ pub enum FaultEvent {
         /// whose start the crash is injected.
         epoch: u64,
     },
+    /// A shard thread is *killed* at the given epoch boundary: unlike
+    /// [`FaultEvent::ShardCrash`] (which rolls the surviving thread
+    /// back to its own checkpoint), a kill removes the shard from the
+    /// membership entirely. Survivors must reconstruct its state and
+    /// continue on N−1 shards (live failover) or fail the run.
+    ShardKill {
+        /// The shard whose thread dies.
+        shard: u32,
+        /// Zero-based epoch at whose boundary the kill fires. The kill
+        /// is injected *after* the boundary checkpoint is offered, so
+        /// the kill-epoch checkpoint is the one survivors recover from.
+        epoch: u64,
+    },
+    /// A shard thread *stalls* (sleeps, then continues) at the given
+    /// epoch boundary. A stall longer than the hang timeout
+    /// (`REGENT_HANG_TIMEOUT_MS`) makes the victim's consumers time
+    /// out, blame the producer as hung, and unwind — the detection path
+    /// live failover recovers from without the victim ever panicking on
+    /// its own.
+    ShardStall {
+        /// The shard that stalls.
+        shard: u32,
+        /// Zero-based epoch at whose boundary the stall fires.
+        epoch: u64,
+        /// Stall length, milliseconds. Choose ≥ 2× the hang timeout to
+        /// guarantee detection; the victim sleeps the full length, so
+        /// the attempt cannot outlive it.
+        ms: u64,
+    },
     /// A node serves work `factor`× slower during `[start, start +
     /// duration)` of virtual time (simulator only).
     Slowdown {
@@ -145,6 +174,21 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a shard-thread kill (membership loss) at the boundary of
+    /// `epoch`.
+    pub fn kill_shard(mut self, shard: u32, epoch: u64) -> Self {
+        self.events.push(FaultEvent::ShardKill { shard, epoch });
+        self
+    }
+
+    /// Adds a shard-thread stall (hang-detection trigger) of `ms`
+    /// milliseconds at the boundary of `epoch`.
+    pub fn stall_shard(mut self, shard: u32, epoch: u64, ms: u64) -> Self {
+        self.events
+            .push(FaultEvent::ShardStall { shard, epoch, ms });
+        self
+    }
+
     /// Adds a transient slowdown window on `node`.
     pub fn slow_node(mut self, node: u32, start: f64, duration: f64, factor: f64) -> Self {
         self.events.push(FaultEvent::Slowdown {
@@ -199,6 +243,19 @@ impl FaultPlan {
         FaultPlan::new(seed).crash_shard(shard, epoch)
     }
 
+    /// A seeded single-shard *kill* (membership loss, not rollback) for
+    /// a machine of `num_shards` shards: victim and epoch drawn from
+    /// the seed exactly like [`FaultPlan::seeded_crash`], but salted so
+    /// the same seed produces different (shard, epoch) choices for the
+    /// two fault kinds.
+    pub fn seeded_kill(seed: u64, num_shards: usize, max_epoch: u64) -> Self {
+        let h1 = splitmix64(seed ^ KILL_SALT);
+        let h2 = splitmix64(h1);
+        let shard = (h1 % num_shards.max(1) as u64) as u32;
+        let epoch = 1 + h2 % max_epoch.max(1);
+        FaultPlan::new(seed).kill_shard(shard, epoch)
+    }
+
     /// Reads `REGENT_FAULT_SEED` from the environment: `Some(seed)`
     /// when set to a valid integer, `None` otherwise. Consumers use the
     /// seed to derive an injection plan so that plain test runs
@@ -228,6 +285,57 @@ impl FaultPlan {
         self.events
             .iter()
             .any(|e| matches!(e, FaultEvent::ShardCrash { .. }))
+    }
+
+    /// True when the plan schedules at least one shard kill.
+    pub fn has_kills(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::ShardKill { .. }))
+    }
+
+    /// All kill events `(shard, epoch)`, sorted by epoch then shard —
+    /// the deterministic order consumers process them in.
+    pub fn kill_schedule(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::ShardKill { shard, epoch } => Some((shard, epoch)),
+                _ => None,
+            })
+            .collect();
+        v.sort_by_key(|&(s, e)| (e, s));
+        v
+    }
+
+    /// Reads the kill-schedule environment: `REGENT_KILL` (explicit
+    /// `<shard>@<epoch>[,<shard>@<epoch>...]` schedule) takes
+    /// precedence over `REGENT_KILL_SEED` (a seeded single kill drawn
+    /// by [`FaultPlan::seeded_kill`] for `num_shards` shards with kill
+    /// epochs in `1..=4`). Returns `None` when neither is set or the
+    /// value is malformed — kill injection is never half-enabled.
+    pub fn kills_from_env(num_shards: usize) -> Option<FaultPlan> {
+        if let Ok(spec) = std::env::var("REGENT_KILL") {
+            return parse_kill_spec(&spec);
+        }
+        let seed = parse_seed(&std::env::var("REGENT_KILL_SEED").ok()?)?;
+        Some(FaultPlan::seeded_kill(seed, num_shards, 4))
+    }
+
+    /// All stall events `(shard, epoch, ms)`, sorted by epoch then
+    /// shard — the deterministic order consumers process them in.
+    pub fn stall_schedule(&self) -> Vec<(u32, u64, u64)> {
+        let mut v: Vec<(u32, u64, u64)> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::ShardStall { shard, epoch, ms } => Some((shard, epoch, ms)),
+                _ => None,
+            })
+            .collect();
+        v.sort_by_key(|&(s, e, _)| (e, s));
+        v
     }
 
     /// All crash events `(shard, epoch)`, sorted by epoch then shard —
@@ -324,6 +432,8 @@ impl FaultPlan {
     }
 }
 
+/// Domain-separation salt for seeded kill (membership-loss) draws.
+const KILL_SALT: u64 = 0x9E6C_63D0_0A1B_4F2D;
 /// Domain-separation salt for in-flight payload corruption decisions.
 const CORRUPT_PAYLOAD_SALT: u64 = 0x5DEE_CE66_D10C_E1A5;
 /// Domain-separation salt for resident-instance corruption decisions.
@@ -346,6 +456,21 @@ pub fn parse_corrupt_spec(s: &str) -> Option<(u64, f64)> {
     let seed = parse_seed(seed)?;
     let rate: f64 = rate.trim().parse().ok()?;
     (rate.is_finite() && (0.0..=1.0).contains(&rate)).then_some((seed, rate))
+}
+
+/// Parses a `REGENT_KILL` kill schedule: a comma-separated list of
+/// `<shard>@<epoch>` entries. Rejects (returns `None`) on empty
+/// specs, missing `@`, or malformed components — a malformed schedule
+/// disables injection rather than killing the wrong shard.
+pub fn parse_kill_spec(s: &str) -> Option<FaultPlan> {
+    let mut plan = FaultPlan::default();
+    for entry in s.split(',') {
+        let (shard, epoch) = entry.split_once('@')?;
+        let shard: u32 = shard.trim().parse().ok()?;
+        let epoch: u64 = epoch.trim().parse().ok()?;
+        plan = plan.kill_shard(shard, epoch);
+    }
+    plan.has_kills().then_some(plan)
 }
 
 /// Stable identity of a simulated or real message, for
@@ -422,6 +547,62 @@ fn unit_f64(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// Why a shard left the membership. Carried through barrier poisoning
+/// and ring seals as structured data (not a string diagnostic) so
+/// survivors — and `regent-prof` — can tell *who* died and *why*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeathCause {
+    /// An injected membership kill ([`FaultEvent::ShardKill`]) fired at
+    /// the given epoch boundary.
+    Killed {
+        /// The epoch boundary at which the kill fired.
+        epoch: u64,
+    },
+    /// The shard thread panicked (application or runtime defect, or an
+    /// injected transient).
+    Panicked,
+    /// A peer blamed this shard for a hang: it failed to produce an
+    /// expected message within the hang timeout.
+    Hung,
+}
+
+/// A structured shard-death record: who died and why. Recorded on the
+/// executor's death board by the victim (kill, panic) or by the
+/// blaming waiter (hang), and carried through `ShardBarrier` poisoning
+/// and ring seals in place of the old string-only diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeerDeath {
+    /// The shard that left the membership.
+    pub shard: u32,
+    /// Why it left.
+    pub cause: DeathCause,
+}
+
+impl std::fmt::Display for PeerDeath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.cause {
+            DeathCause::Killed { epoch } => {
+                write!(f, "shard {} killed at epoch {}", self.shard, epoch)
+            }
+            DeathCause::Panicked => write!(f, "shard {} panicked", self.shard),
+            DeathCause::Hung => write!(f, "shard {} hung past the timeout", self.shard),
+        }
+    }
+}
+
+/// Diagnostic prefix of a shard-loss unwind: a shard left the
+/// membership (injected kill or unrecoverable thread death) and the
+/// attempt cannot finish at full membership. [`classify_failure`] maps
+/// it to [`FailureClass::Transient`] — a failover-capable supervisor
+/// recovers in place on N−1 shards; a plain one retries from scratch.
+pub const SHARD_LOSS_PREFIX: &str = "shard lost";
+
+/// Diagnostic prefix emitted when live failover gives up: the run lost
+/// more shards than `REGENT_FAILOVER_MAX` allows (or membership hit
+/// the floor). Classified [`FailureClass::Permanent`] — retrying the
+/// same plan would lose the same shards again.
+pub const FAILOVER_EXHAUSTED_PREFIX: &str = "failover budget exhausted";
+
 /// Diagnostic prefix of a cooperative cancellation unwind (deadline
 /// exhaustion or explicit supervisor cancel). The cancellation token
 /// panics with this prefix; [`classify_failure`] maps it back to
@@ -453,14 +634,23 @@ pub enum FailureClass {
 /// because the executors wrap the root cause ("shard 3 panicked:
 /// ...").
 ///
+/// * [`FAILOVER_EXHAUSTED_PREFIX`] → [`FailureClass::Permanent`]
+///   (checked first: the exhausted message wraps the underlying
+///   shard-loss diagnostic, which alone would read as transient)
 /// * [`CANCEL_PREFIX`] → [`FailureClass::Cancelled`]
-/// * [`TRANSIENT_PREFIX`] or a `"likely deadlock"` hang-timeout
-///   diagnostic → [`FailureClass::Transient`]
+/// * [`TRANSIENT_PREFIX`], [`SHARD_LOSS_PREFIX`], or a
+///   `"likely deadlock"` hang-timeout diagnostic →
+///   [`FailureClass::Transient`]
 /// * everything else → [`FailureClass::Permanent`]
 pub fn classify_failure(msg: &str) -> FailureClass {
-    if msg.contains(CANCEL_PREFIX) {
+    if msg.contains(FAILOVER_EXHAUSTED_PREFIX) {
+        FailureClass::Permanent
+    } else if msg.contains(CANCEL_PREFIX) {
         FailureClass::Cancelled
-    } else if msg.contains(TRANSIENT_PREFIX) || msg.contains("likely deadlock") {
+    } else if msg.contains(TRANSIENT_PREFIX)
+        || msg.contains(SHARD_LOSS_PREFIX)
+        || msg.contains("likely deadlock")
+    {
         FailureClass::Transient
     } else {
         FailureClass::Permanent
@@ -537,6 +727,91 @@ mod tests {
         assert_eq!(
             classify_failure("index out of bounds: the len is 4"),
             FailureClass::Permanent
+        );
+    }
+
+    #[test]
+    fn failover_classification() {
+        // Shard loss is transient: a failover-capable supervisor
+        // recovers in place, a plain one retries.
+        assert_eq!(
+            classify_failure("shard 1 panicked: shard lost: shard 1 killed at epoch 2"),
+            FailureClass::Transient
+        );
+        // Exhausted failover budget is permanent even though the
+        // wrapped message carries the transient shard-loss marker.
+        assert_eq!(
+            classify_failure(
+                "failover budget exhausted after 2 membership changes: \
+                 shard lost: shard 0 killed at epoch 3"
+            ),
+            FailureClass::Permanent
+        );
+    }
+
+    #[test]
+    fn kill_schedule_sorted_and_separate_from_crashes() {
+        let p = FaultPlan::new(0)
+            .kill_shard(3, 9)
+            .crash_shard(1, 2)
+            .kill_shard(0, 9)
+            .kill_shard(2, 1);
+        assert_eq!(p.kill_schedule(), vec![(2, 1), (0, 9), (3, 9)]);
+        assert_eq!(p.crash_schedule(), vec![(1, 2)]);
+        assert!(p.has_kills() && p.has_crashes() && p.is_active());
+        assert!(!FaultPlan::new(0).crash_shard(1, 2).has_kills());
+    }
+
+    #[test]
+    fn seeded_kill_in_bounds_and_salted() {
+        for seed in 0..50 {
+            let sched = FaultPlan::seeded_kill(seed, 4, 3).kill_schedule();
+            assert_eq!(sched.len(), 1);
+            let (shard, epoch) = sched[0];
+            assert!(shard < 4);
+            assert!((1..=3).contains(&epoch));
+        }
+        // The kill draw is salted independently of the crash draw:
+        // the same seed must not always pick the same victim/epoch.
+        let diverges = (0..50).any(|s| {
+            FaultPlan::seeded_kill(s, 4, 4).kill_schedule()
+                != FaultPlan::seeded_crash(s, 4, 4).crash_schedule()
+        });
+        assert!(diverges, "kill and crash draws are not salted apart");
+    }
+
+    #[test]
+    fn parse_kill_spec_edge_cases() {
+        let p = parse_kill_spec("1@2").expect("valid spec");
+        assert_eq!(p.kill_schedule(), vec![(1, 2)]);
+        let p = parse_kill_spec(" 2@1 , 0@3 ").expect("valid multi spec");
+        assert_eq!(p.kill_schedule(), vec![(2, 1), (0, 3)]);
+        for bad in ["", "@", "1@", "@2", "1", "a@2", "1@b", "1@2,", "1@2;0@3"] {
+            assert!(parse_kill_spec(bad).is_none(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn peer_death_display() {
+        let d = PeerDeath {
+            shard: 2,
+            cause: DeathCause::Killed { epoch: 3 },
+        };
+        assert_eq!(d.to_string(), "shard 2 killed at epoch 3");
+        let d = PeerDeath {
+            shard: 0,
+            cause: DeathCause::Panicked,
+        };
+        assert_eq!(d.to_string(), "shard 0 panicked");
+        let d = PeerDeath {
+            shard: 1,
+            cause: DeathCause::Hung,
+        };
+        assert_eq!(d.to_string(), "shard 1 hung past the timeout");
+        // The standard unwind wrapping stays transient end to end.
+        assert_eq!(
+            classify_failure(&format!("{SHARD_LOSS_PREFIX}: {d}")),
+            FailureClass::Transient
         );
     }
 

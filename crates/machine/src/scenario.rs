@@ -136,7 +136,7 @@ pub fn simulate_cr_faulted(
 }
 
 /// Fault + recovery configuration of [`simulate_cr_resilient`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ResilienceSpec {
     /// The faults to inject: crash events fire at step boundaries,
     /// message rates apply throughout.
@@ -144,12 +144,40 @@ pub struct ResilienceSpec {
     /// Checkpoint every K steps (0 = no checkpoints: a crash replays
     /// everything since step 0).
     pub ckpt_interval: u64,
+    /// Failure-detection timeout charged per crash, seconds. Survivors
+    /// only learn of the death after their point-to-point waits time
+    /// out (§3.4 has no global failure detector), so this models the
+    /// deployment's `REGENT_HANG_TIMEOUT_MS` analog — re-point it at
+    /// the deployed timeout when studying a specific cluster.
+    pub detection_timeout_s: f64,
+    /// Survivor-side CPU cost of rebuilding one checkpointed element
+    /// after a loss (allocating and filling the remapped instances),
+    /// seconds. Charged on top of the network state transfer. The
+    /// default is calibrated against the real executor: `fig_failover`
+    /// measures the `FailoverReconstruct` span at ~1–2 µs per rebuilt
+    /// instance of ~200 elements across shard counts.
+    pub reconstruct_s_per_element: f64,
 }
 
-/// Failure-detection timeout charged when a node crashes, seconds.
-/// Survivors only learn of the death after their point-to-point waits
-/// time out (§3.4 has no global failure detector).
-const DETECTION_TIMEOUT_S: f64 = 1.0e-3;
+impl Default for ResilienceSpec {
+    fn default() -> ResilienceSpec {
+        ResilienceSpec {
+            plan: FaultPlan::default(),
+            ckpt_interval: 0,
+            detection_timeout_s: DEFAULT_DETECTION_TIMEOUT_S,
+            reconstruct_s_per_element: RECONSTRUCT_S_PER_ELEMENT,
+        }
+    }
+}
+
+/// Default failure-detection timeout charged when a node crashes,
+/// seconds (see [`ResilienceSpec::detection_timeout_s`]).
+const DEFAULT_DETECTION_TIMEOUT_S: f64 = 1.0e-3;
+
+/// Default survivor-side reconstruction cost, seconds per element —
+/// `fig_failover`'s measured reconstruct span divided by the rebuilt
+/// state size (see [`ResilienceSpec::reconstruct_s_per_element`]).
+const RECONSTRUCT_S_PER_ELEMENT: f64 = 8.0e-9;
 
 /// Bytes of checkpoint state per application element (the region
 /// fields snapshotted at a checkpoint boundary).
@@ -182,6 +210,8 @@ pub fn simulate_cr_resilient_traced(
     tb: &mut TraceBuf,
 ) -> ScenarioResult {
     let mut b = CrBuilder::new(machine, spec);
+    b.detection_timeout_s = rspec.detection_timeout_s;
+    b.reconstruct_s_per_element = rspec.reconstruct_s_per_element;
     let crashes = rspec.plan.crash_schedule();
     let mut ci = 0;
     let mut fstats = FaultStats::default();
@@ -252,6 +282,9 @@ struct CrBuilder<'a> {
     noise_key: u64,
     /// Accumulated detection + state-transfer time, virtual seconds.
     recovery_time_s: f64,
+    /// Calibrated recovery costs (see [`ResilienceSpec`]).
+    detection_timeout_s: f64,
+    reconstruct_s_per_element: f64,
 }
 
 impl<'a> CrBuilder<'a> {
@@ -279,6 +312,8 @@ impl<'a> CrBuilder<'a> {
             gate: None,
             noise_key: 0,
             recovery_time_s: 0.0,
+            detection_timeout_s: DEFAULT_DETECTION_TIMEOUT_S,
+            reconstruct_s_per_element: RECONSTRUCT_S_PER_ELEMENT,
         }
     }
 
@@ -410,8 +445,13 @@ impl<'a> CrBuilder<'a> {
             *o = survivor;
         }
         // Detection (point-to-point waits time out) + the survivor
-        // pulling the dead shard's checkpoint slice over the network.
-        let recovery = DETECTION_TIMEOUT_S + self.ckpt_bytes() / self.machine.network_bandwidth;
+        // pulling the dead shard's checkpoint slice over the network +
+        // rebuilding the remapped instances from it (the real
+        // executor's FailoverReconstruct span, per element).
+        let elements = self.ckpt_bytes() / CKPT_BYTES_PER_ELEMENT;
+        let recovery = self.detection_timeout_s
+            + self.ckpt_bytes() / self.machine.network_bandwidth
+            + elements * self.reconstruct_s_per_element;
         self.recovery_time_s += recovery;
         let g = self.sim.add_task(self.control[survivor], recovery);
         self.sim
@@ -1129,6 +1169,7 @@ mod tests {
         let rspec = ResilienceSpec {
             plan: FaultPlan::new(1).crash_shard(3, 4),
             ckpt_interval: 2,
+            ..ResilienceSpec::default()
         };
         let crashed = simulate_cr_resilient(&machine, &spec, steps, &rspec);
         assert_eq!(crashed.faults.crashes, 1);
@@ -1148,6 +1189,7 @@ mod tests {
         let rspec = ResilienceSpec {
             plan: FaultPlan::new(1).crash_shard(3, 3),
             ckpt_interval: 2,
+            ..ResilienceSpec::default()
         };
         let replayed = simulate_cr_resilient(&machine, &spec, steps, &rspec);
         assert_eq!(replayed.faults.epochs_replayed, 1);
@@ -1170,6 +1212,7 @@ mod tests {
                 &ResilienceSpec {
                     plan: plan.clone(),
                     ckpt_interval: k,
+                    ..ResilienceSpec::default()
                 },
             )
         };
@@ -1192,6 +1235,7 @@ mod tests {
             &ResilienceSpec {
                 plan: FaultPlan::default(),
                 ckpt_interval: 0,
+                ..ResilienceSpec::default()
             },
         );
         assert_eq!(plain.makespan, resilient.makespan);

@@ -142,6 +142,7 @@ fn resilient_scenario_is_deterministic() {
     let rspec = ResilienceSpec {
         plan: FaultPlan::new(5).crash_shard(2, 3).with_loss_rate(0.1),
         ckpt_interval: 2,
+        ..ResilienceSpec::default()
     };
     let a = simulate_cr_resilient(&machine, &spec, 6, &rspec);
     let b = simulate_cr_resilient(&machine, &spec, 6, &rspec);

@@ -16,6 +16,7 @@
 //! validator can correlate across shard event logs.
 
 use crate::ring::{Backoff, CachePadded};
+use regent_fault::PeerDeath;
 use regent_region::{fnv1a, ReductionOp};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -84,6 +85,18 @@ struct CollectiveState {
     /// Set when a participant died: every current and future waiter
     /// unwinds with a diagnostic instead of blocking forever.
     poisoned: bool,
+    /// Structured root cause of the poisoning, when known. First writer
+    /// wins: secondary failures cascading through the poison never
+    /// overwrite the original death.
+    cause: Option<PeerDeath>,
+}
+
+/// Renders a poison cause as a diagnostic suffix (`"" ` when unknown).
+fn cause_suffix(cause: &Option<PeerDeath>) -> String {
+    match cause {
+        Some(d) => format!(" [{d}]"),
+        None => String::new(),
+    }
 }
 
 /// A reusable all-reduce over `n` participants.
@@ -105,6 +118,7 @@ impl DynamicCollective {
                 contributions: vec![None; n],
                 result: 0.0,
                 poisoned: false,
+                cause: None,
             }),
             cv: Condvar::new(),
         }
@@ -117,6 +131,23 @@ impl DynamicCollective {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         st.poisoned = true;
         self.cv.notify_all();
+    }
+
+    /// Like [`DynamicCollective::poison`], recording the structured
+    /// root cause so survivors unwind with blame instead of a generic
+    /// diagnostic. The first recorded cause wins.
+    pub fn poison_with(&self, death: PeerDeath) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.poisoned = true;
+        if st.cause.is_none() {
+            st.cause = Some(death);
+        }
+        self.cv.notify_all();
+    }
+
+    /// The structured cause of poisoning, when one was recorded.
+    pub fn poisoned_by(&self) -> Option<PeerDeath> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).cause
     }
 
     /// Contributes `value` for `shard` and blocks until every
@@ -132,7 +163,8 @@ impl DynamicCollective {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if st.poisoned {
             panic!(
-                "dynamic collective poisoned: a participating shard died (shard {shard} unwinding)"
+                "dynamic collective poisoned: a participating shard died{} (shard {shard} unwinding)",
+                cause_suffix(&st.cause)
             );
         }
         let my_gen = st.generation;
@@ -159,7 +191,10 @@ impl DynamicCollective {
                 .unwrap_or_else(|e| e.into_inner());
             st = guard;
             if st.poisoned {
-                panic!("dynamic collective poisoned: a participating shard died (shard {shard} unwinding at generation {my_gen})");
+                panic!(
+                    "dynamic collective poisoned: a participating shard died{} (shard {shard} unwinding at generation {my_gen})",
+                    cause_suffix(&st.cause)
+                );
             }
             if timeout.timed_out() && st.generation == my_gen {
                 panic!(
@@ -232,6 +267,10 @@ pub struct ShardBarrier {
     generation: CachePadded<AtomicU64>,
     arrived: CachePadded<AtomicUsize>,
     poisoned: AtomicBool,
+    /// Structured root cause, written (once) before the `poisoned`
+    /// flag's release store so any waiter that observes the flag also
+    /// observes the cause. Off the hot path: only touched on death.
+    cause: Mutex<Option<PeerDeath>>,
 }
 
 impl ShardBarrier {
@@ -243,6 +282,7 @@ impl ShardBarrier {
             generation: CachePadded(AtomicU64::new(0)),
             arrived: CachePadded(AtomicUsize::new(0)),
             poisoned: AtomicBool::new(false),
+            cause: Mutex::new(None),
         }
     }
 
@@ -254,6 +294,23 @@ impl ShardBarrier {
         self.poisoned.store(true, Ordering::Release);
     }
 
+    /// Like [`ShardBarrier::poison`], recording the structured root
+    /// cause (first writer wins) so waiters unwind with blame.
+    pub fn poison_with(&self, death: PeerDeath) {
+        {
+            let mut c = self.cause.lock().unwrap_or_else(|e| e.into_inner());
+            if c.is_none() {
+                *c = Some(death);
+            }
+        }
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// The structured cause of poisoning, when one was recorded.
+    pub fn poisoned_by(&self) -> Option<PeerDeath> {
+        *self.cause.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Blocks until all `n` participants have arrived.
     pub fn wait(&self) {
         self.wait_counted();
@@ -263,7 +320,10 @@ impl ShardBarrier {
     /// this arrival belonged to.
     pub fn wait_counted(&self) -> u64 {
         if self.poisoned.load(Ordering::Acquire) {
-            panic!("shard barrier poisoned: a participating shard died");
+            panic!(
+                "shard barrier poisoned: a participating shard died{}",
+                cause_suffix(&self.poisoned_by())
+            );
         }
         if self.n == 1 {
             // Single-shard fast path: there is nobody to rendezvous
@@ -283,7 +343,8 @@ impl ShardBarrier {
         while self.generation.load(Ordering::Acquire) == my_gen {
             if self.poisoned.load(Ordering::Acquire) {
                 panic!(
-                    "shard barrier poisoned: a participating shard died (unwinding at generation {my_gen})"
+                    "shard barrier poisoned: a participating shard died{} (unwinding at generation {my_gen})",
+                    cause_suffix(&self.poisoned_by())
                 );
             }
             if Instant::now() >= deadline {
@@ -423,6 +484,40 @@ mod tests {
         let b2 = Arc::clone(&b);
         let late = std::thread::spawn(move || b2.wait());
         assert!(late.join().is_err());
+    }
+
+    #[test]
+    fn poison_with_cause_reaches_waiters() {
+        use regent_fault::DeathCause;
+        let b = Arc::new(ShardBarrier::new(2));
+        let b2 = Arc::clone(&b);
+        let waiter = std::thread::spawn(move || b2.wait());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        b.poison_with(PeerDeath {
+            shard: 1,
+            cause: DeathCause::Killed { epoch: 3 },
+        });
+        // A later, different cause must not overwrite the first.
+        b.poison_with(PeerDeath {
+            shard: 0,
+            cause: DeathCause::Panicked,
+        });
+        let msg = panic_msg(waiter.join().expect_err("waiter should unwind"));
+        assert!(msg.contains("poisoned"), "diagnostic: {msg}");
+        assert!(msg.contains("shard 1 killed at epoch 3"), "blame: {msg}");
+        assert_eq!(b.poisoned_by().unwrap().shard, 1);
+
+        let c = Arc::new(DynamicCollective::new(2));
+        let c2 = Arc::clone(&c);
+        let waiter = std::thread::spawn(move || c2.reduce(0, 1.0, ReductionOp::Add));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c.poison_with(PeerDeath {
+            shard: 1,
+            cause: DeathCause::Hung,
+        });
+        let msg = panic_msg(waiter.join().expect_err("waiter should unwind"));
+        assert!(msg.contains("poisoned"), "diagnostic: {msg}");
+        assert!(msg.contains("shard 1 hung"), "blame: {msg}");
     }
 
     #[test]

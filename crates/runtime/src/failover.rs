@@ -1,0 +1,753 @@
+//! Live shard failover: elastic membership with survivor-side
+//! reconstruction.
+//!
+//! The in-run resilience machinery (`spmd_exec`'s coordinated
+//! replicated rollback) recovers from faults every shard *survives*.
+//! This module recovers from faults that take a shard's **thread**
+//! down — an injected membership kill ([`regent_fault::FaultEvent::ShardKill`]),
+//! a genuine panic, or a hang past the [`crate::collective::hang_timeout`]
+//! deadline. The protocol, phase by phase:
+//!
+//! 1. **Detection.** The dying shard's [`crate::spmd_exec::PanicGuard`]
+//!    poisons the shared barrier and collective with a structured
+//!    [`PeerDeath`] cause, and its senders drop (sealing its SPSC
+//!    rings), so every survivor unwinds promptly — blocked waiters see
+//!    the poison, blocked receivers see `Disconnected`, and a
+//!    stalled-but-alive peer is caught by the bounded `recv_timeout`,
+//!    which blames the *producer* on the shared [`DeathBoard`].
+//! 2. **Agreement.** Control flow is replicated, so no election is
+//!    needed: the failover driver (this module) catches the attempt's
+//!    unwind, reads the board's first entry as the root cause, and the
+//!    last *committed* [`RescueSlot`] checkpoint — by construction a
+//!    consistent cut every shard offered identically — is the agreed
+//!    resume point.
+//! 3. **Reconstruction.** The committed checkpoint holds every shard's
+//!    instances, including the victim's. [`remap_resume_state`]
+//!    redistributes them onto the shrunken membership: partition
+//!    instances move to each color's new block owner, whole-region
+//!    replicas and reduction temporaries are cloned from a survivor
+//!    (replicas are bit-identical at boundaries; temps are dead there —
+//!    a `ResetTemp` precedes every use).
+//! 4. **Resume.** The program is re-executed at `N−1` shards — the
+//!    compiled body is shard-agnostic (all placement flows through
+//!    `owned_colors` / `block_range` / `owner_of`), so mutating
+//!    `num_shards` re-plans the mesh, barrier, and exchange plan — and
+//!    the pre-seeded rescue slot fast-forwards every survivor to the
+//!    checkpoint epoch. Results are **bit-identical** to an undisturbed
+//!    run: element-wise reductions flow through temporaries applied in
+//!    deterministic global order, and scalar collectives fold in shard
+//!    order over block-owned contributions, both independent of the
+//!    shard count.
+//!
+//! Failed attempts record into a private inner tracer that is simply
+//! dropped; only the successful attempt's trace is absorbed into the
+//! caller's, plus `PeerDeath` / `MembershipChange` /
+//! `FailoverReconstruct` events on a dedicated `failover` track the
+//! Spy validator ignores — so a recovered run's trace certifies like
+//! any other.
+//!
+//! The shared-log executor also fails over ([`execute_log_failover`])
+//! but re-executes from scratch at the shrunken membership: its
+//! sequencer cannot re-derive `AllReduce` feedback it already
+//! consumed, so log jobs have no resume path (the same reason the
+//! supervisor never gives them a rescue slot). The hybrid executor
+//! ([`execute_hybrid_failover`]) carries the shrunken membership
+//! across *all* its replicated segments and remaps each segment's
+//! committed checkpoint individually.
+//!
+//! Enable via [`FailoverOptions::from_env`]: `REGENT_FAILOVER=1` turns
+//! the drivers on, `REGENT_FAILOVER_MAX=<n>` bounds the membership
+//! changes (default 1); a loss beyond the budget (or below one shard)
+//! fail-stops with [`FAILOVER_EXHAUSTED_PREFIX`], which
+//! [`regent_fault::classify_failure`] maps to a permanent failure.
+
+use crate::hybrid_exec::{execute_hybrid_resilient_traced, HybridRescue, HybridRunResult};
+use crate::log_exec::{execute_log_resilient_traced, LogRunResult};
+use crate::metrics::{self, Counter, Timer};
+use crate::plan::InstKey;
+use crate::spmd_exec::{
+    execute_spmd_resilient_traced, panic_message, DeathBoard, RescueSlot, ResilienceOptions,
+    ResumeState, SpmdRunResult,
+};
+use regent_cr::hybrid::{HybridProgram, Segment};
+use regent_cr::{MembershipRemap, SpmdProgram, UseBase};
+use regent_fault::{
+    classify_failure, DeathCause, FailureClass, FaultEvent, FaultPlan, PeerDeath,
+    FAILOVER_EXHAUSTED_PREFIX,
+};
+use regent_ir::Store;
+use regent_region::Instance;
+use regent_trace::{EventKind, Tracer};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Configuration of the failover drivers.
+#[derive(Clone, Copy, Debug)]
+pub struct FailoverOptions {
+    /// Maximum membership changes (shard losses survived) before the
+    /// run fail-stops with [`FAILOVER_EXHAUSTED_PREFIX`].
+    pub max_failovers: u32,
+    /// Smallest membership the run may shrink to.
+    pub min_shards: usize,
+}
+
+impl Default for FailoverOptions {
+    fn default() -> FailoverOptions {
+        FailoverOptions {
+            max_failovers: 1,
+            min_shards: 1,
+        }
+    }
+}
+
+impl FailoverOptions {
+    /// Builds options from the environment: `Some` when
+    /// `REGENT_FAILOVER` is set to anything but `0`, with the loss
+    /// budget from `REGENT_FAILOVER_MAX` (default 1).
+    pub fn from_env() -> Option<FailoverOptions> {
+        if !failover_enabled() {
+            return None;
+        }
+        let max_failovers = std::env::var("REGENT_FAILOVER_MAX")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        Some(FailoverOptions {
+            max_failovers,
+            min_shards: 1,
+        })
+    }
+}
+
+/// True when `REGENT_FAILOVER` enables the failover drivers (any value
+/// but `0` / empty).
+pub fn failover_enabled() -> bool {
+    std::env::var("REGENT_FAILOVER").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Result of a failover-supervised SPMD execution.
+pub struct FailoverRunResult {
+    /// The successful attempt's run result.
+    pub run: SpmdRunResult,
+    /// Executor attempts launched (1 ⇒ nothing died).
+    pub attempts: u32,
+    /// Shards in the final membership.
+    pub final_shards: usize,
+    /// Root-cause deaths survived, in order.
+    pub deaths: Vec<PeerDeath>,
+}
+
+/// Result of a failover-supervised shared-log execution.
+pub struct LogFailoverRunResult {
+    /// The successful attempt's run result.
+    pub run: LogRunResult,
+    /// Executor attempts launched (1 ⇒ nothing died).
+    pub attempts: u32,
+    /// Shards in the final membership.
+    pub final_shards: usize,
+    /// Root-cause deaths survived, in order.
+    pub deaths: Vec<PeerDeath>,
+}
+
+/// Result of a failover-supervised hybrid execution.
+pub struct HybridFailoverRunResult {
+    /// The successful attempt's run result.
+    pub run: HybridRunResult,
+    /// Executor attempts launched (1 ⇒ nothing died).
+    pub attempts: u32,
+    /// Shards in the final membership.
+    pub final_shards: usize,
+    /// Root-cause deaths survived, in order.
+    pub deaths: Vec<PeerDeath>,
+}
+
+/// `(cause code, epoch)` for the trace convention (0 killed /
+/// 1 panicked / 2 hung; epoch 0 when unknown).
+fn cause_code(cause: DeathCause) -> (u32, u64) {
+    match cause {
+        DeathCause::Killed { epoch } => (0, epoch),
+        DeathCause::Panicked => (1, 0),
+        DeathCause::Hung => (2, 0),
+    }
+}
+
+/// Remaps a fault plan's scheduled events onto a shrunken membership:
+/// shard ids above the dead shard shift down by one (they keep
+/// targeting the same logical survivor), events targeting the dead
+/// shard are dropped (its thread is gone), and the kill that just
+/// `fired` is removed so it cannot fire again on the re-run.
+fn renumber_plan(
+    plan: &FaultPlan,
+    remap: &MembershipRemap,
+    fired: Option<(u32, u64)>,
+) -> FaultPlan {
+    let mut renumbered = plan.clone();
+    renumbered.events = plan
+        .events
+        .iter()
+        .filter_map(|e| match *e {
+            FaultEvent::ShardKill { shard, epoch } => {
+                if fired == Some((shard, epoch)) {
+                    return None;
+                }
+                remap.new_id(shard as usize).map(|s| FaultEvent::ShardKill {
+                    shard: s as u32,
+                    epoch,
+                })
+            }
+            FaultEvent::ShardCrash { shard, epoch } => {
+                remap
+                    .new_id(shard as usize)
+                    .map(|s| FaultEvent::ShardCrash {
+                        shard: s as u32,
+                        epoch,
+                    })
+            }
+            // A stalled shard is the blamed victim: shrink drops its
+            // stall with it; stalls on survivors retarget like kills.
+            FaultEvent::ShardStall { shard, epoch, ms } => {
+                remap
+                    .new_id(shard as usize)
+                    .map(|s| FaultEvent::ShardStall {
+                        shard: s as u32,
+                        epoch,
+                        ms,
+                    })
+            }
+            other => Some(other),
+        })
+        .collect();
+    renumbered
+}
+
+/// Survivor-side reconstruction: redistributes a committed checkpoint
+/// onto the shrunken membership. `spmd` must already carry the *new*
+/// `num_shards` — the new per-shard key sets are derived through the
+/// same `owned_colors` walk `allocate_shard_data` uses, so the
+/// reconstructed parts are exactly what a native `N−1` checkpoint
+/// would contain:
+///
+/// * partition instances (`UsePart` / `TempPart`) keep their color key
+///   and move to the color's new block owner;
+/// * whole-region replicas (`UseWhole`) are cloned from the surviving
+///   old shard that maps to each new id — replicas are bit-identical
+///   at epoch boundaries, so any survivor's copy is authoritative;
+/// * whole-region reduction temporaries (`TempWhole`) likewise — temps
+///   are dead at boundaries (a `ResetTemp` precedes every use), so the
+///   cloned contents are never read before being reset.
+///
+/// Scalars, epoch, and resume token are membership-independent and
+/// carry over unchanged. Returns the remapped state and the number of
+/// instances placed.
+pub(crate) fn remap_resume_state(
+    rs: &ResumeState,
+    spmd: &SpmdProgram,
+    remap: &MembershipRemap,
+) -> (ResumeState, u32) {
+    debug_assert_eq!(spmd.num_shards, remap.new_shards);
+    debug_assert_eq!(rs.parts.len(), remap.old_shards);
+    let mut merged: HashMap<&InstKey, &Instance> = HashMap::new();
+    for part in &rs.parts {
+        for (k, v) in part {
+            merged.insert(k, v);
+        }
+    }
+    let fetch = |key: &InstKey| -> Instance {
+        (*merged
+            .get(key)
+            .unwrap_or_else(|| panic!("checkpoint missing instance {key:?} during failover remap")))
+        .clone()
+    };
+    let mut parts: Vec<HashMap<InstKey, Instance>> = Vec::with_capacity(remap.new_shards);
+    let mut insts = 0u32;
+    for s in 0..remap.new_shards {
+        let old = remap.old_id(s);
+        let mut map = HashMap::new();
+        for (u, decl) in spmd.uses.iter().enumerate() {
+            if !decl.needs_instances() {
+                continue;
+            }
+            match decl.base {
+                UseBase::Part(_) => {
+                    for &c in spmd.owned_colors(decl.domain, s) {
+                        let key = InstKey::UsePart(u as u32, c);
+                        let inst = fetch(&key);
+                        map.insert(key, inst);
+                        insts += 1;
+                    }
+                }
+                UseBase::Whole(_) => {
+                    let inst = fetch(&InstKey::UseWhole(u as u32, old as u32));
+                    map.insert(InstKey::UseWhole(u as u32, s as u32), inst);
+                    insts += 1;
+                }
+            }
+        }
+        for (t, decl) in spmd.temps.iter().enumerate() {
+            match decl.base {
+                UseBase::Part(_) => {
+                    for &c in spmd.owned_colors(decl.domain, s) {
+                        let key = InstKey::TempPart(t as u32, c);
+                        let inst = fetch(&key);
+                        map.insert(key, inst);
+                        insts += 1;
+                    }
+                }
+                UseBase::Whole(_) => {
+                    let inst = fetch(&InstKey::TempWhole(t as u32, old as u32));
+                    map.insert(InstKey::TempWhole(t as u32, s as u32), inst);
+                    insts += 1;
+                }
+            }
+        }
+        parts.push(map);
+    }
+    (
+        ResumeState {
+            epoch: rs.epoch,
+            token: rs.token,
+            loop_seq: rs.loop_seq,
+            env: rs.env.clone(),
+            parts,
+        },
+        insts,
+    )
+}
+
+/// One caught attempt failure, classified: either the loss to fail
+/// over from, or a panic payload to propagate unchanged.
+struct CaughtLoss {
+    death: PeerDeath,
+    msg: String,
+}
+
+/// Classifies a caught attempt panic. Failures with no identified
+/// victim (driver bugs, defects outside any shard) and cooperative
+/// cancellations propagate unchanged — failover must never swallow a
+/// supervisor's cancel or retry a run that did not lose a shard.
+fn catch_loss(
+    board: &DeathBoard,
+    payload: Box<dyn std::any::Any + Send>,
+) -> Result<CaughtLoss, Box<dyn std::any::Any + Send>> {
+    let msg = panic_message(&*payload);
+    if matches!(classify_failure(&msg), FailureClass::Cancelled) {
+        return Err(payload);
+    }
+    match board.first() {
+        Some(death) => Ok(CaughtLoss { death, msg }),
+        None => Err(payload),
+    }
+}
+
+/// Plans the membership shrink for a caught loss, or fail-stops when
+/// the loss budget (or the membership floor) is exhausted. `losses` is
+/// the count *including* this loss.
+fn plan_shrink(
+    loss: &CaughtLoss,
+    num_shards: usize,
+    fo: &FailoverOptions,
+    losses: u32,
+) -> MembershipRemap {
+    let remap = MembershipRemap::shrink(num_shards, loss.death.shard);
+    let viable = remap.is_some_and(|r| r.new_shards >= fo.min_shards.max(1));
+    if losses > fo.max_failovers || !viable {
+        panic!(
+            "{FAILOVER_EXHAUSTED_PREFIX}: cannot survive loss {losses} ({}) with budget {} and \
+             membership floor {} at {num_shards} shards: {}",
+            loss.death,
+            fo.max_failovers,
+            fo.min_shards.max(1),
+            loss.msg
+        );
+    }
+    remap.expect("viability checked above")
+}
+
+/// Executes a control-replicated program with live shard failover (see
+/// the module docs): shard losses up to the budget shrink the
+/// membership and resume from the last committed checkpoint instead of
+/// failing the run. `spmd.num_shards` is left at the final membership.
+pub fn execute_spmd_failover(
+    spmd: &mut SpmdProgram,
+    store: &mut Store,
+    opts: &ResilienceOptions,
+    fo: &FailoverOptions,
+) -> FailoverRunResult {
+    execute_spmd_failover_traced(spmd, store, opts, fo, &Tracer::disabled())
+}
+
+/// [`execute_spmd_failover`] recording events into `tracer`: the
+/// successful attempt's shard tracks plus `PeerDeath` /
+/// `MembershipChange` / `FailoverReconstruct` events on the `failover`
+/// track.
+pub fn execute_spmd_failover_traced(
+    spmd: &mut SpmdProgram,
+    store: &mut Store,
+    opts: &ResilienceOptions,
+    fo: &FailoverOptions,
+    tracer: &Arc<Tracer>,
+) -> FailoverRunResult {
+    let board = Arc::new(DeathBoard::new());
+    let mut opts = opts.clone();
+    opts.board = Some(Arc::clone(&board));
+    if opts.rescue.is_none() {
+        opts.rescue = Some(Arc::new(RescueSlot::new(spmd.num_shards)));
+    }
+    let mut mx = metrics::global().handle("failover");
+    let mut fb = tracer.buffer("failover");
+    let mut deaths: Vec<PeerDeath> = Vec::new();
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        board.clear();
+        mx.incr(Counter::FailoverAttempts);
+        // Each attempt records into a private tracer: a failed
+        // attempt's trace is discarded wholesale (dropped), so the
+        // caller only ever sees a certifiable successful execution.
+        let inner = if tracer.is_enabled() {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            execute_spmd_resilient_traced(spmd, store, &opts, &inner)
+        }));
+        match outcome {
+            Ok(run) => {
+                tracer.absorb(inner.take());
+                return FailoverRunResult {
+                    run,
+                    attempts,
+                    final_shards: spmd.num_shards,
+                    deaths,
+                };
+            }
+            Err(payload) => {
+                let m0 = mx.start();
+                let loss = match catch_loss(&board, payload) {
+                    Ok(loss) => loss,
+                    Err(payload) => resume_unwind(payload),
+                };
+                mx.incr(Counter::PeerDeaths);
+                deaths.push(loss.death);
+                let remap = plan_shrink(&loss, spmd.num_shards, fo, deaths.len() as u32);
+                let (code, kill_epoch) = cause_code(loss.death.cause);
+                fb.instant(EventKind::PeerDeath {
+                    shard: loss.death.shard,
+                    cause: code,
+                    epoch: kill_epoch,
+                });
+                // Agreement: the last committed checkpoint (a
+                // consistent cut every shard offered identically) is
+                // the resume point; with none committed, the shrunken
+                // membership re-executes from scratch — still
+                // bit-identical, by determinism.
+                let committed = opts
+                    .rescue
+                    .as_ref()
+                    .expect("failover always installs a rescue slot")
+                    .resume_state();
+                let resume_epoch = committed.as_ref().map_or(0, |c| c.epoch);
+                spmd.num_shards = remap.new_shards;
+                let slot = match committed {
+                    Some(rs) => {
+                        let r0 = mx.start();
+                        let t0 = fb.now();
+                        let (remapped, insts) = remap_resume_state(&rs, spmd, &remap);
+                        mx.record_since(r0, Timer::FailoverReconstructNs);
+                        fb.span_since(
+                            t0,
+                            EventKind::FailoverReconstruct {
+                                to_shards: remap.new_shards as u32,
+                                insts,
+                                epoch: rs.epoch,
+                            },
+                        );
+                        RescueSlot::with_committed(remap.new_shards, Arc::new(remapped))
+                    }
+                    None => RescueSlot::new(remap.new_shards),
+                };
+                fb.instant(EventKind::MembershipChange {
+                    from_shards: remap.old_shards as u32,
+                    to_shards: remap.new_shards as u32,
+                    dead_shard: loss.death.shard,
+                    epoch: resume_epoch,
+                });
+                opts.rescue = Some(Arc::new(slot));
+                let fired = match loss.death.cause {
+                    DeathCause::Killed { epoch } => Some((loss.death.shard, epoch)),
+                    _ => None,
+                };
+                opts.plan = renumber_plan(&opts.plan, &remap, fired);
+                mx.incr(Counter::MembershipShrinks);
+                mx.record_since(m0, Timer::MttrNs);
+            }
+        }
+    }
+}
+
+/// Executes a program under the shared-log strategy with live shard
+/// failover. Losses shrink the membership like the SPMD driver, but
+/// each surviving attempt re-executes **from scratch**: the sequencer
+/// cannot re-derive `AllReduce` feedback it already consumed, so log
+/// runs have no checkpoint-resume path (see
+/// [`crate::spmd_exec::ResilienceOptions::rescue`]).
+pub fn execute_log_failover(
+    spmd: &mut SpmdProgram,
+    store: &mut Store,
+    opts: &ResilienceOptions,
+    fo: &FailoverOptions,
+) -> LogFailoverRunResult {
+    execute_log_failover_traced(spmd, store, opts, fo, &Tracer::disabled())
+}
+
+/// [`execute_log_failover`] recording events into `tracer`.
+pub fn execute_log_failover_traced(
+    spmd: &mut SpmdProgram,
+    store: &mut Store,
+    opts: &ResilienceOptions,
+    fo: &FailoverOptions,
+    tracer: &Arc<Tracer>,
+) -> LogFailoverRunResult {
+    let board = Arc::new(DeathBoard::new());
+    let mut opts = opts.clone();
+    opts.board = Some(Arc::clone(&board));
+    // No resume path: offering snapshots into a slot nobody can resume
+    // from would be pure checkpoint overhead.
+    opts.rescue = None;
+    let mut mx = metrics::global().handle("failover");
+    let mut fb = tracer.buffer("failover");
+    let mut deaths: Vec<PeerDeath> = Vec::new();
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        board.clear();
+        mx.incr(Counter::FailoverAttempts);
+        let inner = if tracer.is_enabled() {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            execute_log_resilient_traced(spmd, store, &opts, &inner)
+        }));
+        match outcome {
+            Ok(run) => {
+                tracer.absorb(inner.take());
+                return LogFailoverRunResult {
+                    run,
+                    attempts,
+                    final_shards: spmd.num_shards,
+                    deaths,
+                };
+            }
+            Err(payload) => {
+                let m0 = mx.start();
+                let loss = match catch_loss(&board, payload) {
+                    Ok(loss) => loss,
+                    Err(payload) => resume_unwind(payload),
+                };
+                mx.incr(Counter::PeerDeaths);
+                deaths.push(loss.death);
+                let remap = plan_shrink(&loss, spmd.num_shards, fo, deaths.len() as u32);
+                let (code, kill_epoch) = cause_code(loss.death.cause);
+                fb.instant(EventKind::PeerDeath {
+                    shard: loss.death.shard,
+                    cause: code,
+                    epoch: kill_epoch,
+                });
+                spmd.num_shards = remap.new_shards;
+                fb.instant(EventKind::MembershipChange {
+                    from_shards: remap.old_shards as u32,
+                    to_shards: remap.new_shards as u32,
+                    dead_shard: loss.death.shard,
+                    epoch: 0,
+                });
+                let fired = match loss.death.cause {
+                    DeathCause::Killed { epoch } => Some((loss.death.shard, epoch)),
+                    _ => None,
+                };
+                opts.plan = renumber_plan(&opts.plan, &remap, fired);
+                mx.incr(Counter::MembershipShrinks);
+                mx.record_since(m0, Timer::MttrNs);
+            }
+        }
+    }
+}
+
+/// Executes a hybrid program with live shard failover: the shrunken
+/// membership is applied to **every** replicated segment (a dead
+/// thread stays dead for the rest of the job), and each segment's
+/// committed checkpoint is remapped individually, so already-completed
+/// segments fast-forward through their tails instead of recomputing.
+pub fn execute_hybrid_failover(
+    hybrid: &mut HybridProgram,
+    store: &mut Store,
+    opts: &ResilienceOptions,
+    fo: &FailoverOptions,
+) -> HybridFailoverRunResult {
+    execute_hybrid_failover_traced(hybrid, store, opts, fo, &Tracer::disabled())
+}
+
+/// [`execute_hybrid_failover`] recording events into `tracer`.
+pub fn execute_hybrid_failover_traced(
+    hybrid: &mut HybridProgram,
+    store: &mut Store,
+    opts: &ResilienceOptions,
+    fo: &FailoverOptions,
+    tracer: &Arc<Tracer>,
+) -> HybridFailoverRunResult {
+    let board = Arc::new(DeathBoard::new());
+    let mut opts = opts.clone();
+    opts.board = Some(Arc::clone(&board));
+    opts.rescue = None; // per-segment slots live in the HybridRescue
+    let rescue = HybridRescue::new();
+    let mut mx = metrics::global().handle("failover");
+    let mut fb = tracer.buffer("failover");
+    let mut deaths: Vec<PeerDeath> = Vec::new();
+    let mut attempts = 0u32;
+    let mut membership = hybrid
+        .segments
+        .iter()
+        .find_map(|s| match s {
+            Segment::Replicated(spmd) => Some(spmd.num_shards),
+            Segment::Sequential(_) => None,
+        })
+        .unwrap_or(1);
+    loop {
+        attempts += 1;
+        board.clear();
+        mx.incr(Counter::FailoverAttempts);
+        for seg in hybrid.segments.iter_mut() {
+            if let Segment::Replicated(spmd) = seg {
+                spmd.num_shards = membership;
+            }
+        }
+        let inner = if tracer.is_enabled() {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            execute_hybrid_resilient_traced(hybrid, store, &opts, Some(&rescue), &inner)
+        }));
+        match outcome {
+            Ok(run) => {
+                tracer.absorb(inner.take());
+                return HybridFailoverRunResult {
+                    run,
+                    attempts,
+                    final_shards: membership,
+                    deaths,
+                };
+            }
+            Err(payload) => {
+                let m0 = mx.start();
+                let loss = match catch_loss(&board, payload) {
+                    Ok(loss) => loss,
+                    Err(payload) => resume_unwind(payload),
+                };
+                mx.incr(Counter::PeerDeaths);
+                deaths.push(loss.death);
+                let remap = plan_shrink(&loss, membership, fo, deaths.len() as u32);
+                let (code, kill_epoch) = cause_code(loss.death.cause);
+                fb.instant(EventKind::PeerDeath {
+                    shard: loss.death.shard,
+                    cause: code,
+                    epoch: kill_epoch,
+                });
+                membership = remap.new_shards;
+                // Remap every replicated segment's committed
+                // checkpoint onto the survivors; empty slots (segments
+                // the failed attempt never reached) simply reset.
+                let mut seg_idx = 0usize;
+                for seg in hybrid.segments.iter_mut() {
+                    let Segment::Replicated(spmd) = seg else {
+                        continue;
+                    };
+                    spmd.num_shards = membership;
+                    let committed = rescue
+                        .existing_slot(seg_idx)
+                        .and_then(|slot| slot.resume_state());
+                    let slot = match committed {
+                        Some(rs) => {
+                            let r0 = mx.start();
+                            let t0 = fb.now();
+                            let (remapped, insts) = remap_resume_state(&rs, spmd, &remap);
+                            mx.record_since(r0, Timer::FailoverReconstructNs);
+                            fb.span_since(
+                                t0,
+                                EventKind::FailoverReconstruct {
+                                    to_shards: remap.new_shards as u32,
+                                    insts,
+                                    epoch: rs.epoch,
+                                },
+                            );
+                            RescueSlot::with_committed(membership, Arc::new(remapped))
+                        }
+                        None => RescueSlot::new(membership),
+                    };
+                    rescue.replace_slot(seg_idx, Arc::new(slot));
+                    seg_idx += 1;
+                }
+                fb.instant(EventKind::MembershipChange {
+                    from_shards: remap.old_shards as u32,
+                    to_shards: remap.new_shards as u32,
+                    dead_shard: loss.death.shard,
+                    epoch: kill_epoch,
+                });
+                let fired = match loss.death.cause {
+                    DeathCause::Killed { epoch } => Some((loss.death.shard, epoch)),
+                    _ => None,
+                };
+                opts.plan = renumber_plan(&opts.plan, &remap, fired);
+                mx.incr(Counter::MembershipShrinks);
+                mx.record_since(m0, Timer::MttrNs);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renumber_drops_fired_kill_and_shifts_ids() {
+        let plan = FaultPlan::new(1)
+            .kill_shard(1, 2)
+            .kill_shard(3, 5)
+            .crash_shard(2, 4);
+        let remap = MembershipRemap::shrink(4, 1).unwrap();
+        let out = renumber_plan(&plan, &remap, Some((1, 2)));
+        assert_eq!(
+            out.kill_schedule(),
+            vec![(2, 5)],
+            "surviving kill retargets old shard 3 = new shard 2"
+        );
+        assert_eq!(
+            out.crash_schedule(),
+            vec![(1, 4)],
+            "crash on old shard 2 retargets new shard 1"
+        );
+    }
+
+    #[test]
+    fn renumber_drops_events_on_dead_shard() {
+        let plan = FaultPlan::new(1).crash_shard(1, 3).kill_shard(1, 7);
+        let remap = MembershipRemap::shrink(3, 1).unwrap();
+        let out = renumber_plan(&plan, &remap, None);
+        assert!(out.kill_schedule().is_empty());
+        assert!(out.crash_schedule().is_empty());
+    }
+
+    #[test]
+    fn failover_env_parsing() {
+        // Not exported in this process: from_env is None.
+        assert!(FailoverOptions::from_env().is_none() || failover_enabled());
+        let d = FailoverOptions::default();
+        assert_eq!(d.max_failovers, 1);
+        assert_eq!(d.min_shards, 1);
+    }
+}

@@ -19,11 +19,14 @@
 //! inside [`execute_spmd_with_env_traced`].
 
 use crate::metrics::{self, Counter};
-use crate::spmd_exec::{execute_spmd_with_env_traced, ShardStats};
+use crate::spmd_exec::{
+    execute_spmd_with_env_resilient_traced, execute_spmd_with_env_traced, RescueSlot,
+    ResilienceOptions, ShardStats,
+};
 use regent_cr::hybrid::{HybridProgram, Segment};
 use regent_ir::{interp, Store};
 use regent_trace::{EventKind, Tracer};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Result of a hybrid execution.
 pub struct HybridRunResult {
@@ -37,9 +40,102 @@ pub struct HybridRunResult {
     pub replicated_segments: usize,
 }
 
+/// Cross-attempt checkpoint slots for a hybrid job: one [`RescueSlot`]
+/// per replicated segment, keyed by segment index. A supervisor hands
+/// the same `HybridRescue` to every retry of a job, so each replicated
+/// segment resumes from its own last committed checkpoint instead of
+/// recomputing from scratch — the hybrid analogue of the single-slot
+/// SPMD rescue. (Sequential segments re-run through the interpreter;
+/// they are cheap and deterministic, so re-deriving their scalars is
+/// free of risk.)
+#[derive(Debug, Default)]
+pub struct HybridRescue {
+    slots: Mutex<Vec<Option<Arc<RescueSlot>>>>,
+}
+
+impl HybridRescue {
+    /// An empty rescue container.
+    pub fn new() -> HybridRescue {
+        HybridRescue::default()
+    }
+
+    /// The slot for replicated segment `idx`, created on first use for
+    /// a `num_shards`-strong membership.
+    pub fn slot(&self, idx: usize, num_shards: usize) -> Arc<RescueSlot> {
+        let mut g = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        if g.len() <= idx {
+            g.resize_with(idx + 1, || None);
+        }
+        g[idx]
+            .get_or_insert_with(|| Arc::new(RescueSlot::new(num_shards)))
+            .clone()
+    }
+
+    /// Replaces the slot for replicated segment `idx` (used by the
+    /// failover driver after remapping a segment's checkpoint onto a
+    /// shrunken membership).
+    pub fn replace_slot(&self, idx: usize, slot: Arc<RescueSlot>) {
+        let mut g = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        if g.len() <= idx {
+            g.resize_with(idx + 1, || None);
+        }
+        g[idx] = Some(slot);
+    }
+
+    /// The current slot for replicated segment `idx`, if one exists.
+    pub fn existing_slot(&self, idx: usize) -> Option<Arc<RescueSlot>> {
+        self.slots
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(idx)
+            .cloned()
+            .flatten()
+    }
+
+    /// Highest committed checkpoint epoch across all segments — a
+    /// cheap "has anything committed" probe for tests and supervisors.
+    pub fn max_checkpoint_epoch(&self) -> Option<u64> {
+        self.slots
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .flatten()
+            .filter_map(|s| s.checkpoint_epoch())
+            .max()
+    }
+}
+
 /// Executes a hybrid program end to end.
 pub fn execute_hybrid(hybrid: &HybridProgram, store: &mut Store) -> HybridRunResult {
     execute_hybrid_traced(hybrid, store, &Tracer::disabled())
+}
+
+/// Executes a hybrid program with checkpoint–restart threaded through
+/// its replicated segments: each gets `opts` (fault plan, integrity,
+/// cancellation) plus its own cross-attempt [`RescueSlot`] from
+/// `rescue` — so a retried hybrid job fast-forwards every replicated
+/// segment to its last committed checkpoint, exactly like a retried
+/// SPMD job (the shared-log executor, by contrast, retries from
+/// scratch: its sequencer cannot re-derive consumed `AllReduce`
+/// feedback).
+pub fn execute_hybrid_resilient(
+    hybrid: &HybridProgram,
+    store: &mut Store,
+    opts: &ResilienceOptions,
+    rescue: Option<&HybridRescue>,
+) -> HybridRunResult {
+    execute_hybrid_resilient_traced(hybrid, store, opts, rescue, &Tracer::disabled())
+}
+
+/// [`execute_hybrid_resilient`] recording events into `tracer`.
+pub fn execute_hybrid_resilient_traced(
+    hybrid: &HybridProgram,
+    store: &mut Store,
+    opts: &ResilienceOptions,
+    rescue: Option<&HybridRescue>,
+    tracer: &Arc<Tracer>,
+) -> HybridRunResult {
+    execute_hybrid_inner(hybrid, store, Some((opts, rescue)), tracer)
 }
 
 /// [`execute_hybrid`] recording events into `tracer`: a `Pass` span per
@@ -48,6 +144,15 @@ pub fn execute_hybrid(hybrid: &HybridProgram, store: &mut Store) -> HybridRunRes
 pub fn execute_hybrid_traced(
     hybrid: &HybridProgram,
     store: &mut Store,
+    tracer: &Arc<Tracer>,
+) -> HybridRunResult {
+    execute_hybrid_inner(hybrid, store, None, tracer)
+}
+
+fn execute_hybrid_inner(
+    hybrid: &HybridProgram,
+    store: &mut Store,
+    resilience: Option<(&ResilienceOptions, Option<&HybridRescue>)>,
     tracer: &Arc<Tracer>,
 ) -> HybridRunResult {
     let mut tb = tracer.buffer("hybrid");
@@ -72,7 +177,24 @@ pub fn execute_hybrid_traced(
             }
             Segment::Replicated(spmd) => {
                 let t0 = tb.now();
-                let r = execute_spmd_with_env_traced(spmd, store, env.clone(), tracer);
+                let r = match resilience {
+                    Some((opts, rescue)) => {
+                        // Each replicated segment gets its own rescue
+                        // slot, keyed by segment index: resume tokens
+                        // and epochs are segment-local coordinates.
+                        let mut seg_opts = opts.clone();
+                        seg_opts.rescue =
+                            rescue.map(|hr| hr.slot(replicated_segments, spmd.num_shards));
+                        execute_spmd_with_env_resilient_traced(
+                            spmd,
+                            store,
+                            env.clone(),
+                            &seg_opts,
+                            tracer,
+                        )
+                    }
+                    None => execute_spmd_with_env_traced(spmd, store, env.clone(), tracer),
+                };
                 tb.span_since(
                     t0,
                     EventKind::Pass {

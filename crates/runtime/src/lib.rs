@@ -49,6 +49,7 @@
 
 pub mod cancel;
 pub mod collective;
+pub mod failover;
 pub mod hybrid_exec;
 pub mod implicit;
 pub mod launch_log;
@@ -63,7 +64,16 @@ pub mod spmd_exec;
 
 pub use cancel::CancelToken;
 pub use collective::{hang_timeout, DynamicCollective, FramedScalar, ShardBarrier};
-pub use hybrid_exec::{execute_hybrid, execute_hybrid_traced, HybridRunResult};
+pub use failover::{
+    execute_hybrid_failover, execute_hybrid_failover_traced, execute_log_failover,
+    execute_log_failover_traced, execute_spmd_failover, execute_spmd_failover_traced,
+    failover_enabled, FailoverOptions, FailoverRunResult, HybridFailoverRunResult,
+    LogFailoverRunResult,
+};
+pub use hybrid_exec::{
+    execute_hybrid, execute_hybrid_resilient, execute_hybrid_resilient_traced,
+    execute_hybrid_traced, HybridRescue, HybridRunResult,
+};
 pub use implicit::{execute_implicit, ImplicitOptions, ImplicitStats};
 pub use launch_log::{batch_limit_from_env, replicas_from_env, Batch, LaunchLog, LogCursor};
 pub use log_exec::{
@@ -83,11 +93,11 @@ pub use ring::{
 };
 
 pub use regent_fault::{
-    classify_failure, FailureClass, FaultPlan, RetryBackoff, RetryPolicy, CANCEL_PREFIX,
-    TRANSIENT_PREFIX,
+    classify_failure, DeathCause, FailureClass, FaultPlan, PeerDeath, RetryBackoff, RetryPolicy,
+    CANCEL_PREFIX, FAILOVER_EXHAUSTED_PREFIX, SHARD_LOSS_PREFIX, TRANSIENT_PREFIX,
 };
 pub use spmd_exec::{
     execute_spmd, execute_spmd_resilient, execute_spmd_resilient_traced, execute_spmd_traced,
-    execute_spmd_with_env, execute_spmd_with_env_traced, RescueSlot, ResilienceOptions, ShardStats,
-    SpmdRunResult,
+    execute_spmd_with_env, execute_spmd_with_env_resilient_traced, execute_spmd_with_env_traced,
+    DeathBoard, RescueSlot, ResilienceOptions, ShardStats, SpmdRunResult,
 };

@@ -215,9 +215,13 @@ fn execute_log_inner(
             scope.spawn(move || {
                 // Poison the shared primitives if the sequencer
                 // unwinds, and always seal the log so consumers end.
+                // The sequencer is not a shard, so it never self-blames
+                // on a death board.
                 let _guard = PanicGuard {
                     barrier,
                     collective,
+                    shard: u32::MAX,
+                    board: None,
                 };
                 let _seal = SealOnDrop(log);
                 let seq = Sequencer {
@@ -249,6 +253,8 @@ fn execute_log_inner(
                 let _guard = PanicGuard {
                     barrier,
                     collective,
+                    shard: shard as u32,
+                    board: resilience.and_then(|o| o.board.clone()),
                 };
                 if pin {
                     ring::pin_thread_to_core(shard);

@@ -84,11 +84,20 @@ pub enum Counter {
     /// Ring sends that found the ring full and had to wait
     /// (back-pressure stalls on the lock-free data plane).
     RingStalls,
+    /// Executor attempts launched by the failover driver (1 per run
+    /// when nothing dies).
+    FailoverAttempts,
+    /// Shard deaths observed by the failover driver (kills, panics,
+    /// hangs).
+    PeerDeaths,
+    /// Membership epochs committed: each is one shard evicted and the
+    /// mesh rebuilt one smaller.
+    MembershipShrinks,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 30;
+    pub const COUNT: usize = 33;
 
     /// All counters, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -122,6 +131,9 @@ impl Counter {
         Counter::PoolReuses,
         Counter::PoolAllocs,
         Counter::RingStalls,
+        Counter::FailoverAttempts,
+        Counter::PeerDeaths,
+        Counter::MembershipShrinks,
     ];
 
     /// Stable snake_case name (used in exports).
@@ -157,6 +169,9 @@ impl Counter {
             Counter::PoolReuses => "pool_reuses",
             Counter::PoolAllocs => "pool_allocs",
             Counter::RingStalls => "ring_stalls",
+            Counter::FailoverAttempts => "failover_attempts",
+            Counter::PeerDeaths => "peer_deaths",
+            Counter::MembershipShrinks => "membership_shrinks",
         }
     }
 
@@ -193,11 +208,18 @@ pub enum Timer {
     /// Time spent in the integrity layer: sealing instance columns,
     /// verifying seals at epoch boundaries, and checksumming exchange frames.
     IntegrityNs,
+    /// Mean-time-to-repair: from the failover driver catching a failed
+    /// attempt to the next attempt being ready to launch (membership
+    /// agreement + checkpoint remap; excludes replayed epochs).
+    MttrNs,
+    /// Time reconstructing the dead shard's subregion instances onto
+    /// the survivors from the last committed checkpoint.
+    FailoverReconstructNs,
 }
 
 impl Timer {
     /// Number of timers.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 14;
 
     /// All timers, in declaration order.
     pub const ALL: [Timer; Timer::COUNT] = [
@@ -213,6 +235,8 @@ impl Timer {
         Timer::LogAnalysisNs,
         Timer::QueueWaitNs,
         Timer::IntegrityNs,
+        Timer::MttrNs,
+        Timer::FailoverReconstructNs,
     ];
 
     /// Stable snake_case name (used in exports).
@@ -230,6 +254,8 @@ impl Timer {
             Timer::LogAnalysisNs => "log_analysis_ns",
             Timer::QueueWaitNs => "queue_wait_ns",
             Timer::IntegrityNs => "integrity_ns",
+            Timer::MttrNs => "mttr_ns",
+            Timer::FailoverReconstructNs => "failover_reconstruct_ns",
         }
     }
 

@@ -90,7 +90,7 @@ use crate::pool::{clone_insts_into, ChunkPool};
 use crate::ring::{self, CopyRx, CopyTx};
 use regent_cr::spmd::block_range;
 use regent_cr::{CopyId, CopyStmt, SpmdArg, SpmdLaunch, SpmdProgram, SpmdStmt, TempId, UseBase};
-use regent_fault::{message_key, FaultPlan, RetryPolicy};
+use regent_fault::{message_key, DeathCause, FaultPlan, PeerDeath, RetryPolicy, SHARD_LOSS_PREFIX};
 use regent_geometry::{Domain, DynPoint};
 use regent_ir::{ArgSlot, Privilege, Store, TaskCtx};
 use regent_region::checksum::StripedFnv;
@@ -286,6 +286,11 @@ pub struct ResilienceOptions {
     /// re-derive skipped `AllReduce` feedback, so log jobs retry from
     /// scratch).
     pub rescue: Option<Arc<RescueSlot>>,
+    /// Shared death board for failover-aware runs: the first thread to
+    /// die records a structured [`PeerDeath`] here, so the failover
+    /// driver learns *which* shard was lost and *why* without parsing
+    /// panic strings. `None` for plain runs.
+    pub board: Option<Arc<DeathBoard>>,
 }
 
 impl ResilienceOptions {
@@ -316,7 +321,70 @@ impl ResilienceOptions {
             memo: None,
             cancel: None,
             rescue: None,
+            board: None,
         })
+    }
+}
+
+/// A shared record of shard deaths within one executor attempt. The
+/// failover driver reads it after catching the attempt's panic to learn
+/// the root cause without parsing diagnostics: kill and hang causes are
+/// recorded *before* the poison cascade starts, and a panicking shard's
+/// [`PanicGuard`] records itself only when the board is still empty —
+/// so the first entry is always the root cause, never a secondary
+/// unwind.
+#[derive(Debug, Default)]
+pub struct DeathBoard {
+    deaths: Mutex<Vec<PeerDeath>>,
+}
+
+impl DeathBoard {
+    /// An empty board.
+    pub fn new() -> DeathBoard {
+        DeathBoard::default()
+    }
+
+    /// Records a death. At most one entry per shard is kept (a shard
+    /// dies once; later reports for the same shard are echoes).
+    pub fn record(&self, death: PeerDeath) {
+        let mut g = self.deaths.lock().unwrap_or_else(|e| e.into_inner());
+        if g.iter().all(|d| d.shard != death.shard) {
+            g.push(death);
+        }
+    }
+
+    /// The first recorded death — the root cause of the attempt's
+    /// failure.
+    pub fn first(&self) -> Option<PeerDeath> {
+        self.deaths
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .first()
+            .copied()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.deaths
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+    }
+
+    /// All recorded deaths, in recording order.
+    pub fn snapshot(&self) -> Vec<PeerDeath> {
+        self.deaths
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Clears the board for the next attempt.
+    pub fn clear(&self) {
+        self.deaths
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
     }
 }
 
@@ -399,6 +467,21 @@ pub fn execute_spmd_resilient_traced(
     execute_spmd_inner(spmd, store, env, tracer, Some(opts))
 }
 
+/// [`execute_spmd_resilient_traced`] with an explicit initial scalar
+/// environment — the resilient analogue of
+/// [`execute_spmd_with_env_traced`], used by the hybrid executor to
+/// thread checkpoint–restart (and per-segment rescue slots) through
+/// its replicated segments.
+pub fn execute_spmd_with_env_resilient_traced(
+    spmd: &SpmdProgram,
+    store: &mut Store,
+    initial_env: Vec<f64>,
+    opts: &ResilienceOptions,
+    tracer: &Arc<Tracer>,
+) -> SpmdRunResult {
+    execute_spmd_inner(spmd, store, initial_env, tracer, Some(opts))
+}
+
 fn execute_spmd_inner(
     spmd: &SpmdProgram,
     store: &mut Store,
@@ -449,6 +532,8 @@ fn execute_spmd_inner(
                 let _guard = PanicGuard {
                     barrier,
                     collective,
+                    shard: shard as u32,
+                    board: resilience.and_then(|o| o.board.clone()),
                 };
                 if pin {
                     ring::pin_thread_to_core(shard);
@@ -588,17 +673,47 @@ pub(crate) fn finalize_into_store(spmd: &SpmdProgram, store: &mut Store, datas: 
 
 /// Poisons the shared synchronization primitives when a shard thread
 /// unwinds, so surviving shards fail fast with a diagnostic instead of
-/// waiting forever on an arrival that will never come.
+/// waiting forever on an arrival that will never come. With a
+/// [`DeathBoard`] attached, the guard also records the unwinding shard
+/// as the root cause — but only when the board is still empty, so a
+/// kill or hang recorded before the cascade is never displaced by a
+/// secondary unwind — and forwards the root cause into the poison so
+/// waiters unwind with blame.
 pub(crate) struct PanicGuard<'a> {
     pub(crate) barrier: &'a ShardBarrier,
     pub(crate) collective: &'a DynamicCollective,
+    /// The unwinding thread's shard id (used only for self-blame).
+    pub(crate) shard: u32,
+    pub(crate) board: Option<Arc<DeathBoard>>,
 }
 
 impl Drop for PanicGuard<'_> {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            self.barrier.poison();
-            self.collective.poison();
+            match &self.board {
+                Some(board) => {
+                    if board.is_empty() {
+                        board.record(PeerDeath {
+                            shard: self.shard,
+                            cause: DeathCause::Panicked,
+                        });
+                    }
+                    match board.first() {
+                        Some(cause) => {
+                            self.barrier.poison_with(cause);
+                            self.collective.poison_with(cause);
+                        }
+                        None => {
+                            self.barrier.poison();
+                            self.collective.poison();
+                        }
+                    }
+                }
+                None => {
+                    self.barrier.poison();
+                    self.collective.poison();
+                }
+            }
         }
     }
 }
@@ -619,6 +734,19 @@ pub(crate) struct Resilience {
     /// per event so each injected crash fires exactly once.
     schedule: Vec<(u64, u32)>,
     cursor: usize,
+    /// Kill schedule as (epoch, shard), sorted: unlike a crash (which
+    /// the run survives via coordinated rollback), a kill takes the
+    /// victim's *thread* down — only the failover driver can recover,
+    /// by shrinking the membership and re-running the survivors.
+    kills: Vec<(u64, u32)>,
+    kill_cursor: usize,
+    /// Stall schedule as (epoch, shard, ms), sorted: the victim sleeps
+    /// past the hang timeout but never panics on its own — its
+    /// consumers detect the hang and blame it on the death board.
+    stalls: Vec<(u64, u32, u64)>,
+    stall_cursor: usize,
+    /// Shared death board for failover-aware runs.
+    board: Option<Arc<DeathBoard>>,
     interval: u64,
     snapshot: Option<Snapshot>,
     /// The fault plan; its corruption predicates are consulted per
@@ -657,6 +785,21 @@ impl Resilience {
                 .map(|(shard, epoch)| (epoch, shard))
                 .collect(),
             cursor: 0,
+            kills: opts
+                .plan
+                .kill_schedule()
+                .into_iter()
+                .map(|(shard, epoch)| (epoch, shard))
+                .collect(),
+            kill_cursor: 0,
+            stalls: opts
+                .plan
+                .stall_schedule()
+                .into_iter()
+                .map(|(shard, epoch, ms)| (epoch, shard, ms))
+                .collect(),
+            stall_cursor: 0,
+            board: opts.board.clone(),
             interval: opts.checkpoint_interval,
             snapshot: None,
             plan: opts.plan.clone(),
@@ -700,13 +843,13 @@ struct PendingPart {
 /// position, all captured at the same epoch boundary.
 pub(crate) struct ResumeState {
     pub(crate) epoch: u64,
-    token: u64,
+    pub(crate) token: u64,
     /// Which outermost loop (1-based entry order) the resume token
     /// indexes into — a token is an iteration number and means nothing
     /// in a different loop.
-    loop_seq: u64,
-    env: Vec<f64>,
-    parts: Vec<HashMap<InstKey, Instance>>,
+    pub(crate) loop_seq: u64,
+    pub(crate) env: Vec<f64>,
+    pub(crate) parts: Vec<HashMap<InstKey, Instance>>,
 }
 
 /// A supervisor-provided slot that carries checkpoint state *across
@@ -747,6 +890,24 @@ impl RescueSlot {
             inner: Mutex::new(RescueInner {
                 pending: (0..num_shards).map(|_| None).collect(),
                 committed: None,
+            }),
+        }
+    }
+
+    /// A slot for `num_shards` shards pre-seeded with a committed
+    /// checkpoint — used by the failover driver after remapping a dead
+    /// shard's state onto the survivors: the next attempt resumes from
+    /// the remapped checkpoint as if it had been committed natively.
+    pub(crate) fn with_committed(num_shards: usize, committed: Arc<ResumeState>) -> RescueSlot {
+        assert_eq!(
+            committed.parts.len(),
+            num_shards,
+            "pre-seeded checkpoint must match the slot's membership"
+        );
+        RescueSlot {
+            inner: Mutex::new(RescueInner {
+                pending: (0..num_shards).map(|_| None).collect(),
+                committed: Some(committed),
             }),
         }
     }
@@ -1467,14 +1628,28 @@ impl<'a> ShardExec<'a> {
                 let msg = loop {
                     let msg = match self.rx[p.src_owner].recv_timeout(hang_timeout()) {
                         Ok(m) => m,
-                        Err(RecvTimeoutError::Timeout) => panic!(
-                            "likely deadlock: shard {} waited {:?} on copy {} pair {} from shard {}",
-                            self.shard,
-                            hang_timeout(),
-                            c.id.0,
-                            seq,
-                            p.src_owner
-                        ),
+                        Err(RecvTimeoutError::Timeout) => {
+                            // The producer stopped making progress:
+                            // blame *it* (not us) on the death board so
+                            // the failover driver evicts the hung
+                            // shard, not the waiter that noticed.
+                            if let Some(board) =
+                                self.resilience.as_ref().and_then(|r| r.board.as_ref())
+                            {
+                                board.record(PeerDeath {
+                                    shard: p.src_owner as u32,
+                                    cause: DeathCause::Hung,
+                                });
+                            }
+                            panic!(
+                                "likely deadlock: shard {} waited {:?} on copy {} pair {} from shard {}",
+                                self.shard,
+                                hang_timeout(),
+                                c.id.0,
+                                seq,
+                                p.src_owner
+                            )
+                        }
                         Err(RecvTimeoutError::Disconnected) => panic!(
                             "copy channel closed: producer shard {} died before sending copy {} pair {} to shard {}",
                             p.src_owner, c.id.0, seq, self.shard
@@ -1775,6 +1950,46 @@ impl<'a> ShardExec<'a> {
                 );
             }
         }
+        // Injected shard kill: fires *after* the snapshot/rescue offer
+        // (so the kill-epoch checkpoint can commit) and *before* the
+        // survivable crash schedule. Every shard advances the cursor
+        // (the schedule is replicated); only the victim dies. The
+        // survivors then unwind through the poison cascade, and the
+        // failover driver reconstructs the victim's state at N-1.
+        {
+            let r = self.resilience.as_mut().unwrap();
+            if let Some(&(e, victim)) = r.kills.get(r.kill_cursor) {
+                if e == epoch {
+                    r.kill_cursor += 1;
+                    if victim as usize == self.shard {
+                        let death = PeerDeath {
+                            shard: victim,
+                            cause: DeathCause::Killed { epoch },
+                        };
+                        if let Some(board) = &r.board {
+                            board.record(death);
+                        }
+                        panic!("{SHARD_LOSS_PREFIX}: {death}");
+                    }
+                }
+            }
+        }
+        // Injected shard stall: the victim sleeps past the hang timeout
+        // and then continues — it never panics on its own. Its
+        // consumers' bounded receives time out, blame the producer as
+        // hung on the death board, and unwind; the woken victim then
+        // dies on the poisoned barrier or sealed rings.
+        {
+            let r = self.resilience.as_mut().unwrap();
+            if let Some(&(e, victim, ms)) = r.stalls.get(r.stall_cursor) {
+                if e == epoch {
+                    r.stall_cursor += 1;
+                    if victim as usize == self.shard {
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
+                }
+            }
+        }
         let r = self.resilience.as_mut().unwrap();
         let crashed_shard = match r.schedule.get(r.cursor) {
             Some(&(e, s)) if e == epoch => Some(s),
@@ -1895,6 +2110,20 @@ impl<'a> ShardExec<'a> {
             .is_some_and(|&(e, _)| e <= rs.epoch)
         {
             r.cursor += 1;
+        }
+        while r
+            .kills
+            .get(r.kill_cursor)
+            .is_some_and(|&(e, _)| e <= rs.epoch)
+        {
+            r.kill_cursor += 1;
+        }
+        while r
+            .stalls
+            .get(r.stall_cursor)
+            .is_some_and(|&(e, _, _)| e <= rs.epoch)
+        {
+            r.stall_cursor += 1;
         }
         r.corrupt_handled = r.corrupt_handled.max(rs.epoch + 1);
         self.tb.instant(EventKind::Mark {

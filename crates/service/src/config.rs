@@ -41,6 +41,13 @@ pub struct ServiceConfig {
     pub fault_seed: Option<u64>,
     /// Checkpoint cadence handed to resilient executors (epochs).
     pub checkpoint_interval: u64,
+    /// Live shard failover: `Some(max)` routes SPMD/log/hybrid jobs
+    /// through the elastic-membership drivers, surviving up to `max`
+    /// shard losses per job by shrinking membership and reconstructing
+    /// survivors from the last checkpoint (`REGENT_FAILOVER` enables,
+    /// `REGENT_FAILOVER_MAX` sets the budget, default 1). `None` keeps
+    /// the classic fail-stop executors.
+    pub failover: Option<u32>,
     /// Trace sink for `Job*` supervisor events and executor spans.
     /// Use [`Tracer::disabled`] when no trace is wanted.
     pub tracer: Arc<Tracer>,
@@ -67,11 +74,13 @@ impl ServiceConfig {
             degrade_after: 0,
             fault_seed: None,
             checkpoint_interval: 2,
+            failover: None,
             tracer: Tracer::disabled(),
         }
     }
 
-    /// Reads every `REGENT_SERVE_*` knob (and `REGENT_FAULT_SEED`)
+    /// Reads every `REGENT_SERVE_*` knob (and `REGENT_FAULT_SEED`,
+    /// `REGENT_FAILOVER`, `REGENT_FAILOVER_MAX`)
     /// from the environment on top of [`ServiceConfig::new`].
     pub fn from_env() -> ServiceConfig {
         let base = ServiceConfig::new();
@@ -84,6 +93,8 @@ impl ServiceConfig {
             shard_cap: env_u64("REGENT_SERVE_SHARDS", base.shard_cap as u64).max(1) as usize,
             degrade_after: env_u64("REGENT_SERVE_DEGRADE", 0) as u32,
             fault_seed: FaultPlan::seed_from_env(),
+            failover: regent_runtime::failover_enabled()
+                .then(|| env_u64("REGENT_FAILOVER_MAX", 1) as u32),
             ..base
         }
     }

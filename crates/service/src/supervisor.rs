@@ -28,9 +28,10 @@ use regent_ir::{interp, Store};
 use regent_region::{FieldType, RegionForest, RegionId};
 use regent_runtime::metrics::{self, Counter, Timer};
 use regent_runtime::{
-    classify_failure, execute_hybrid, execute_implicit, execute_log_resilient,
-    execute_spmd_resilient, CancelToken, FailureClass, FaultPlan, ImplicitOptions, MemoCache,
-    RescueSlot, ResilienceOptions, CANCEL_PREFIX,
+    classify_failure, execute_hybrid_failover, execute_hybrid_resilient, execute_implicit,
+    execute_log_failover, execute_log_resilient, execute_spmd_failover, execute_spmd_resilient,
+    CancelToken, FailoverOptions, FailureClass, FaultPlan, HybridRescue, ImplicitOptions,
+    MemoCache, RescueSlot, ResilienceOptions, CANCEL_PREFIX,
 };
 use regent_trace::{EventKind, TraceBuf};
 use std::collections::{BTreeMap, VecDeque};
@@ -451,10 +452,20 @@ fn run_supervised(
             h.is_multiple_of(4).then(|| 1 + ((h >> 8) % 3))
         })
     });
-    // The rescue slot is shared across attempts so a retry resumes
-    // from the last committed checkpoint (SPMD only; the shared-log
-    // sequencer cannot re-derive skipped scalar feedback).
+    // The rescue slots are shared across attempts so a retry resumes
+    // from the last committed checkpoint: one slot for SPMD jobs, one
+    // slot per replicated segment for hybrid jobs. The shared-log
+    // executor retries from scratch — its sequencer cannot re-derive
+    // consumed `AllReduce` feedback.
     let rescue = matches!(spec.strategy, Strategy::Spmd).then(|| Arc::new(RescueSlot::new(shards)));
+    let hybrid_rescue =
+        matches!(spec.strategy, Strategy::Hybrid).then(|| Arc::new(HybridRescue::new()));
+    // Live failover: survive shard deaths inside an attempt by
+    // shrinking membership instead of burning a supervisor retry.
+    let failover = cfg.failover.map(|max_failovers| FailoverOptions {
+        max_failovers,
+        min_shards: 1,
+    });
 
     let mut attempt: u32 = 0;
     loop {
@@ -484,16 +495,18 @@ fn run_supervised(
                 &token,
                 transient,
                 rescue.as_ref(),
+                hybrid_rescue.as_deref(),
+                failover.as_ref(),
                 memo,
             )
         }));
         match run {
-            Ok((env, digest)) => {
+            Ok((env, digest, final_shards)) => {
                 return JobOutcome::Completed {
                     attempts: attempt + 1,
                     env,
                     digest,
-                    shards,
+                    shards: final_shards,
                 };
             }
             Err(payload) => {
@@ -528,7 +541,8 @@ fn run_supervised(
 
 /// One attempt: build the program fresh (isolation by construction)
 /// and run it under the requested strategy. Returns the final scalar
-/// environment plus the result digest.
+/// environment, the result digest, and the final shard membership
+/// (smaller than `shards` when live failover shrank the run).
 #[allow(clippy::too_many_arguments)]
 fn run_once(
     cfg: &ServiceConfig,
@@ -538,19 +552,28 @@ fn run_once(
     token: &CancelToken,
     transient: Option<u64>,
     rescue: Option<&Arc<RescueSlot>>,
+    hybrid_rescue: Option<&HybridRescue>,
+    failover: Option<&FailoverOptions>,
     memo: &Arc<Mutex<MemoCache>>,
-) -> (Vec<f64>, u64) {
+) -> (Vec<f64>, u64, usize) {
     let (prog, mut store) = (spec.factory)();
     let roots = prog.root_regions();
     // In-run seeded crash schedule (recovered by checkpoints inside
     // the executor — distinct from the supervisor-level transient,
-    // which kills the whole attempt).
-    let plan = cfg
+    // which kills the whole attempt). Under live failover, shard-kill
+    // schedules from `REGENT_KILL` / `REGENT_KILL_SEED` ride along so
+    // deployments can drive chaos soaks through the service.
+    let mut plan = cfg
         .fault_seed
         .map(|s| FaultPlan::seeded_crash(splitmix64(s ^ job_id), shards, 4))
         .unwrap_or_default();
+    if failover.is_some() {
+        if let Some(kills) = FaultPlan::kills_from_env(shards) {
+            plan.events.extend(kills.events);
+        }
+    }
     match spec.strategy {
-        Strategy::Sequential | Strategy::Implicit | Strategy::MemoImplicit | Strategy::Hybrid => {
+        Strategy::Sequential | Strategy::Implicit | Strategy::MemoImplicit => {
             // These executors have no epoch-boundary hook: surface the
             // injected transient (and any already-fired deadline) at
             // the attempt boundary. Deadline granularity is therefore
@@ -560,32 +583,50 @@ fn run_once(
                 Strategy::Sequential => {
                     let (env, _) = interp::run(&prog, &mut store);
                     let digest = digest_store(&prog.forest, &store, &roots, &env);
-                    (env, digest)
+                    (env, digest, shards)
                 }
                 Strategy::Implicit => {
                     let (env, _) =
                         execute_implicit(&prog, &mut store, ImplicitOptions::with_workers(shards));
                     let digest = digest_store(&prog.forest, &store, &roots, &env);
-                    (env, digest)
+                    (env, digest, shards)
                 }
                 Strategy::MemoImplicit => {
                     let opts = ImplicitOptions::with_workers(shards).with_memo(Arc::clone(memo));
                     let (env, _) = execute_implicit(&prog, &mut store, opts);
                     let digest = digest_store(&prog.forest, &store, &roots, &env);
-                    (env, digest)
-                }
-                Strategy::Hybrid => {
-                    let hybrid =
-                        replicate_ranges(prog, &CrOptions::new(shards)).expect("replicate_ranges");
-                    let r = execute_hybrid(&hybrid, &mut store);
-                    let digest = digest_store(&hybrid.base.forest, &store, &roots, &r.env);
-                    (r.env, digest)
+                    (env, digest, shards)
                 }
                 _ => unreachable!(),
             }
         }
+        Strategy::Hybrid => {
+            // Sequential segments have no epoch-boundary hook, so the
+            // injected transient still surfaces at the attempt
+            // boundary; replicated segments check the token (and the
+            // deadline) at their own epoch boundaries.
+            token.check_boundary(0, transient.unwrap_or(u64::MAX));
+            let mut hybrid =
+                replicate_ranges(prog, &CrOptions::new(shards)).expect("replicate_ranges");
+            let opts = ResilienceOptions {
+                checkpoint_interval: cfg.checkpoint_interval,
+                plan,
+                cancel: Some(token.clone()),
+                ..ResilienceOptions::default()
+            };
+            if let Some(fo) = failover {
+                let r = execute_hybrid_failover(&mut hybrid, &mut store, &opts, fo);
+                let digest = digest_store(&hybrid.base.forest, &store, &roots, &r.run.env);
+                (r.run.env, digest, r.final_shards)
+            } else {
+                let r = execute_hybrid_resilient(&hybrid, &mut store, &opts, hybrid_rescue);
+                let digest = digest_store(&hybrid.base.forest, &store, &roots, &r.env);
+                (r.env, digest, shards)
+            }
+        }
         Strategy::Spmd => {
-            let spmd = control_replicate(prog, &CrOptions::new(shards)).expect("control_replicate");
+            let mut spmd =
+                control_replicate(prog, &CrOptions::new(shards)).expect("control_replicate");
             let opts = ResilienceOptions {
                 checkpoint_interval: cfg.checkpoint_interval,
                 plan,
@@ -593,21 +634,34 @@ fn run_once(
                 rescue: rescue.map(Arc::clone),
                 ..ResilienceOptions::default()
             };
-            let r = execute_spmd_resilient(&spmd, &mut store, &opts);
-            let digest = digest_store(&spmd.forest, &store, &roots, &r.env);
-            (r.env, digest)
+            if let Some(fo) = failover {
+                let r = execute_spmd_failover(&mut spmd, &mut store, &opts, fo);
+                let digest = digest_store(&spmd.forest, &store, &roots, &r.run.env);
+                (r.run.env, digest, r.final_shards)
+            } else {
+                let r = execute_spmd_resilient(&spmd, &mut store, &opts);
+                let digest = digest_store(&spmd.forest, &store, &roots, &r.env);
+                (r.env, digest, shards)
+            }
         }
         Strategy::Log => {
-            let spmd = control_replicate(prog, &CrOptions::new(shards)).expect("control_replicate");
+            let mut spmd =
+                control_replicate(prog, &CrOptions::new(shards)).expect("control_replicate");
             let opts = ResilienceOptions {
                 checkpoint_interval: cfg.checkpoint_interval,
                 plan,
                 cancel: Some(token.clone()),
                 ..ResilienceOptions::default()
             };
-            let r = execute_log_resilient(&spmd, &mut store, &opts);
-            let digest = digest_store(&spmd.forest, &store, &roots, &r.env);
-            (r.env, digest)
+            if let Some(fo) = failover {
+                let r = execute_log_failover(&mut spmd, &mut store, &opts, fo);
+                let digest = digest_store(&spmd.forest, &store, &roots, &r.run.env);
+                (r.run.env, digest, r.final_shards)
+            } else {
+                let r = execute_log_resilient(&spmd, &mut store, &opts);
+                let digest = digest_store(&spmd.forest, &store, &roots, &r.env);
+                (r.env, digest, shards)
+            }
         }
     }
 }

@@ -184,6 +184,29 @@ fn kind_name(k: &EventKind) -> String {
             format!("restore e{epoch}->e{to_epoch}")
         }
         EventKind::ShardCrash { shard, epoch } => format!("crash s{shard} e{epoch}"),
+        EventKind::PeerDeath {
+            shard,
+            cause,
+            epoch,
+        } => {
+            let why = match cause {
+                0 => "killed",
+                1 => "panicked",
+                _ => "hung",
+            };
+            format!("peer death s{shard} ({why}) e{epoch}")
+        }
+        EventKind::MembershipChange {
+            from_shards,
+            to_shards,
+            dead_shard,
+            epoch,
+        } => format!("membership {from_shards}->{to_shards} (-s{dead_shard}) e{epoch}"),
+        EventKind::FailoverReconstruct {
+            to_shards,
+            insts,
+            epoch,
+        } => format!("reconstruct {to_shards} shards ({insts} insts) e{epoch}"),
         EventKind::CorruptDetected { site, id, sub, .. } => {
             format!("corrupt {site:?} {id}.{sub} detected")
         }

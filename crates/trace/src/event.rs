@@ -230,6 +230,44 @@ pub enum EventKind {
         /// Epoch at whose start the crash was injected.
         epoch: u64,
     },
+    /// A shard left the membership (instant): an injected kill, an
+    /// unrecoverable panic, or a hang-timeout blame. Unlike
+    /// [`EventKind::ShardCrash`] (rollback on unchanged membership)
+    /// this marks a *membership* loss the failover machinery responds
+    /// to. `cause` uses the [`crate::prof`] convention: 0 = killed,
+    /// 1 = panicked, 2 = hung.
+    PeerDeath {
+        /// The shard that died.
+        shard: u32,
+        /// Cause code (0 killed / 1 panicked / 2 hung).
+        cause: u32,
+        /// Epoch at which the death was detected (kill epoch for
+        /// injected kills, 0 when unknown).
+        epoch: u64,
+    },
+    /// The elastic membership changed: survivors agreed on a shrunken
+    /// shard count and a new membership epoch (instant, driver track).
+    MembershipChange {
+        /// Shards before the change.
+        from_shards: u32,
+        /// Shards after the change.
+        to_shards: u32,
+        /// The shard removed from the membership.
+        dead_shard: u32,
+        /// Checkpoint epoch the new membership resumes from.
+        epoch: u64,
+    },
+    /// Survivor-side reconstruction of a lost shard's state: the last
+    /// coordinated checkpoint was remapped onto the shrunken membership
+    /// (span covers the redistribution; driver track).
+    FailoverReconstruct {
+        /// Shards in the new membership.
+        to_shards: u32,
+        /// Instances redistributed across the survivors.
+        insts: u32,
+        /// Checkpoint epoch execution resumes from.
+        epoch: u64,
+    },
     /// A checksum verification caught silent data corruption. For
     /// [`CorruptSite::Exchange`] / [`CorruptSite::Collective`] sites,
     /// `(id, sub)` is the (copy, pair) / (scalar var, occurrence)

@@ -66,8 +66,8 @@ pub use critical::{
 pub use event::{fields_mask, CorruptSite, Event, EventKind, PrivCode, SimKind};
 pub use graph::{build_graph, EventGraph};
 pub use prof::{
-    control_cost_per_step, integrity_summary, mean_step_cost, memo_summary,
-    sim_control_cost_per_step, IntegritySummary, MemoSummary, ProfReport,
+    control_cost_per_step, failover_summary, integrity_summary, mean_step_cost, memo_summary,
+    sim_control_cost_per_step, FailoverSummary, IntegritySummary, MemoSummary, ProfReport,
 };
 pub use ring::Ring;
 pub use serial::{export_native, import_trace};

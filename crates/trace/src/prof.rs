@@ -350,6 +350,71 @@ pub fn integrity_summary(trace: &Trace) -> IntegritySummary {
     s
 }
 
+/// Failover summary of a whole trace: what the elastic-membership layer
+/// observed and did, aggregated across every track (the failover driver
+/// records onto a dedicated `failover` track). The cause split uses the
+/// trace convention: 0 = killed, 1 = panicked, 2 = hung.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FailoverSummary {
+    /// Shard deaths observed (root causes only — one per loss).
+    pub deaths: u64,
+    /// Deaths by injected kill (cause 0).
+    pub killed: u64,
+    /// Deaths by shard panic (cause 1).
+    pub panicked: u64,
+    /// Deaths by hang past the timeout (cause 2).
+    pub hung: u64,
+    /// Membership epochs established (one per survived loss).
+    pub membership_changes: u64,
+    /// Checkpoint reconstructions onto a shrunken membership.
+    pub reconstructions: u64,
+    /// Subregion instances rebuilt across all reconstructions.
+    pub insts_rebuilt: u64,
+    /// Span time (ns) spent reconstructing checkpoints.
+    pub reconstruct_ns: u64,
+    /// Final membership after the last change (0 when none occurred).
+    pub final_shards: u32,
+}
+
+impl FailoverSummary {
+    /// Every death must be resolved by a membership change — a death
+    /// with no change means the run fail-stopped (budget exhausted) or
+    /// the record is truncated.
+    pub fn coherent(&self) -> bool {
+        self.deaths == self.membership_changes
+    }
+}
+
+/// Summarizes the elastic-membership events of every track in `trace`.
+pub fn failover_summary(trace: &Trace) -> FailoverSummary {
+    let mut s = FailoverSummary::default();
+    for t in &trace.tracks {
+        for e in &t.events {
+            match e.kind {
+                EventKind::PeerDeath { cause, .. } => {
+                    s.deaths += 1;
+                    match cause {
+                        0 => s.killed += 1,
+                        1 => s.panicked += 1,
+                        _ => s.hung += 1,
+                    }
+                }
+                EventKind::MembershipChange { to_shards, .. } => {
+                    s.membership_changes += 1;
+                    s.final_shards = to_shards;
+                }
+                EventKind::FailoverReconstruct { insts, .. } => {
+                    s.reconstructions += 1;
+                    s.insts_rebuilt += insts as u64;
+                    s.reconstruct_ns += e.dur;
+                }
+                _ => {}
+            }
+        }
+    }
+    s
+}
+
 /// Mean of the cost column of a per-step series (0 when empty).
 pub fn mean_step_cost(series: &[(u64, u64)]) -> f64 {
     if series.is_empty() {
@@ -606,6 +671,99 @@ mod tests {
         assert_eq!(s.steady_state_analysis_ns, 0.0);
         assert_eq!(s.steady_state_hit_rate(), 1.0);
         assert_eq!(memo_summary(&trace, "absent"), MemoSummary::default());
+    }
+
+    #[test]
+    fn failover_summary_counts_causes_and_coherence() {
+        let ev = |dur, kind| Event { ts: 0, dur, kind };
+        let trace = Trace {
+            tracks: vec![track(
+                "failover",
+                vec![
+                    ev(
+                        0,
+                        EventKind::PeerDeath {
+                            shard: 2,
+                            cause: 0,
+                            epoch: 3,
+                        },
+                    ),
+                    ev(
+                        120,
+                        EventKind::FailoverReconstruct {
+                            to_shards: 3,
+                            insts: 9,
+                            epoch: 2,
+                        },
+                    ),
+                    ev(
+                        0,
+                        EventKind::MembershipChange {
+                            from_shards: 4,
+                            to_shards: 3,
+                            dead_shard: 2,
+                            epoch: 2,
+                        },
+                    ),
+                    ev(
+                        0,
+                        EventKind::PeerDeath {
+                            shard: 1,
+                            cause: 2,
+                            epoch: 0,
+                        },
+                    ),
+                    ev(
+                        80,
+                        EventKind::FailoverReconstruct {
+                            to_shards: 2,
+                            insts: 6,
+                            epoch: 2,
+                        },
+                    ),
+                    ev(
+                        0,
+                        EventKind::MembershipChange {
+                            from_shards: 3,
+                            to_shards: 2,
+                            dead_shard: 1,
+                            epoch: 2,
+                        },
+                    ),
+                ],
+            )],
+        };
+        let s = failover_summary(&trace);
+        assert_eq!(s.deaths, 2);
+        assert_eq!(s.killed, 1);
+        assert_eq!(s.panicked, 0);
+        assert_eq!(s.hung, 1);
+        assert_eq!(s.membership_changes, 2);
+        assert_eq!(s.reconstructions, 2);
+        assert_eq!(s.insts_rebuilt, 15);
+        assert_eq!(s.reconstruct_ns, 200);
+        assert_eq!(s.final_shards, 2);
+        assert!(s.coherent(), "{s:?}");
+        // A death without a membership change (budget exhausted) is
+        // incoherent — the profiler flags it rather than hiding it.
+        let bad = failover_summary(&Trace {
+            tracks: vec![track(
+                "failover",
+                vec![ev(
+                    0,
+                    EventKind::PeerDeath {
+                        shard: 0,
+                        cause: 1,
+                        epoch: 0,
+                    },
+                )],
+            )],
+        });
+        assert!(!bad.coherent());
+        assert_eq!(
+            failover_summary(&Trace { tracks: vec![] }),
+            FailoverSummary::default()
+        );
     }
 
     #[test]

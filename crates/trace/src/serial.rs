@@ -193,6 +193,33 @@ fn write_event(out: &mut String, e: &Event) {
         EventKind::ShardCrash { shard, epoch } => {
             write!(out, "\"shard_crash\",\"shard\":{shard},\"epoch\":{epoch}")
         }
+        EventKind::PeerDeath {
+            shard,
+            cause,
+            epoch,
+        } => write!(
+            out,
+            "\"peer_death\",\"shard\":{shard},\"cause\":{cause},\"epoch\":{epoch}"
+        ),
+        EventKind::MembershipChange {
+            from_shards,
+            to_shards,
+            dead_shard,
+            epoch,
+        } => write!(
+            out,
+            "\"membership_change\",\"from_shards\":{from_shards},\"to_shards\":{to_shards},\
+             \"dead_shard\":{dead_shard},\"epoch\":{epoch}"
+        ),
+        EventKind::FailoverReconstruct {
+            to_shards,
+            insts,
+            epoch,
+        } => write!(
+            out,
+            "\"failover_reconstruct\",\"to_shards\":{to_shards},\"insts\":{insts},\
+             \"epoch\":{epoch}"
+        ),
         EventKind::CorruptDetected {
             site,
             id,
@@ -466,6 +493,22 @@ fn parse_event(v: &Value) -> Result<Event, String> {
             shard: get_u32(o, "shard")?,
             epoch: get_u64(o, "epoch")?,
         },
+        "peer_death" => EventKind::PeerDeath {
+            shard: get_u32(o, "shard")?,
+            cause: get_u32(o, "cause")?,
+            epoch: get_u64(o, "epoch")?,
+        },
+        "membership_change" => EventKind::MembershipChange {
+            from_shards: get_u32(o, "from_shards")?,
+            to_shards: get_u32(o, "to_shards")?,
+            dead_shard: get_u32(o, "dead_shard")?,
+            epoch: get_u64(o, "epoch")?,
+        },
+        "failover_reconstruct" => EventKind::FailoverReconstruct {
+            to_shards: get_u32(o, "to_shards")?,
+            insts: get_u32(o, "insts")?,
+            epoch: get_u64(o, "epoch")?,
+        },
         "corrupt_detected" => EventKind::CorruptDetected {
             site: parse_site(get_str(o, "site")?)?,
             id: get_u32(o, "id")?,
@@ -697,6 +740,34 @@ mod tests {
                 tenant: 2,
                 from_shards: 4,
                 to_shards: 2,
+            },
+        );
+        b.push(
+            42,
+            0,
+            EventKind::PeerDeath {
+                shard: 3,
+                cause: 0,
+                epoch: 2,
+            },
+        );
+        b.push(
+            43,
+            0,
+            EventKind::MembershipChange {
+                from_shards: 4,
+                to_shards: 3,
+                dead_shard: 3,
+                epoch: 2,
+            },
+        );
+        b.push(
+            44,
+            7,
+            EventKind::FailoverReconstruct {
+                to_shards: 3,
+                insts: 12,
+                epoch: 2,
             },
         );
         drop(b);

@@ -121,6 +121,23 @@ impl Tracer {
         }
     }
 
+    /// Merges a whole collected [`Trace`] into this tracer's store,
+    /// track by track (same-name tracks concatenate, matching
+    /// [`Tracer::buffer`] flush semantics). Used by the failover
+    /// executors: each recovery attempt records into a private inner
+    /// tracer so aborted attempts can be discarded wholesale, and only
+    /// the successful attempt's trace is absorbed into the caller's.
+    /// Timestamps keep the inner tracer's epoch — per-track ordering is
+    /// preserved, which is all the Spy validator needs.
+    pub fn absorb(&self, trace: Trace) {
+        if !self.enabled {
+            return;
+        }
+        for track in trace.tracks {
+            self.flush_into_store(&track.name, track.events, track.dropped);
+        }
+    }
+
     fn flush_into_store(&self, name: &str, events: Vec<Event>, dropped: u64) {
         if events.is_empty() && dropped == 0 {
             return;
@@ -260,6 +277,34 @@ mod tests {
         let trace = tracer.take();
         assert_eq!(trace.tracks.len(), 1);
         assert_eq!(trace.tracks[0].events.len(), 2);
+    }
+
+    #[test]
+    fn absorb_merges_tracks() {
+        let outer = Tracer::enabled();
+        {
+            let mut b = outer.buffer("shard-0");
+            b.instant(EventKind::Mark { name: "outer" });
+        }
+        let inner = Tracer::enabled();
+        {
+            let mut b = inner.buffer("shard-0");
+            b.instant(EventKind::Mark { name: "inner" });
+            let mut c = inner.buffer("shard-1");
+            c.instant(EventKind::Mark { name: "other" });
+        }
+        outer.absorb(inner.take());
+        let trace = outer.take();
+        assert_eq!(trace.tracks.len(), 2);
+        let t0 = trace.track("shard-0").unwrap();
+        assert_eq!(t0.events.len(), 2, "same-name tracks concatenate");
+        assert_eq!(trace.track("shard-1").unwrap().events.len(), 1);
+        // A disabled tracer absorbs nothing.
+        let off = Tracer::disabled();
+        let inner = Tracer::enabled();
+        inner.buffer("x").instant(EventKind::Mark { name: "m" });
+        off.absorb(inner.take());
+        assert_eq!(off.take().num_events(), 0);
     }
 
     #[test]
