@@ -600,7 +600,8 @@ fn failover_chaos_smoke() {
 #[test]
 #[ignore = "chaos soak: run explicitly in the failover-soak CI job"]
 fn failover_chaos_soak() {
-    let apps: [(&str, &dyn Fn() -> (Program, Store)); 4] = [
+    type AppFactory<'a> = &'a dyn Fn() -> (Program, Store);
+    let apps: [(&str, AppFactory); 4] = [
         ("stencil", &mk_stencil),
         ("circuit", &mk_circuit),
         ("miniaero", &mk_miniaero),

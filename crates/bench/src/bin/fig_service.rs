@@ -222,6 +222,20 @@ fn main() {
         }
     }
 
+    // Live telemetry: `REGENT_METRICS_ADDR` starts the Prometheus
+    // scrape endpoint for the duration of the sweep, so `regent-prof
+    // --live` (or any scraper) can watch the sliding-window quantiles
+    // and SLO burn rates mid-run. Held until the end of `main` so the
+    // post-sweep self-scrape below can check the live estimator
+    // against the artifact.
+    let scrape = regent_runtime::start_scrape_env();
+    if let Some(server) = &scrape {
+        println!(
+            "metrics: live scrape endpoint on http://{}/metrics",
+            server.local_addr()
+        );
+    }
+
     println!("== service closed-loop sweep ({njobs} jobs/client) ==");
     println!(
         "{:>8} {:>8} {:>10} {:>6} {:>8} {:>10} {:>9} {:>9} {:>12}",
@@ -238,8 +252,10 @@ fn main() {
     let mut entries = Vec::new();
     let mut quarantined_total = 0u64;
     let mut last_trace = None;
+    let mut all_latencies: Vec<u64> = Vec::new();
     for &c in &clients {
         let level = run_level(c, njobs);
+        all_latencies.extend_from_slice(&level.tally.latencies_ns);
         let accounted =
             level.completed() + level.tally.shed + level.tally.cancelled + level.tally.quarantined;
         assert_eq!(
@@ -261,6 +277,59 @@ fn main() {
         );
         entries.push(entry_for(&level, njobs));
         last_trace = Some(level.trace);
+    }
+
+    if let Some(server) = &scrape {
+        // Self-scrape: pull the exposition through the real HTTP path
+        // and check the live sliding-window quantiles against the
+        // client-observed artifact latencies. Both sides go through the
+        // same log2-bucket estimator so the comparison measures the
+        // telemetry plumbing (recording, windowing, scrape), not
+        // histogram quantization. Holds to ±10% when the SLO window
+        // (`REGENT_SLO_WINDOW_SECS`) covers the whole sweep.
+        match regent_runtime::fetch_metrics(&server.local_addr().to_string()) {
+            Ok(body) => {
+                println!(
+                    "scrape: {} bytes, {} families",
+                    body.len(),
+                    body.lines().filter(|l| l.starts_with("# TYPE")).count()
+                );
+                let live_gauge = |sel: &str| -> Option<f64> {
+                    body.lines()
+                        .find(|l| l.starts_with(sel))
+                        .and_then(|l| l.rsplit(' ').next())
+                        .and_then(|v| v.parse().ok())
+                };
+                let mut h = regent_runtime::Hist::default();
+                for &ns in &all_latencies {
+                    h.record(ns);
+                }
+                for (label, q, sel) in [
+                    ("p50", 0.5, "regent_live_latency_ns{quantile=\"0.5\"}"),
+                    ("p99", 0.99, "regent_live_latency_ns{quantile=\"0.99\"}"),
+                ] {
+                    let artifact_ns = h.quantile_ns(q);
+                    match live_gauge(sel) {
+                        Some(live_ns) if artifact_ns > 0.0 => {
+                            let drift_pct = (live_ns - artifact_ns) / artifact_ns * 100.0;
+                            let verdict = if drift_pct.abs() <= 10.0 {
+                                "OK"
+                            } else {
+                                "DRIFT"
+                            };
+                            println!(
+                                "live check: {label} live {:.2} ms vs artifact {:.2} ms \
+                                 ({drift_pct:+.1}% -> {verdict})",
+                                live_ns / 1e6,
+                                artifact_ns / 1e6,
+                            );
+                        }
+                        _ => println!("live check: {label} not present in scrape"),
+                    }
+                }
+            }
+            Err(e) => eprintln!("live check: self-scrape failed: {e}"),
+        }
     }
 
     if let (Some(path), Some(trace)) = (&trace_path, &last_trace) {

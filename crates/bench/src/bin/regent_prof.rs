@@ -11,10 +11,19 @@
 //!
 //! ```text
 //! regent-prof --trace run.trace [--flame out.folded]
+//! regent-prof --live <addr> [--polls N] [--interval-ms M]
 //! ```
 //!
 //! `--flame` writes collapsed stacks (`track;phase;event count_ns`
 //! lines) suitable for any flamegraph renderer.
+//!
+//! `--live` is the mid-run counterpart to the post-mortem path: it
+//! polls a running process's Prometheus scrape endpoint
+//! (`REGENT_METRICS_ADDR`) and renders the sliding-window latency
+//! quantiles, per-tenant goodput, SLO burn rates, and job counters —
+//! no trace file required and no restart of the observed process.
+//! Burn rates above 1.0 mean the error budget is being consumed
+//! faster than the SLO allows and are flagged `BURNING`.
 
 use regent_trace::{
     blame_report, build_graph, failover_summary, imbalance_report, import_trace, integrity_summary,
@@ -158,6 +167,196 @@ fn is_sim_track(t: &regent_trace::Track) -> bool {
         .any(|e| matches!(e.kind, EventKind::SimTask { .. }))
 }
 
+/// One parsed Prometheus sample: family name, label pairs, value.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+impl Sample {
+    fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses Prometheus text exposition (the subset our scrape endpoint
+/// emits: `name value` and `name{k="v",..} value` lines, `#` comments
+/// skipped, label values using `\\`/`\"`/`\n` escapes).
+fn parse_exposition(text: &str) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (ident, value) = match line.rsplit_once(' ') {
+            Some(parts) => parts,
+            None => continue,
+        };
+        let value: f64 = match value.trim().parse() {
+            Ok(v) => v,
+            Err(_) => continue,
+        };
+        let (name, labels) = match ident.split_once('{') {
+            None => (ident.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest.strip_suffix('}').unwrap_or(rest);
+                let mut labels = Vec::new();
+                let mut chars = body.chars().peekable();
+                while chars.peek().is_some() {
+                    let key: String = chars.by_ref().take_while(|&c| c != '=').collect();
+                    if chars.next() != Some('"') {
+                        break;
+                    }
+                    let mut val = String::new();
+                    while let Some(c) = chars.next() {
+                        match c {
+                            '"' => break,
+                            '\\' => match chars.next() {
+                                Some('n') => val.push('\n'),
+                                Some(e) => val.push(e),
+                                None => break,
+                            },
+                            c => val.push(c),
+                        }
+                    }
+                    labels.push((key.trim().to_string(), val));
+                    if chars.peek() == Some(&',') {
+                        chars.next();
+                    }
+                }
+                (name.to_string(), labels)
+            }
+        };
+        out.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    out
+}
+
+/// The scalar value of the first sample with this family name.
+fn gauge(samples: &[Sample], name: &str) -> Option<f64> {
+    samples.iter().find(|s| s.name == name).map(|s| s.value)
+}
+
+/// Sums a counter family across all label sets (per-shard series).
+fn counter_total(samples: &[Sample], name: &str) -> u64 {
+    samples
+        .iter()
+        .filter(|s| s.name == name)
+        .map(|s| s.value as u64)
+        .sum()
+}
+
+/// Renders one scrape of the live plane: sliding-window quantiles per
+/// (tenant, strategy), per-tenant goodput, SLO burn rates, and the
+/// service job counters.
+fn render_live(samples: &[Sample]) {
+    let mut quant: BTreeMap<(String, String), BTreeMap<String, f64>> = BTreeMap::new();
+    for s in samples
+        .iter()
+        .filter(|s| s.name == "regent_live_job_latency_ns")
+    {
+        if let (Some(t), Some(st), Some(q)) =
+            (s.label("tenant"), s.label("strategy"), s.label("quantile"))
+        {
+            quant
+                .entry((t.to_string(), st.to_string()))
+                .or_default()
+                .insert(q.to_string(), s.value);
+        }
+    }
+    if !quant.is_empty() {
+        println!("== live latency (sliding window) ==");
+        println!(
+            "{:>8} {:>10} {:>10} {:>10}",
+            "tenant", "strategy", "p50_ms", "p99_ms"
+        );
+        for ((tenant, strategy), qs) in &quant {
+            println!(
+                "{:>8} {:>10} {:>10.2} {:>10.2}",
+                tenant,
+                strategy,
+                qs.get("0.5").copied().unwrap_or(0.0) / 1e6,
+                qs.get("0.99").copied().unwrap_or(0.0) / 1e6,
+            );
+        }
+        println!();
+    }
+    let goodput: Vec<_> = samples
+        .iter()
+        .filter(|s| s.name == "regent_live_goodput_jps")
+        .collect();
+    if !goodput.is_empty() {
+        println!("== live goodput ==");
+        for s in &goodput {
+            println!(
+                "tenant {:>4}: {:>8.2} jobs/s",
+                s.label("tenant").unwrap_or("?"),
+                s.value
+            );
+        }
+        println!();
+    }
+    println!("== SLO burn rates ==");
+    let target_ms = gauge(samples, "regent_slo_p99_target_ms").unwrap_or(0.0);
+    let window_s = gauge(samples, "regent_slo_window_seconds").unwrap_or(0.0);
+    for (label, name) in [
+        ("p99 ", "regent_slo_p99_burn_rate"),
+        ("shed", "regent_slo_shed_burn_rate"),
+    ] {
+        let burn = gauge(samples, name).unwrap_or(0.0);
+        let flag = if burn > 1.0 { "  BURNING" } else { "" };
+        println!("{label} burn rate: {burn:>8.4}{flag}");
+    }
+    println!("(p99 target {target_ms:.0} ms over a {window_s:.0} s window)");
+    println!();
+    println!("== job counters (since start) ==");
+    for name in [
+        "jobs_admitted",
+        "jobs_completed",
+        "jobs_shed",
+        "jobs_retried",
+        "jobs_cancelled",
+        "jobs_quarantined",
+    ] {
+        let total = counter_total(samples, &format!("regent_{name}_total"));
+        if total > 0 || name == "jobs_admitted" {
+            println!("{name:>18}: {total}");
+        }
+    }
+}
+
+/// `--live` mode: polls the scrape endpoint `polls` times, rendering
+/// each sample. Exits nonzero if the endpoint never answered.
+fn live_mode(addr: &str, polls: usize, interval_ms: u64) {
+    let mut ok = 0usize;
+    for poll in 1..=polls {
+        match regent_runtime::scrape::fetch(addr) {
+            Ok(body) => {
+                ok += 1;
+                println!("== live scrape {poll}/{polls}: {addr} ==");
+                render_live(&parse_exposition(&body));
+            }
+            Err(e) => eprintln!("scrape {poll}/{polls}: {addr}: {e}"),
+        }
+        if poll < polls {
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        }
+    }
+    if ok == 0 {
+        eprintln!("live: no successful scrape of {addr} in {polls} attempt(s)");
+        std::process::exit(1);
+    }
+}
+
 fn certify(trace: &Trace) -> Result<(), Vec<String>> {
     let mut problems = Vec::new();
     let dropped: u64 = trace.tracks.iter().map(|t| t.dropped).sum();
@@ -194,6 +393,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut trace_path: Option<String> = None;
     let mut flame_path: Option<String> = None;
+    let mut live_addr: Option<String> = None;
+    let mut polls: usize = 1;
+    let mut interval_ms: u64 = 1000;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -205,12 +407,37 @@ fn main() {
                 flame_path = Some(args.get(i + 1).expect("--flame <path>").clone());
                 i += 2;
             }
+            "--live" => {
+                live_addr = Some(args.get(i + 1).expect("--live <addr>").clone());
+                i += 2;
+            }
+            "--polls" => {
+                polls = args
+                    .get(i + 1)
+                    .expect("--polls <n>")
+                    .parse()
+                    .expect("--polls takes an int");
+                i += 2;
+            }
+            "--interval-ms" => {
+                interval_ms = args
+                    .get(i + 1)
+                    .expect("--interval-ms <ms>")
+                    .parse()
+                    .expect("--interval-ms takes an int");
+                i += 2;
+            }
             other => panic!(
-                "unknown argument {other} (usage: regent-prof --trace <path> [--flame <path>])"
+                "unknown argument {other} (usage: regent-prof --trace <path> [--flame <path>] \
+                 | --live <addr> [--polls n] [--interval-ms m])"
             ),
         }
     }
-    let trace_path = trace_path.expect("regent-prof requires --trace <path>");
+    if let Some(addr) = &live_addr {
+        live_mode(addr, polls.max(1), interval_ms);
+        return;
+    }
+    let trace_path = trace_path.expect("regent-prof requires --trace <path> (or --live <addr>)");
     let text = std::fs::read_to_string(&trace_path)
         .unwrap_or_else(|e| panic!("cannot read {trace_path}: {e}"));
     let trace = import_trace(&text).unwrap_or_else(|e| panic!("{trace_path}: {e}"));

@@ -411,6 +411,27 @@ fn bwd_transfer(
     }
 }
 
+fn eliminate_dead(body: &mut Vec<SpmdStmt>, uses: &[UseDecl], tasks: &[TaskDecl]) -> usize {
+    let n = count_stmts(body);
+    let mut removed = vec![false; n];
+    // At program end, written uses are flushed back to the root store —
+    // they are live-out.
+    let mut live: Live = uses
+        .iter()
+        .enumerate()
+        .filter(|(_, u)| u.writes)
+        .map(|(i, _)| i)
+        .collect();
+    let mut idx = n;
+    bwd_transfer(body, &mut live, tasks, true, &mut removed, &mut idx);
+    let count = removed.iter().filter(|&&r| r).count();
+    if count > 0 {
+        let mut idx = 0usize;
+        prune(body, &removed, &mut idx);
+    }
+    count
+}
+
 #[cfg(test)]
 mod membership_tests {
     use super::MembershipRemap;
@@ -452,8 +473,8 @@ mod membership_tests {
                     let mut owners = vec![0u32; len];
                     for s in 0..m.new_shards {
                         let (lo, hi) = block_range(len, m.new_shards, s);
-                        for c in lo..hi {
-                            owners[c] += 1;
+                        for (c, n) in owners.iter_mut().enumerate().take(hi).skip(lo) {
+                            *n += 1;
                             assert_eq!(m.new_owner(len, c), s);
                         }
                     }
@@ -462,25 +483,4 @@ mod membership_tests {
             }
         }
     }
-}
-
-fn eliminate_dead(body: &mut Vec<SpmdStmt>, uses: &[UseDecl], tasks: &[TaskDecl]) -> usize {
-    let n = count_stmts(body);
-    let mut removed = vec![false; n];
-    // At program end, written uses are flushed back to the root store —
-    // they are live-out.
-    let mut live: Live = uses
-        .iter()
-        .enumerate()
-        .filter(|(_, u)| u.writes)
-        .map(|(i, _)| i)
-        .collect();
-    let mut idx = n;
-    bwd_transfer(body, &mut live, tasks, true, &mut removed, &mut idx);
-    let count = removed.iter().filter(|&&r| r).count();
-    if count > 0 {
-        let mut idx = 0usize;
-        prune(body, &removed, &mut idx);
-    }
-    count
 }

@@ -77,6 +77,7 @@ use regent_fault::{
 };
 use regent_ir::Store;
 use regent_region::Instance;
+use regent_trace::flight::flight;
 use regent_trace::{EventKind, Tracer};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -352,6 +353,18 @@ fn plan_shrink(
     let remap = MembershipRemap::shrink(num_shards, loss.death.shard);
     let viable = remap.is_some_and(|r| r.new_shards >= fo.min_shards.max(1));
     if losses > fo.max_failovers || !viable {
+        // The fail-stop black box: dump the flight ring *before* the
+        // unwind. Only a Mark is noted for this final loss — its
+        // PeerDeath is deliberately NOT (the pair is noted only once a
+        // shrink commits), so the dumped failover record stays
+        // coherent (deaths == membership changes) and certifiable.
+        flight().note(
+            "flight",
+            EventKind::Mark {
+                name: "failover_exhausted",
+            },
+        );
+        flight().dump_env("failover-exhausted", Some(&metrics::global().to_json()));
         panic!(
             "{FAILOVER_EXHAUSTED_PREFIX}: cannot survive loss {losses} ({}) with budget {} and \
              membership floor {} at {num_shards} shards: {}",
@@ -362,6 +375,21 @@ fn plan_shrink(
         );
     }
     remap.expect("viability checked above")
+}
+
+/// Notes a committed shrink's `PeerDeath`/`MembershipChange` pair on
+/// the flight recorder and dumps the black box (`REGENT_FLIGHT_DIR`).
+/// Called only after [`plan_shrink`] commits, so flight dumps always
+/// pair deaths with membership changes — the coherence the profiler's
+/// certification demands.
+fn note_failover_flight(death: EventKind, membership: EventKind) {
+    let f = flight();
+    if !f.is_enabled() {
+        return;
+    }
+    f.note("failover", death);
+    f.note("failover", membership);
+    f.dump_env("failover", Some(&metrics::global().to_json()));
 }
 
 /// Executes a control-replicated program with live shard failover (see
@@ -433,11 +461,12 @@ pub fn execute_spmd_failover_traced(
                 deaths.push(loss.death);
                 let remap = plan_shrink(&loss, spmd.num_shards, fo, deaths.len() as u32);
                 let (code, kill_epoch) = cause_code(loss.death.cause);
-                fb.instant(EventKind::PeerDeath {
+                let death_event = EventKind::PeerDeath {
                     shard: loss.death.shard,
                     cause: code,
                     epoch: kill_epoch,
-                });
+                };
+                fb.instant(death_event);
                 // Agreement: the last committed checkpoint (a
                 // consistent cut every shard offered identically) is
                 // the resume point; with none committed, the shrunken
@@ -468,12 +497,14 @@ pub fn execute_spmd_failover_traced(
                     }
                     None => RescueSlot::new(remap.new_shards),
                 };
-                fb.instant(EventKind::MembershipChange {
+                let membership_event = EventKind::MembershipChange {
                     from_shards: remap.old_shards as u32,
                     to_shards: remap.new_shards as u32,
                     dead_shard: loss.death.shard,
                     epoch: resume_epoch,
-                });
+                };
+                fb.instant(membership_event);
+                note_failover_flight(death_event, membership_event);
                 opts.rescue = Some(Arc::new(slot));
                 let fired = match loss.death.cause {
                     DeathCause::Killed { epoch } => Some((loss.death.shard, epoch)),
@@ -552,18 +583,21 @@ pub fn execute_log_failover_traced(
                 deaths.push(loss.death);
                 let remap = plan_shrink(&loss, spmd.num_shards, fo, deaths.len() as u32);
                 let (code, kill_epoch) = cause_code(loss.death.cause);
-                fb.instant(EventKind::PeerDeath {
+                let death_event = EventKind::PeerDeath {
                     shard: loss.death.shard,
                     cause: code,
                     epoch: kill_epoch,
-                });
+                };
+                fb.instant(death_event);
                 spmd.num_shards = remap.new_shards;
-                fb.instant(EventKind::MembershipChange {
+                let membership_event = EventKind::MembershipChange {
                     from_shards: remap.old_shards as u32,
                     to_shards: remap.new_shards as u32,
                     dead_shard: loss.death.shard,
                     epoch: 0,
-                });
+                };
+                fb.instant(membership_event);
+                note_failover_flight(death_event, membership_event);
                 let fired = match loss.death.cause {
                     DeathCause::Killed { epoch } => Some((loss.death.shard, epoch)),
                     _ => None,
@@ -652,11 +686,12 @@ pub fn execute_hybrid_failover_traced(
                 deaths.push(loss.death);
                 let remap = plan_shrink(&loss, membership, fo, deaths.len() as u32);
                 let (code, kill_epoch) = cause_code(loss.death.cause);
-                fb.instant(EventKind::PeerDeath {
+                let death_event = EventKind::PeerDeath {
                     shard: loss.death.shard,
                     cause: code,
                     epoch: kill_epoch,
-                });
+                };
+                fb.instant(death_event);
                 membership = remap.new_shards;
                 // Remap every replicated segment's committed
                 // checkpoint onto the survivors; empty slots (segments
@@ -691,12 +726,14 @@ pub fn execute_hybrid_failover_traced(
                     rescue.replace_slot(seg_idx, Arc::new(slot));
                     seg_idx += 1;
                 }
-                fb.instant(EventKind::MembershipChange {
+                let membership_event = EventKind::MembershipChange {
                     from_shards: remap.old_shards as u32,
                     to_shards: remap.new_shards as u32,
                     dead_shard: loss.death.shard,
                     epoch: kill_epoch,
-                });
+                };
+                fb.instant(membership_event);
+                note_failover_flight(death_event, membership_event);
                 let fired = match loss.death.cause {
                     DeathCause::Killed { epoch } => Some((loss.death.shard, epoch)),
                     _ => None,

@@ -29,6 +29,10 @@
 //!   (launches, copies, waits, memo hits, retransmits), aggregated at
 //!   executor shutdown and exported via `REGENT_METRICS=<path>` as
 //!   JSON plus Prometheus text.
+//! * [`live`] / [`scrape`] — the live telemetry plane: sliding-window
+//!   latency/goodput series with SLO burn-rate gauges, served mid-run
+//!   from a dependency-free HTTP scrape endpoint
+//!   (`REGENT_METRICS_ADDR=<host:port>`).
 //! * [`mod@ring`] / [`pool`] — the lock-free data plane: bounded SPSC
 //!   rings with batched publication carrying the exchange messages
 //!   (one ring per ordered shard pair; `REGENT_DATA_PLANE=channel`
@@ -53,6 +57,7 @@ pub mod failover;
 pub mod hybrid_exec;
 pub mod implicit;
 pub mod launch_log;
+pub mod live;
 pub mod log_exec;
 pub mod mapper;
 pub mod memo;
@@ -60,6 +65,7 @@ pub mod metrics;
 pub mod plan;
 pub mod pool;
 pub mod ring;
+pub mod scrape;
 pub mod spmd_exec;
 
 pub use cancel::CancelToken;
@@ -76,6 +82,7 @@ pub use hybrid_exec::{
 };
 pub use implicit::{execute_implicit, ImplicitOptions, ImplicitStats};
 pub use launch_log::{batch_limit_from_env, replicas_from_env, Batch, LaunchLog, LogCursor};
+pub use live::{live, BurnRates, LivePlane, SlidingCount, SlidingHist, SloConfig};
 pub use log_exec::{
     execute_log, execute_log_resilient, execute_log_resilient_traced, execute_log_traced,
     LogRunResult, LogStats,
@@ -83,10 +90,13 @@ pub use log_exec::{
 pub use mapper::{DefaultMapper, Mapper, SingleWorkerMapper, TaskKindMapper};
 pub use memo::{epoch_key, launch_sig, EpochTemplate, MemoCache, MemoStats};
 pub use metrics::{
-    export_env as export_metrics_env, Counter, Hist, MetricsHandle, MetricsRegistry, Timer,
+    export_env as export_metrics_env, prom_escape, Counter, Hist, MetricsHandle, MetricsRegistry,
+    Timer,
 };
 pub use plan::{build_exchange_plan, ExchangePlan, InstKey, PairPlan, SetupStats};
 pub use pool::ChunkPool;
+pub use scrape::{fetch as fetch_metrics, start_env as start_scrape_env, ScrapeServer};
+
 pub use ring::{
     copy_mesh, data_plane_from_env, pin_cores_enabled, pin_thread_to_core, ring, ring_cap_from_env,
     Backoff, CachePadded, CopyRx, CopyTx, DataPlane, RingReceiver, RingSender, SendError,

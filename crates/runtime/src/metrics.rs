@@ -175,6 +175,45 @@ impl Counter {
         }
     }
 
+    /// One-line description, emitted as the Prometheus `# HELP` text.
+    pub fn help(self) -> &'static str {
+        match self {
+            Counter::Launches => "Task launches issued (control thread or shard)",
+            Counter::TaskRuns => "Point-task kernels executed",
+            Counter::CopiesIssued => "Copy messages extracted and sent (producer side)",
+            Counter::CopiesApplied => "Copy messages received and applied (consumer side)",
+            Counter::BarrierWaits => "Barrier waits entered",
+            Counter::CollectiveWaits => "Dynamic-collective waits entered",
+            Counter::DepChecks => "Pairwise region dependence checks performed",
+            Counter::MemoHits => "Epochs fully replayed from a memoized template",
+            Counter::MemoMisses => "Replay attempts that diverged back to analysis",
+            Counter::MemoCaptures => "Epoch templates captured",
+            Counter::MemoReplayedTasks => "Point tasks whose dependence bookkeeping was replayed",
+            Counter::Retransmits => "Corrupted or lost deliveries absorbed by retransmission",
+            Counter::Checkpoints => "Checkpoint snapshots taken",
+            Counter::Restores => "Checkpoint rollbacks performed",
+            Counter::SequentialTasks => "Point tasks executed sequentially (hybrid segments)",
+            Counter::ReplicatedSegments => "Replicated segments executed (hybrid programs)",
+            Counter::LogAppends => "Records appended to the shared launch log",
+            Counter::LogCombinedBatches => "Batches published by the flat combiner",
+            Counter::LogCombinedRecords => "Records combined into published batches",
+            Counter::LogCursorLag => "Sum of per-batch consumer cursor lags",
+            Counter::LogAnalyses => "Per-replica per-batch dependence analyses run",
+            Counter::JobsAdmitted => "Jobs admitted into a service shard pool",
+            Counter::JobsShed => "Jobs rejected by admission control",
+            Counter::JobsRetried => "Job retry attempts after transient failures",
+            Counter::JobsDegraded => "Tenant shard-allocation reductions under pressure",
+            Counter::JobsCompleted => "Jobs that ran to completion under supervision",
+            Counter::JobsQuarantined => "Jobs quarantined after a permanent failure",
+            Counter::PoolReuses => "Exchange payload buffers served from the freelist",
+            Counter::PoolAllocs => "Exchange payload buffers freshly allocated",
+            Counter::RingStalls => "Ring sends stalled on back-pressure",
+            Counter::FailoverAttempts => "Executor attempts launched by the failover driver",
+            Counter::PeerDeaths => "Shard deaths observed by the failover driver",
+            Counter::MembershipShrinks => "Membership epochs committed (one eviction each)",
+        }
+    }
+
     fn index(self) -> usize {
         Counter::ALL.iter().position(|c| *c == self).unwrap()
     }
@@ -259,6 +298,26 @@ impl Timer {
         }
     }
 
+    /// One-line description, emitted as the Prometheus `# HELP` text.
+    pub fn help(self) -> &'static str {
+        match self {
+            Timer::TaskRunNs => "Kernel execution time per point task (ns)",
+            Timer::DepAnalysisNs => "Dependence-analysis time per task (ns)",
+            Timer::CopyIssueNs => "Producer-side copy time: extract + send (ns)",
+            Timer::CopyWaitNs => "Consumer-side copy time: receive + apply (ns)",
+            Timer::BarrierWaitNs => "Time blocked at a barrier (ns)",
+            Timer::CollectiveWaitNs => "Time blocked in a dynamic collective (ns)",
+            Timer::CheckpointNs => "Checkpoint snapshot time (ns)",
+            Timer::RestoreNs => "Checkpoint restore time (ns)",
+            Timer::LogCombineNs => "Flat-combining round time, sequencer side (ns)",
+            Timer::LogAnalysisNs => "Per-replica per-batch dependence-analysis time (ns)",
+            Timer::QueueWaitNs => "Time a job waited in the service admission queue (ns)",
+            Timer::IntegrityNs => "Time sealing, verifying, and checksumming instances (ns)",
+            Timer::MttrNs => "Mean-time-to-repair per failover attempt (ns)",
+            Timer::FailoverReconstructNs => "Time reconstructing dead-shard instances (ns)",
+        }
+    }
+
     fn index(self) -> usize {
         Timer::ALL.iter().position(|t| *t == self).unwrap()
     }
@@ -270,6 +329,10 @@ pub const HIST_BUCKETS: usize = 40;
 
 /// A log2-bucket latency histogram: bucket `i` counts samples in
 /// `[2^i, 2^(i+1))` nanoseconds (bucket 0 also absorbs 0 ns samples).
+/// The terminal bucket is an *overflow* bucket: samples at or above
+/// `2^(HIST_BUCKETS-1)` ns saturate into it, and exposition reports
+/// them only under `le="+Inf"` — never under a finite bound they may
+/// exceed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Hist {
     /// Sample counts per log2 bucket.
@@ -319,6 +382,36 @@ impl Hist {
         } else {
             self.sum_ns as f64 / self.count as f64
         }
+    }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`) in nanoseconds, linearly
+    /// interpolated within the landing log2 bucket. Returns 0 when
+    /// empty. A quantile landing in the overflow bucket is reported as
+    /// that bucket's lower bound (the histogram records no upper bound
+    /// there), so tail estimates saturate rather than fabricate.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let prev = cum as f64;
+            cum += n;
+            if (cum as f64) >= rank {
+                let lo = if i == 0 { 0.0 } else { (1u128 << i) as f64 };
+                if i == HIST_BUCKETS - 1 {
+                    return lo;
+                }
+                let hi = (1u128 << (i + 1)) as f64;
+                let frac = ((rank - prev) / n as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * frac;
+            }
+        }
+        (1u128 << (HIST_BUCKETS - 1)) as f64
     }
 }
 
@@ -597,8 +690,10 @@ impl MetricsRegistry {
         out
     }
 
-    /// Serializes the registry as Prometheus text exposition
-    /// (cumulative `le` buckets, one series per label).
+    /// Serializes the registry as Prometheus text exposition:
+    /// `# HELP`/`# TYPE` metadata per family, escaped label values,
+    /// cumulative `le` buckets with the overflow bucket reported only
+    /// under `+Inf`, one series per label.
     pub fn to_prometheus(&self) -> String {
         let labels = self.per_label();
         let mut out = String::new();
@@ -606,11 +701,18 @@ impl MetricsRegistry {
             if labels.iter().all(|(_, s)| s.get(c) == 0) {
                 continue;
             }
+            writeln!(out, "# HELP regent_{}_total {}", c.name(), c.help()).unwrap();
             writeln!(out, "# TYPE regent_{}_total counter", c.name()).unwrap();
             for (label, set) in &labels {
                 let v = set.get(c);
                 if v > 0 {
-                    writeln!(out, "regent_{}_total{{shard=\"{label}\"}} {v}", c.name()).unwrap();
+                    writeln!(
+                        out,
+                        "regent_{}_total{{shard=\"{}\"}} {v}",
+                        c.name(),
+                        prom_escape(label)
+                    )
+                    .unwrap();
                 }
             }
         }
@@ -618,18 +720,26 @@ impl MetricsRegistry {
             if labels.iter().all(|(_, s)| s.timer(t).count == 0) {
                 continue;
             }
+            writeln!(out, "# HELP regent_{} {}", t.name(), t.help()).unwrap();
             writeln!(out, "# TYPE regent_{} histogram", t.name()).unwrap();
             for (label, set) in &labels {
                 let h = set.timer(t);
                 if h.count == 0 {
                     continue;
                 }
+                let label = prom_escape(label);
                 let mut cum = 0u64;
                 for (i, &n) in h.buckets.iter().enumerate() {
                     if n == 0 {
                         continue;
                     }
                     cum += n;
+                    // The terminal bucket is the overflow bucket: its
+                    // samples may exceed 2^HIST_BUCKETS, so they are
+                    // reported only under the +Inf bound below.
+                    if i == HIST_BUCKETS - 1 {
+                        break;
+                    }
                     writeln!(
                         out,
                         "regent_{}_bucket{{shard=\"{label}\",le=\"{}\"}} {cum}",
@@ -663,6 +773,21 @@ impl MetricsRegistry {
         }
         out
     }
+}
+
+/// Escapes a Prometheus label value: backslash, double quote, and
+/// newline per the text-exposition spec.
+pub fn prom_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// One thread's private recording handle (see [`MetricsRegistry`]).
@@ -737,6 +862,17 @@ impl MetricsHandle {
     pub fn record_ns(&mut self, t: Timer, ns: u64) {
         if self.enabled {
             self.set.timers[t.index()].record(ns);
+        }
+    }
+
+    /// Merges the buffered set into the registry now and resets the
+    /// buffer. Long-lived handles (service worker threads) call this
+    /// at job boundaries so mid-run scrapes see fresh counters; the
+    /// implicit merge on drop only covers handles that die promptly.
+    pub fn flush(&mut self) {
+        if self.enabled {
+            self.registry.absorb(&self.label, &self.set);
+            *self.set = MetricSet::default();
         }
     }
 }
@@ -844,6 +980,84 @@ mod tests {
         assert!(flat.iter().any(|(n, v)| n == "launches" && *v == 2.0));
         registry.reset();
         assert!(registry.aggregate().is_empty());
+    }
+
+    #[test]
+    fn flush_publishes_midlife_and_never_double_counts() {
+        let registry = global();
+        if !registry.is_enabled() {
+            return; // REGENT_METRICS_OFF set for this test process
+        }
+        // Unique label: no reset(), so this cannot race other tests
+        // that share the global registry.
+        let label = "test-flush-worker";
+        let mut h = registry.handle(label);
+        h.add(Counter::JobsAdmitted, 2);
+        h.flush();
+        let mid = |reg: &MetricsRegistry| {
+            reg.per_label()
+                .into_iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, s)| s.get(Counter::JobsAdmitted))
+                .unwrap_or(0)
+        };
+        // Visible to a scrape while the handle is still alive...
+        assert_eq!(mid(registry), 2);
+        h.incr(Counter::JobsAdmitted);
+        drop(h); // ...and the drop-merge only adds the post-flush tail.
+        assert_eq!(mid(registry), 3);
+    }
+
+    #[test]
+    fn hist_quantiles_interpolate_and_saturate() {
+        let mut h = Hist::default();
+        for _ in 0..99 {
+            h.record(1000); // bucket 9: [512, 1024)
+        }
+        h.record(1 << 62); // overflow bucket
+        let p50 = h.quantile_ns(0.5);
+        assert!((512.0..1024.0).contains(&p50), "p50 = {p50}");
+        // The tail quantile lands in the overflow bucket and must
+        // saturate at its lower bound, not invent an upper bound.
+        assert_eq!(h.quantile_ns(0.999), (1u128 << (HIST_BUCKETS - 1)) as f64);
+        assert_eq!(Hist::default().quantile_ns(0.5), 0.0);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_spec_compliant() {
+        // Golden-output check for one counter family and one histogram
+        // family. Uses a private registry so parallel tests touching
+        // the global one cannot perturb the golden text.
+        let registry = MetricsRegistry {
+            enabled: true,
+            store: Mutex::new(BTreeMap::new()),
+        };
+        let mut set = MetricSet::default();
+        set.counters[Counter::JobsAdmitted.index()] = 1;
+        set.timers[Timer::QueueWaitNs.index()].record(700); // bucket 9
+        set.timers[Timer::QueueWaitNs.index()].record(1 << 62); // overflow bucket
+        registry.absorb("tenant-1/quote\"back\\slash", &set);
+        let prom = registry.to_prometheus();
+        let expected = "\
+# HELP regent_jobs_admitted_total Jobs admitted into a service shard pool
+# TYPE regent_jobs_admitted_total counter
+regent_jobs_admitted_total{shard=\"tenant-1/quote\\\"back\\\\slash\"} 1
+# HELP regent_queue_wait_ns Time a job waited in the service admission queue (ns)
+# TYPE regent_queue_wait_ns histogram
+regent_queue_wait_ns_bucket{shard=\"tenant-1/quote\\\"back\\\\slash\",le=\"1024\"} 1
+regent_queue_wait_ns_bucket{shard=\"tenant-1/quote\\\"back\\\\slash\",le=\"+Inf\"} 2
+regent_queue_wait_ns_sum{shard=\"tenant-1/quote\\\"back\\\\slash\"} 4611686018427388604
+regent_queue_wait_ns_count{shard=\"tenant-1/quote\\\"back\\\\slash\"} 2
+";
+        assert_eq!(prom, expected);
+        // Overflow samples must never appear under a finite le bound.
+        assert!(!prom.contains(&format!("le=\"{}\"", 1u128 << HIST_BUCKETS)));
+    }
+
+    #[test]
+    fn prom_escape_handles_specials() {
+        assert_eq!(prom_escape("plain"), "plain");
+        assert_eq!(prom_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]

@@ -51,6 +51,18 @@ pub struct ServiceConfig {
     /// Trace sink for `Job*` supervisor events and executor spans.
     /// Use [`Tracer::disabled`] when no trace is wanted.
     pub tracer: Arc<Tracer>,
+    /// Scoped per-job tracing: when set, each attempt runs its
+    /// executor under a private recorder, and the successful attempt's
+    /// trace rides back on
+    /// [`JobOutcome::Completed`](crate::JobOutcome::Completed) —
+    /// independently Spy-certifiable even when jobs interleave.
+    pub trace_jobs: bool,
+    /// Directory per-job traces are dumped to as
+    /// `tenant<t>-job<id>-<strategy>.trace.json`
+    /// (`REGENT_SERVE_TRACE_DIR`; setting it implies
+    /// [`trace_jobs`](Self::trace_jobs)). `None` keeps traces
+    /// in-memory only.
+    pub trace_dir: Option<std::path::PathBuf>,
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -76,6 +88,8 @@ impl ServiceConfig {
             checkpoint_interval: 2,
             failover: None,
             tracer: Tracer::disabled(),
+            trace_jobs: false,
+            trace_dir: None,
         }
     }
 
@@ -85,7 +99,12 @@ impl ServiceConfig {
     pub fn from_env() -> ServiceConfig {
         let base = ServiceConfig::new();
         let deadline_ms = env_u64("REGENT_SERVE_DEADLINE_MS", 0);
+        let trace_dir = std::env::var_os("REGENT_SERVE_TRACE_DIR")
+            .filter(|v| !v.is_empty())
+            .map(std::path::PathBuf::from);
         ServiceConfig {
+            trace_jobs: trace_dir.is_some(),
+            trace_dir,
             workers: env_u64("REGENT_SERVE_WORKERS", base.workers as u64).max(1) as usize,
             queue_depth: env_u64("REGENT_SERVE_QUEUE", base.queue_depth as u64) as usize,
             shed_budget: env_u64("REGENT_SERVE_SHED_BUDGET", base.shed_budget),
@@ -102,6 +121,13 @@ impl ServiceConfig {
     /// Builder-style tracer override.
     pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> ServiceConfig {
         self.tracer = tracer;
+        self
+    }
+
+    /// Builder-style scoped per-job tracing (see
+    /// [`trace_jobs`](Self::trace_jobs)).
+    pub fn with_job_tracing(mut self) -> ServiceConfig {
+        self.trace_jobs = true;
         self
     }
 }

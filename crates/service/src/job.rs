@@ -148,6 +148,13 @@ pub enum JobOutcome {
         digest: u64,
         /// Shards the job actually ran on (post-degradation).
         shards: usize,
+        /// This job's own executor trace, present when the service ran
+        /// with scoped per-job tracing
+        /// ([`ServiceConfig::trace_jobs`](crate::ServiceConfig::trace_jobs)).
+        /// Records only the *successful* attempt — failed attempts'
+        /// recorders are discarded so retries cannot pollute the
+        /// certified record.
+        trace: Option<std::sync::Arc<regent_trace::Trace>>,
     },
     /// Cancelled cooperatively: deadline budget exhausted or an
     /// explicit supervisor cancel.
@@ -181,6 +188,15 @@ impl JobOutcome {
     pub fn digest(&self) -> Option<u64> {
         match self {
             JobOutcome::Completed { digest, .. } => Some(*digest),
+            _ => None,
+        }
+    }
+
+    /// This job's scoped executor trace, when completed under
+    /// per-job tracing.
+    pub fn trace(&self) -> Option<&regent_trace::Trace> {
+        match self {
+            JobOutcome::Completed { trace, .. } => trace.as_deref(),
             _ => None,
         }
     }

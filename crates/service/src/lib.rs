@@ -57,10 +57,23 @@
 //!
 //! Counters and queue-wait timers land on the global
 //! [`metrics`](regent_runtime::metrics) registry (exported via
-//! `REGENT_METRICS`); `JobAdmit`/`JobShed`/`JobRetry`/`JobDegrade`
-//! trace events are recorded when the service is built with an enabled
-//! tracer, and `regent-prof` renders them as a per-tenant service
-//! summary plus a `queue_wait` blame row.
+//! `REGENT_METRICS`, scrapeable live via `REGENT_METRICS_ADDR`);
+//! `JobAdmit`/`JobShed`/`JobRetry`/`JobDegrade` trace events are
+//! recorded when the service is built with an enabled tracer, and
+//! `regent-prof` renders them as a per-tenant service summary plus a
+//! `queue_wait` blame row.
+//!
+//! With scoped per-job tracing
+//! ([`ServiceConfig::trace_jobs`] / `REGENT_SERVE_TRACE_DIR`), each
+//! attempt additionally runs its executor under a private recorder:
+//! every completed job carries its own independently Spy-certifiable
+//! trace on [`JobOutcome::Completed`], even when jobs of different
+//! apps and strategies interleave on the pool. Completions and sheds
+//! feed the live telemetry plane ([`regent_runtime::live`]) for
+//! sliding-window p50/p99 and SLO burn-rate gauges, and job milestones
+//! are noted on the crash-surviving flight recorder
+//! ([`regent_trace::flight`]), which dumps a certifiable black box on
+//! every Permanent failure.
 
 mod config;
 mod job;

@@ -9,15 +9,30 @@
 //! lock — the lock is held only to pick/queue work, so admission stays
 //! responsive while every worker is busy.
 //!
-//! ## Why executors run untraced here
+//! ## Scoped per-job recorders
 //!
 //! Concurrent jobs would interleave events on identically-named shard
-//! tracks, which breaks the happens-before certification the profiler
-//! relies on. The service therefore records only its own `Job*` events
-//! (admission spans carrying queue wait, sheds, retries, degradations)
-//! onto the configured tracer and runs the executors with tracing
-//! disabled; per-run executor traces remain available by running jobs
-//! outside the service.
+//! tracks if they shared one recorder, which breaks the happens-before
+//! certification the profiler relies on. The service therefore splits
+//! the trace plane in two: the configured service tracer records only
+//! `Job*` events (admission spans carrying queue wait, sheds, retries,
+//! degradations), while each *attempt* of each job runs its executor
+//! under a private [`Tracer`] of its own. Only the successful
+//! attempt's recorder survives — failed attempts are discarded, the
+//! same discipline the failover driver applies to its inner per-attempt
+//! tracers — so every completed job carries an independently
+//! Spy-certifiable trace on
+//! [`JobOutcome::Completed`](crate::JobOutcome), no matter how many
+//! neighbours ran beside it. With
+//! [`trace_dir`](crate::ServiceConfig::trace_dir) set
+//! (`REGENT_SERVE_TRACE_DIR`), each trace is also dumped as
+//! `tenant<t>-job<id>-<strategy>.trace.json`.
+//!
+//! Completions and sheds additionally feed the live telemetry plane
+//! ([`regent_runtime::live`]) for sliding-window latency/goodput
+//! gauges, and job milestones are noted on the always-on flight
+//! recorder ([`regent_trace::flight`]) so a Permanent failure dumps a
+//! certifiable black box even on otherwise untraced runs.
 
 use crate::config::ServiceConfig;
 use crate::job::{JobHandle, JobOutcome, JobSpec, Overloaded, Shared, Strategy};
@@ -26,14 +41,17 @@ use regent_cr::{control_replicate, CrOptions};
 use regent_fault::splitmix64;
 use regent_ir::{interp, Store};
 use regent_region::{FieldType, RegionForest, RegionId};
+use regent_runtime::live::live;
 use regent_runtime::metrics::{self, Counter, Timer};
 use regent_runtime::{
-    classify_failure, execute_hybrid_failover, execute_hybrid_resilient, execute_implicit,
-    execute_log_failover, execute_log_resilient, execute_spmd_failover, execute_spmd_resilient,
-    CancelToken, FailoverOptions, FailureClass, FaultPlan, HybridRescue, ImplicitOptions,
-    MemoCache, RescueSlot, ResilienceOptions, CANCEL_PREFIX,
+    classify_failure, execute_hybrid_failover_traced, execute_hybrid_resilient_traced,
+    execute_implicit, execute_log_failover_traced, execute_log_resilient_traced,
+    execute_spmd_failover_traced, execute_spmd_resilient_traced, CancelToken, FailoverOptions,
+    FailureClass, FaultPlan, HybridRescue, ImplicitOptions, MemoCache, RescueSlot,
+    ResilienceOptions, CANCEL_PREFIX,
 };
-use regent_trace::{EventKind, TraceBuf};
+use regent_trace::flight::flight;
+use regent_trace::{export_native, EventKind, Trace, TraceBuf, Tracer};
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -131,7 +149,10 @@ pub struct Service {
 /// Installs (once per process) a panic hook that swallows the default
 /// stderr report for *expected* supervised unwinds — deadline cancels
 /// and injected transient faults are control flow here, not crashes.
-/// Permanent failures (the quarantine path) still report normally.
+/// Permanent failures (the quarantine path) still report normally, and
+/// dump the flight-recorder black box (`REGENT_FLIGHT_DIR`) before the
+/// unwind leaves the panic site — the post-mortem survives even if the
+/// process dies before reaching the quarantine path.
 fn install_quiet_hook() {
     static HOOK: std::sync::OnceLock<()> = std::sync::OnceLock::new();
     HOOK.get_or_init(|| {
@@ -144,6 +165,8 @@ fn install_quiet_hook() {
                 .or_else(|| info.payload().downcast_ref::<&str>().copied())
                 .is_some_and(|m| classify_failure(m) != FailureClass::Permanent);
             if !expected {
+                flight().note("flight", EventKind::Mark { name: "panic" });
+                flight().dump_env("panic", Some(&metrics::global().to_json()));
                 prev(info);
             }
         }));
@@ -212,20 +235,25 @@ impl Service {
             st.stats.shed.fetch_add(1, Ordering::Relaxed);
             let mut mh = metrics::global().handle("service-admission");
             mh.incr(Counter::JobsShed);
-            let mut tb = st.submit_buf.lock().expect("submit buf poisoned");
-            tb.instant(EventKind::JobShed {
+            live().record_shed(spec.tenant);
+            let shed_event = EventKind::JobShed {
                 job: id,
                 tenant: spec.tenant,
                 queued: queued as u32,
-            });
+            };
+            flight().note("service", shed_event);
+            let mut tb = st.submit_buf.lock().expect("submit buf poisoned");
+            tb.instant(shed_event);
             if let Some((from_shards, to_shards)) = degrade {
                 st.stats.degraded.fetch_add(1, Ordering::Relaxed);
                 mh.incr(Counter::JobsDegraded);
-                tb.instant(EventKind::JobDegrade {
+                let degrade_event = EventKind::JobDegrade {
                     tenant: spec.tenant,
                     from_shards,
                     to_shards,
-                });
+                };
+                flight().note("service", degrade_event);
+                tb.instant(degrade_event);
             }
             return Err(Overloaded {
                 queued,
@@ -379,14 +407,16 @@ fn worker_loop(st: Arc<State>, n: u64) {
         };
 
         let wait_end = tb.now();
+        let admit_event = EventKind::JobAdmit {
+            job: job.id,
+            tenant: job.spec.tenant,
+            queued,
+        };
+        flight().note("service", admit_event);
         tb.push(
             job.submitted_ts,
             wait_end.saturating_sub(job.submitted_ts),
-            EventKind::JobAdmit {
-                job: job.id,
-                tenant: job.spec.tenant,
-                queued,
-            },
+            admit_event,
         );
         mh.incr(Counter::JobsAdmitted);
         mh.record_ns(
@@ -400,17 +430,43 @@ fn worker_loop(st: Arc<State>, n: u64) {
             JobOutcome::Completed { .. } => {
                 st.stats.completed.fetch_add(1, Ordering::Relaxed);
                 mh.incr(Counter::JobsCompleted);
+                // Client-visible latency (queue wait + attempts) feeds
+                // the sliding-window SLO gauges.
+                live().record_completion(
+                    job.spec.tenant,
+                    job.spec.strategy.label(),
+                    job.submitted_at.elapsed().as_nanos() as u64,
+                );
             }
             JobOutcome::Cancelled { .. } => {
                 st.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                flight().note(
+                    "flight",
+                    EventKind::Mark {
+                        name: "job_cancelled",
+                    },
+                );
             }
             JobOutcome::Quarantined { .. } => {
                 st.stats.quarantined.fetch_add(1, Ordering::Relaxed);
                 mh.incr(Counter::JobsQuarantined);
+                // A Permanent failure is exactly what the black box
+                // exists for: milestone + dump with the metrics state.
+                flight().note(
+                    "flight",
+                    EventKind::Mark {
+                        name: "job_quarantined",
+                    },
+                );
+                flight().dump_env("job-quarantined", Some(&metrics::global().to_json()));
             }
         }
         deliver(&job.shared, outcome);
         tb.flush();
+        // Publish this worker's buffered counters so a mid-run scrape
+        // sees job totals that are at most one job stale, not held
+        // back until the worker thread exits.
+        mh.flush();
 
         if quarantined {
             // Recycle the pool slot: anything the foreign panic may
@@ -486,6 +542,16 @@ fn run_supervised(
         };
         let transient = if attempt == 0 { inject } else { None };
         let token = CancelToken::with_budget_and_transient(budget, transient);
+        // Each attempt records into its own scoped tracer: a failed
+        // attempt's events are discarded with it (same discipline as
+        // the failover driver's inner tracers), so the trace delivered
+        // with the outcome certifies exactly the run that produced the
+        // result.
+        let job_tracer = if cfg.trace_jobs {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
         let run = catch_unwind(AssertUnwindSafe(|| {
             run_once(
                 cfg,
@@ -498,15 +564,21 @@ fn run_supervised(
                 hybrid_rescue.as_deref(),
                 failover.as_ref(),
                 memo,
+                &job_tracer,
             )
         }));
         match run {
             Ok((env, digest, final_shards)) => {
+                let trace = cfg
+                    .trace_jobs
+                    .then(|| Arc::new(job_tracer.take()))
+                    .inspect(|t| dump_job_trace(cfg, spec, job.id, t));
                 return JobOutcome::Completed {
                     attempts: attempt + 1,
                     env,
                     digest,
                     shards: final_shards,
+                    trace,
                 };
             }
             Err(payload) => {
@@ -517,11 +589,13 @@ fn run_supervised(
                         attempt += 1;
                         st.stats.retried.fetch_add(1, Ordering::Relaxed);
                         mh.incr(Counter::JobsRetried);
-                        tb.instant(EventKind::JobRetry {
+                        let retry_event = EventKind::JobRetry {
                             job: job.id,
                             tenant: spec.tenant,
                             attempt,
-                        });
+                        };
+                        flight().note("service", retry_event);
+                        tb.instant(retry_event);
                         let delay =
                             cfg.retry
                                 .delay_ms(cfg.fault_seed.unwrap_or(0), job.id, attempt - 1);
@@ -539,8 +613,27 @@ fn run_supervised(
     }
 }
 
+/// Writes a completed job's scoped trace to the configured dump
+/// directory. Write failures are reported, never fatal — losing a
+/// trace artifact must not fail the job that produced it.
+fn dump_job_trace(cfg: &ServiceConfig, spec: &JobSpec, job_id: u64, trace: &Trace) {
+    let Some(dir) = &cfg.trace_dir else { return };
+    let path = dir.join(format!(
+        "tenant{}-job{}-{}.trace.json",
+        spec.tenant,
+        job_id,
+        spec.strategy.label()
+    ));
+    if let Err(e) =
+        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, export_native(trace)))
+    {
+        eprintln!("regent-serve: cannot write {}: {e}", path.display());
+    }
+}
+
 /// One attempt: build the program fresh (isolation by construction)
-/// and run it under the requested strategy. Returns the final scalar
+/// and run it under the requested strategy, recording executor events
+/// onto this attempt's scoped `tracer`. Returns the final scalar
 /// environment, the result digest, and the final shard membership
 /// (smaller than `shards` when live failover shrank the run).
 #[allow(clippy::too_many_arguments)]
@@ -555,6 +648,7 @@ fn run_once(
     hybrid_rescue: Option<&HybridRescue>,
     failover: Option<&FailoverOptions>,
     memo: &Arc<Mutex<MemoCache>>,
+    tracer: &Arc<Tracer>,
 ) -> (Vec<f64>, u64, usize) {
     let (prog, mut store) = (spec.factory)();
     let roots = prog.root_regions();
@@ -586,13 +680,16 @@ fn run_once(
                     (env, digest, shards)
                 }
                 Strategy::Implicit => {
-                    let (env, _) =
-                        execute_implicit(&prog, &mut store, ImplicitOptions::with_workers(shards));
+                    let mut opts = ImplicitOptions::with_workers(shards);
+                    opts.tracer = Arc::clone(tracer);
+                    let (env, _) = execute_implicit(&prog, &mut store, opts);
                     let digest = digest_store(&prog.forest, &store, &roots, &env);
                     (env, digest, shards)
                 }
                 Strategy::MemoImplicit => {
-                    let opts = ImplicitOptions::with_workers(shards).with_memo(Arc::clone(memo));
+                    let mut opts =
+                        ImplicitOptions::with_workers(shards).with_memo(Arc::clone(memo));
+                    opts.tracer = Arc::clone(tracer);
                     let (env, _) = execute_implicit(&prog, &mut store, opts);
                     let digest = digest_store(&prog.forest, &store, &roots, &env);
                     (env, digest, shards)
@@ -615,11 +712,17 @@ fn run_once(
                 ..ResilienceOptions::default()
             };
             if let Some(fo) = failover {
-                let r = execute_hybrid_failover(&mut hybrid, &mut store, &opts, fo);
+                let r = execute_hybrid_failover_traced(&mut hybrid, &mut store, &opts, fo, tracer);
                 let digest = digest_store(&hybrid.base.forest, &store, &roots, &r.run.env);
                 (r.run.env, digest, r.final_shards)
             } else {
-                let r = execute_hybrid_resilient(&hybrid, &mut store, &opts, hybrid_rescue);
+                let r = execute_hybrid_resilient_traced(
+                    &hybrid,
+                    &mut store,
+                    &opts,
+                    hybrid_rescue,
+                    tracer,
+                );
                 let digest = digest_store(&hybrid.base.forest, &store, &roots, &r.env);
                 (r.env, digest, shards)
             }
@@ -635,11 +738,11 @@ fn run_once(
                 ..ResilienceOptions::default()
             };
             if let Some(fo) = failover {
-                let r = execute_spmd_failover(&mut spmd, &mut store, &opts, fo);
+                let r = execute_spmd_failover_traced(&mut spmd, &mut store, &opts, fo, tracer);
                 let digest = digest_store(&spmd.forest, &store, &roots, &r.run.env);
                 (r.run.env, digest, r.final_shards)
             } else {
-                let r = execute_spmd_resilient(&spmd, &mut store, &opts);
+                let r = execute_spmd_resilient_traced(&spmd, &mut store, &opts, tracer);
                 let digest = digest_store(&spmd.forest, &store, &roots, &r.env);
                 (r.env, digest, shards)
             }
@@ -654,11 +757,11 @@ fn run_once(
                 ..ResilienceOptions::default()
             };
             if let Some(fo) = failover {
-                let r = execute_log_failover(&mut spmd, &mut store, &opts, fo);
+                let r = execute_log_failover_traced(&mut spmd, &mut store, &opts, fo, tracer);
                 let digest = digest_store(&spmd.forest, &store, &roots, &r.run.env);
                 (r.run.env, digest, r.final_shards)
             } else {
-                let r = execute_log_resilient(&spmd, &mut store, &opts);
+                let r = execute_log_resilient_traced(&spmd, &mut store, &opts, tracer);
                 let digest = digest_store(&spmd.forest, &store, &roots, &r.env);
                 (r.env, digest, shards)
             }

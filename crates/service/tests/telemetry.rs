@@ -1,0 +1,184 @@
+//! Scoped per-job tracing under concurrency: when the service runs
+//! with `trace_jobs` enabled, jobs of *different* apps and strategies
+//! interleaving on the worker pool must each come back with a private
+//! trace that (a) Spy-certifies against that job's own region forest,
+//! (b) carries a blame decomposition that sums exactly to its own
+//! critical path, and (c) is indistinguishable from the trace the same
+//! job produces running alone — no event from a neighbour ever leaks
+//! into a scoped recorder.
+
+use regent_cr::{control_replicate, CrOptions, ForestOracle};
+use regent_serve::{jobs, JobOutcome, JobSpec, Service, ServiceConfig, Strategy};
+use regent_trace::{blame_report, import_trace, validate, SpyReport, Trace};
+
+/// Rebuilds the job's region forest the same way the attempt did
+/// (factories are deterministic) and certifies `trace` against it.
+fn certify(spec: &JobSpec, shards: usize, trace: &Trace) -> SpyReport {
+    let (prog, _store) = (spec.factory)();
+    let report = match spec.strategy {
+        Strategy::Spmd => {
+            let spmd = control_replicate(prog, &CrOptions::new(shards)).expect("control_replicate");
+            validate(trace, &ForestOracle::new(&spmd.forest))
+        }
+        Strategy::Implicit => validate(trace, &ForestOracle::new(&prog.forest)),
+        other => panic!("test does not certify {} traces", other.label()),
+    }
+    .expect("structurally valid scoped log");
+    assert!(
+        report.ok(),
+        "{}: spy violations in scoped trace: {:?}",
+        spec.name,
+        report.violations
+    );
+    assert!(
+        report.certified > 0,
+        "{}: no dependences exercised",
+        spec.name
+    );
+    report
+}
+
+/// Blame must be attributable entirely to this job's own record: the
+/// per-phase decomposition sums to the trace's own critical path.
+fn assert_blame_self_contained(spec: &JobSpec, trace: &Trace) {
+    let rep = blame_report(trace).expect("blame on scoped trace");
+    assert_eq!(
+        rep.total.total(),
+        rep.critical_path_ns,
+        "{}: blame does not sum to this job's critical path",
+        spec.name
+    );
+}
+
+/// The three jobs the isolation tests interleave: distinct apps AND
+/// distinct strategies, so any cross-recorder leak would certify
+/// against the wrong forest and fail loudly.
+fn mixed_specs() -> Vec<JobSpec> {
+    vec![
+        jobs::stencil_job(1, Strategy::Spmd, 2),
+        jobs::circuit_job(2, Strategy::Implicit, 2),
+        jobs::pennant_job(3, Strategy::Spmd, 2),
+    ]
+}
+
+/// Runs one job alone on a fresh single-worker service and returns its
+/// `(tasks, digest)` fingerprint — the isolation baseline.
+fn solo_fingerprint(spec: JobSpec) -> (usize, u64) {
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::new().with_job_tracing()
+    });
+    let h = svc.submit(spec.clone()).expect("solo job admitted");
+    let outcome = h.wait();
+    let (digest, shards, trace) = match &outcome {
+        JobOutcome::Completed {
+            digest,
+            shards,
+            trace,
+            ..
+        } => (*digest, *shards, trace.clone().expect("solo scoped trace")),
+        other => panic!("{}: solo run failed: {other:?}", spec.name),
+    };
+    svc.shutdown();
+    let report = certify(&spec, shards, &trace);
+    (report.tasks, digest)
+}
+
+#[test]
+fn concurrent_jobs_produce_isolated_certifiable_traces() {
+    let specs = mixed_specs();
+    let baselines: Vec<(usize, u64)> = specs.iter().map(|s| solo_fingerprint(s.clone())).collect();
+
+    // One worker per job: all three run truly concurrently.
+    let svc = Service::start(ServiceConfig {
+        workers: 3,
+        ..ServiceConfig::new().with_job_tracing()
+    });
+    let handles: Vec<_> = specs
+        .iter()
+        .map(|s| svc.submit(s.clone()).expect("admitted"))
+        .collect();
+    let outcomes: Vec<JobOutcome> = handles.iter().map(|h| h.wait()).collect();
+    svc.shutdown();
+
+    for ((spec, outcome), (solo_tasks, solo_digest)) in specs.iter().zip(&outcomes).zip(&baselines)
+    {
+        let JobOutcome::Completed {
+            digest,
+            shards,
+            trace,
+            ..
+        } = outcome
+        else {
+            panic!("{}: expected completion, got {outcome:?}", spec.name);
+        };
+        let trace = trace.as_deref().expect("scoped trace on completion");
+        let report = certify(spec, *shards, trace);
+        assert_blame_self_contained(spec, trace);
+        // Isolation: interleaved execution left exactly the record a
+        // solitary run leaves — same task count, same result digest.
+        assert_eq!(
+            report.tasks, *solo_tasks,
+            "{}: task count diverged from the solo run",
+            spec.name
+        );
+        assert_eq!(
+            digest, solo_digest,
+            "{}: result digest diverged from the solo run",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn trace_dir_dumps_one_certifiable_file_per_job() {
+    let dir = std::env::temp_dir().join(format!("regent-trace-dir-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let svc = Service::start(ServiceConfig {
+        workers: 3,
+        trace_jobs: true,
+        trace_dir: Some(dir.clone()),
+        ..ServiceConfig::new()
+    });
+    let specs = mixed_specs();
+    let handles: Vec<_> = specs
+        .iter()
+        .map(|s| svc.submit(s.clone()).expect("admitted"))
+        .collect();
+    let outcomes: Vec<JobOutcome> = handles.iter().map(|h| h.wait()).collect();
+    svc.shutdown();
+
+    for ((spec, handle), outcome) in specs.iter().zip(&handles).zip(&outcomes) {
+        let JobOutcome::Completed { shards, .. } = outcome else {
+            panic!("{}: expected completion, got {outcome:?}", spec.name);
+        };
+        let path = dir.join(format!(
+            "tenant{}-job{}-{}.trace.json",
+            spec.tenant,
+            handle.job,
+            spec.strategy.label()
+        ));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing dump {}: {e}", path.display()));
+        let trace = import_trace(&text).expect("dumped trace parses");
+        certify(spec, *shards, &trace);
+    }
+    let files = std::fs::read_dir(&dir).expect("trace dir").count();
+    assert_eq!(files, specs.len(), "exactly one dump per completed job");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tracing_off_leaves_no_trace_on_outcomes() {
+    let svc = Service::start(ServiceConfig::new());
+    let h = svc
+        .submit(jobs::stencil_job(1, Strategy::Spmd, 2))
+        .expect("admitted");
+    let outcome = h.wait();
+    svc.shutdown();
+    assert!(outcome.is_completed());
+    assert!(
+        outcome.trace().is_none(),
+        "trace_jobs off must not allocate per-job recorders"
+    );
+}

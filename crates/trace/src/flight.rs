@@ -1,0 +1,325 @@
+//! The flight recorder: an always-on, fixed-size black box.
+//!
+//! Tracing ([`Tracer`](crate::Tracer)) records *everything* and is
+//! therefore opt-in; the flight recorder records only *milestones* —
+//! job lifecycle transitions, peer deaths, membership changes,
+//! checkpoint restores, corruption escalations — into one bounded
+//! process-global ring, cheaply enough to stay armed in production.
+//! When something dies (a Permanent panic, a failover, a
+//! `FAILOVER_EXHAUSTED` fail-stop), the last `REGENT_FLIGHT_EVENTS`
+//! milestones plus a caller-supplied state snapshot (metrics JSON,
+//! membership) are dumped to `REGENT_FLIGHT_DIR` as a native trace
+//! document — importable by `regent-prof` and certifiable like any
+//! other trace, so every crash leaves a post-mortem artifact even when
+//! the run was otherwise untraced.
+//!
+//! The ring intentionally forgets: old milestones are evicted in
+//! recording order and the dump reports how many. Eviction is *not*
+//! trace-ring wrap-around (`Track::dropped` stays 0 in the dump — the
+//! recorded window is complete over its own span); the `flightEvicted`
+//! key in the dump carries the forgotten count instead.
+//!
+//! Kill switch: setting `REGENT_METRICS_OFF` disables the flight
+//! recorder along with the metrics registry and the scrape endpoint —
+//! one variable turns off every always-on telemetry path.
+
+use crate::event::{Event, EventKind};
+use crate::json::escape_into;
+use crate::serial::tracks_json;
+use crate::tracer::{Trace, Track};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default ring capacity (events), overridable via
+/// `REGENT_FLIGHT_EVENTS` (`0` disables recording).
+pub const DEFAULT_FLIGHT_EVENTS: usize = 1024;
+
+/// One recorded milestone: the event plus the track name it would have
+/// been recorded under in a full trace.
+#[derive(Clone, Debug)]
+struct Milestone {
+    track: &'static str,
+    event: Event,
+}
+
+/// The process-global flight recorder (see the module docs).
+pub struct FlightRecorder {
+    enabled: bool,
+    capacity: usize,
+    epoch: Instant,
+    ring: Mutex<VecDeque<Milestone>>,
+    evicted: AtomicU64,
+    dumps: AtomicU64,
+}
+
+/// The global recorder. Armed unless `REGENT_METRICS_OFF` is set or
+/// `REGENT_FLIGHT_EVENTS=0`; capacity from `REGENT_FLIGHT_EVENTS`
+/// (default [`DEFAULT_FLIGHT_EVENTS`]).
+pub fn flight() -> &'static FlightRecorder {
+    static REC: OnceLock<FlightRecorder> = OnceLock::new();
+    REC.get_or_init(|| {
+        let capacity = std::env::var("REGENT_FLIGHT_EVENTS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_FLIGHT_EVENTS);
+        let enabled = capacity > 0 && std::env::var_os("REGENT_METRICS_OFF").is_none();
+        FlightRecorder {
+            enabled,
+            capacity: capacity.max(1),
+            epoch: Instant::now(),
+            ring: Mutex::new(VecDeque::new()),
+            evicted: AtomicU64::new(0),
+            dumps: AtomicU64::new(0),
+        }
+    })
+}
+
+impl FlightRecorder {
+    /// Whether milestones are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a milestone at the current time under `track`.
+    /// A single branch when disabled.
+    pub fn note(&self, track: &'static str, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        let ts = self.epoch.elapsed().as_nanos() as u64;
+        self.note_at(track, Event { ts, dur: 0, kind });
+    }
+
+    /// Records a fully formed milestone event under `track`.
+    pub fn note_at(&self, track: &'static str, event: Event) {
+        if !self.enabled {
+            return;
+        }
+        let mut ring = self.ring.lock().expect("flight ring poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(Milestone { track, event });
+    }
+
+    /// Milestones evicted by capacity so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Milestones currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("flight ring poisoned").len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the ring as a [`Trace`]: one track per distinct
+    /// track name, events in recording order, `dropped = 0` (the window
+    /// is complete over its own span; eviction is reported separately).
+    pub fn snapshot(&self) -> Trace {
+        let ring = self.ring.lock().expect("flight ring poisoned");
+        let mut tracks: Vec<Track> = Vec::new();
+        for m in ring.iter() {
+            match tracks.iter_mut().find(|t| t.name == m.track) {
+                Some(t) => t.events.push(m.event),
+                None => tracks.push(Track {
+                    name: m.track.to_string(),
+                    events: vec![m.event],
+                    dropped: 0,
+                }),
+            }
+        }
+        Trace { tracks }
+    }
+
+    /// Clears the ring (tests).
+    pub fn reset(&self) {
+        self.ring.lock().expect("flight ring poisoned").clear();
+        self.evicted.store(0, Ordering::Relaxed);
+        self.dumps.store(0, Ordering::Relaxed);
+    }
+
+    /// Serializes the black box as a native trace document with flight
+    /// sidecar keys: `reason` (why the dump happened) and `state` (a
+    /// caller-supplied JSON value — metrics snapshot, membership —
+    /// or `null`). `regent-prof` imports it like any written trace.
+    pub fn to_document(&self, reason: &str, state_json: Option<&str>) -> String {
+        let trace = self.snapshot();
+        let mut out = String::from("{\"regentTrace\":1,\"flightReason\":\"");
+        escape_into(&mut out, reason);
+        out.push_str("\",\"flightEvicted\":");
+        out.push_str(&self.evicted().to_string());
+        out.push_str(",\"flightState\":");
+        match state_json {
+            Some(s) if !s.is_empty() => out.push_str(s),
+            _ => out.push_str("null"),
+        }
+        out.push_str(",\"tracks\":");
+        out.push_str(&tracks_json(&trace));
+        out.push('}');
+        out
+    }
+
+    /// Dumps the black box into `dir` as
+    /// `flight-<reason>-<seq>.trace.json` and returns the path.
+    /// Creates `dir` if needed; failures are reported to stderr, never
+    /// fatal (the flight recorder must not turn a crash into a worse
+    /// crash). Returns `None` when disabled or on write failure.
+    pub fn dump(
+        &self,
+        dir: &std::path::Path,
+        reason: &str,
+        state_json: Option<&str>,
+    ) -> Option<std::path::PathBuf> {
+        if !self.enabled {
+            return None;
+        }
+        let seq = self.dumps.fetch_add(1, Ordering::Relaxed);
+        let slug: String = reason
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .take(48)
+            .collect();
+        let path = dir.join(format!("flight-{slug}-{seq}.trace.json"));
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("flight recorder: cannot create {}: {e}", dir.display());
+            return None;
+        }
+        match std::fs::write(&path, self.to_document(reason, state_json)) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("flight recorder: cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+
+    /// [`FlightRecorder::dump`] into the directory named by
+    /// `REGENT_FLIGHT_DIR`; a missing variable makes this a no-op
+    /// (deployments opt into on-disk artifacts explicitly).
+    pub fn dump_env(&self, reason: &str, state_json: Option<&str>) -> Option<std::path::PathBuf> {
+        let dir = std::env::var_os("REGENT_FLIGHT_DIR")?;
+        self.dump(std::path::Path::new(&dir), reason, state_json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::import_trace;
+
+    fn fresh(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            enabled: true,
+            capacity,
+            epoch: Instant::now(),
+            ring: Mutex::new(VecDeque::new()),
+            evicted: AtomicU64::new(0),
+            dumps: AtomicU64::new(0),
+        }
+    }
+
+    #[test]
+    fn notes_group_by_track_and_keep_order() {
+        let rec = fresh(8);
+        rec.note("flight", EventKind::Mark { name: "a" });
+        rec.note(
+            "failover",
+            EventKind::PeerDeath {
+                shard: 1,
+                cause: 0,
+                epoch: 2,
+            },
+        );
+        rec.note("flight", EventKind::Mark { name: "b" });
+        let t = rec.snapshot();
+        assert_eq!(t.tracks.len(), 2);
+        let f = t.track("flight").unwrap();
+        assert_eq!(f.events.len(), 2);
+        assert!(matches!(f.events[0].kind, EventKind::Mark { name: "a" }));
+        assert!(matches!(f.events[1].kind, EventKind::Mark { name: "b" }));
+        assert_eq!(f.dropped, 0);
+        assert!(f.events[0].ts <= f.events[1].ts);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let rec = fresh(3);
+        for i in 0..5u64 {
+            rec.note_at(
+                "flight",
+                Event {
+                    ts: i,
+                    dur: 0,
+                    kind: EventKind::StepBegin { step: i },
+                },
+            );
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.evicted(), 2);
+        let t = rec.snapshot();
+        assert!(matches!(
+            t.tracks[0].events[0].kind,
+            EventKind::StepBegin { step: 2 }
+        ));
+    }
+
+    #[test]
+    fn document_roundtrips_through_import() {
+        let rec = fresh(8);
+        rec.note(
+            "failover",
+            EventKind::MembershipChange {
+                from_shards: 4,
+                to_shards: 3,
+                dead_shard: 1,
+                epoch: 2,
+            },
+        );
+        let doc = rec.to_document("peer death: shard 1", Some("{\"jobs\":3}"));
+        let back = import_trace(&doc).expect("flight document is a valid native trace");
+        assert_eq!(back.tracks.len(), 1);
+        assert_eq!(back.tracks[0].name, "failover");
+        // Sidecar keys survive as plain JSON (spot-check the raw text).
+        assert!(doc.contains("\"flightReason\":\"peer death: shard 1\""));
+        assert!(doc.contains("\"flightState\":{\"jobs\":3}"));
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = FlightRecorder {
+            enabled: false,
+            ..fresh(8)
+        };
+        rec.note("flight", EventKind::Mark { name: "m" });
+        assert!(rec.is_empty());
+        assert!(rec
+            .dump(std::path::Path::new("/nonexistent"), "x", None)
+            .is_none());
+    }
+
+    #[test]
+    fn dump_writes_a_file() {
+        let rec = fresh(8);
+        rec.note("flight", EventKind::Mark { name: "m" });
+        let dir = std::env::temp_dir().join(format!("regent-flight-test-{}", std::process::id()));
+        let path = rec
+            .dump(&dir, "unit test / dump", None)
+            .expect("dump succeeds");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(import_trace(&text).is_ok());
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with("flight-unit-test---dump-0"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -47,6 +47,7 @@ pub mod ascii;
 pub mod chrome;
 pub mod critical;
 pub mod event;
+pub mod flight;
 pub mod graph;
 pub mod json;
 pub mod prof;
@@ -64,6 +65,7 @@ pub use critical::{
     blame_report, classify, imbalance_report, sim_blame, Blame, BlameReport, ImbalanceReport, Phase,
 };
 pub use event::{fields_mask, CorruptSite, Event, EventKind, PrivCode, SimKind};
+pub use flight::{flight, FlightRecorder, DEFAULT_FLIGHT_EVENTS};
 pub use graph::{build_graph, EventGraph};
 pub use prof::{
     control_cost_per_step, failover_summary, integrity_summary, mean_step_cost, memo_summary,
